@@ -1,0 +1,58 @@
+"""Ablation — the three information-dissemination strategies (§2.5).
+
+The paper describes three approaches: exchange USLAs + usage, exchange
+usage only (the one it evaluates), and no exchange at all.  This bench
+runs the same 3-DP deployment under each strategy.
+
+Expected shape: no-exchange degrades accuracy relative to usage-only
+(peer placements stay invisible until a monitor sweep); usage+USLA
+matches usage-only on these workloads (no USLA churn) while moving
+strictly more bytes over the overlay.
+"""
+
+from benchmarks.conftest import DURATION_S, bench_once
+from repro.core import DisseminationStrategy
+from repro.experiments import canonical_gt3, run_experiment
+from repro.metrics.report import format_table
+
+STRATEGIES = (DisseminationStrategy.USAGE_AND_USLA,
+              DisseminationStrategy.USAGE_ONLY,
+              DisseminationStrategy.NONE)
+
+
+def test_ablation_dissemination_strategies(benchmark):
+    def sweep():
+        out = {}
+        for strategy in STRATEGIES:
+            cfg = canonical_gt3(3, duration_s=DURATION_S, strategy=strategy,
+                                name=f"gt3-3dp-{strategy.value}")
+            out[strategy] = run_experiment(cfg)
+        return out
+
+    results = bench_once(benchmark, sweep)
+
+    rows = []
+    for strategy in STRATEGIES:
+        r = results[strategy]
+        sync_kb = sum(dp.sync.records_sent for dp
+                      in r.deployment.decision_points.values())
+        rows.append([strategy.value,
+                     round(100 * r.accuracy("handled"), 1),
+                     round(r.qtime("all"), 1),
+                     round(100 * r.utilization("all"), 1),
+                     sync_kb])
+    print("\n" + format_table(
+        ["Strategy", "Accuracy %", "QTime (s)", "Util %", "Records Sent"],
+        rows, title="Dissemination-strategy ablation (GT3, 3 DPs)",
+        col_width=15))
+
+    acc = {s: results[s].accuracy("handled") for s in STRATEGIES}
+    assert acc[DisseminationStrategy.USAGE_ONLY] >= \
+        acc[DisseminationStrategy.NONE]
+    # USLA exchange adds traffic, not accuracy, on this workload.
+    assert abs(acc[DisseminationStrategy.USAGE_AND_USLA]
+               - acc[DisseminationStrategy.USAGE_ONLY]) < 0.05
+    none_sent = sum(dp.sync.records_sent for dp in
+                    results[DisseminationStrategy.NONE]
+                    .deployment.decision_points.values())
+    assert none_sent == 0

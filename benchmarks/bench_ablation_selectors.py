@@ -1,0 +1,44 @@
+"""Ablation — site-selector task-assignment policies (§3.2).
+
+GRUBER's site selectors "can implement various task assignment
+policies, such as round robin, least used, or least recently used";
+the experiments use least-used.  This bench compares all four policies
+on the same 3-DP deployment.
+
+Expected shape: least-used places jobs most accurately (it targets
+free capacity); round-robin and LRU cycle blindly through sites, so
+more of their placements queue; random is the floor.
+"""
+
+from benchmarks.conftest import DURATION_S, bench_once
+from repro.experiments import canonical_gt3, run_experiment
+from repro.metrics.report import format_table
+
+SELECTORS = ("least_used", "round_robin", "lru", "random")
+
+
+def test_ablation_selector_policies(benchmark):
+    def sweep():
+        out = {}
+        for name in SELECTORS:
+            cfg = canonical_gt3(3, duration_s=DURATION_S, selector=name,
+                                name=f"gt3-3dp-{name}")
+            out[name] = run_experiment(cfg)
+        return out
+
+    results = bench_once(benchmark, sweep)
+
+    rows = [[name,
+             round(100 * results[name].accuracy("handled"), 1),
+             round(results[name].qtime("handled"), 1),
+             round(100 * results[name].utilization("all"), 1)]
+            for name in SELECTORS]
+    print("\n" + format_table(
+        ["Selector", "Accuracy %", "QTime (s)", "Util %"], rows,
+        title="Site-selector ablation (GT3, 3 DPs)", col_width=14))
+
+    acc = {n: results[n].accuracy("handled") for n in SELECTORS}
+    assert acc["least_used"] >= max(acc["round_robin"], acc["lru"],
+                                    acc["random"]) - 0.02
+    qt = {n: results[n].qtime("handled") for n in SELECTORS}
+    assert qt["least_used"] <= qt["random"] + 1.0

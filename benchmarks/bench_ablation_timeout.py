@@ -1,0 +1,59 @@
+"""Ablation — the client timeout (§4.3's graceful-degradation knob).
+
+"Each client was configured to apply a [15] s timeout to the requests
+that it dispatched ... If this timeout expires, the client's site
+selector then selects a site at random" — so site selection degrades
+gracefully when a decision point saturates.
+
+Expected shape, on a saturated single decision point: a short timeout
+turns most placements into random ones (low handled fraction); a long
+timeout keeps placements brokered but delays every job behind the slow
+queries.  Total request flow is pinned by the brokering channel either
+way — the timeout only decides *how* the job is placed while the
+channel waits.
+"""
+
+from benchmarks.conftest import DURATION_S, bench_once
+from repro.experiments import canonical_gt3, run_experiment
+from repro.metrics.report import format_table
+
+TIMEOUTS_S = (5.0, 15.0, 60.0, 240.0)
+
+
+def test_ablation_client_timeout(benchmark):
+    def sweep():
+        out = {}
+        for timeout in TIMEOUTS_S:
+            cfg = canonical_gt3(1, duration_s=DURATION_S, timeout_s=timeout,
+                                name=f"gt3-1dp-to{timeout:g}")
+            out[timeout] = run_experiment(cfg)
+        return out
+
+    results = bench_once(benchmark, sweep)
+
+    rows = []
+    for timeout in TIMEOUTS_S:
+        r = results[timeout]
+        handled_frac = r.n_requests("handled") / max(r.n_jobs, 1)
+        rows.append([f"{timeout:g} s",
+                     round(100 * handled_frac, 1),
+                     r.n_jobs,
+                     round(100 * r.accuracy("all"), 1),
+                     round(r.qtime("all"), 1)])
+    print("\n" + format_table(
+        ["Timeout", "Handled %", "Requests", "Accuracy %", "QTime (s)"],
+        rows, title="Client-timeout ablation (GT3, 1 DP, saturated)",
+        col_width=13))
+
+    frac = {t: results[t].n_requests("handled") / max(results[t].n_jobs, 1)
+            for t in TIMEOUTS_S}
+    # Longer timeouts mean more requests wait for the broker's answer.
+    assert frac[5.0] <= frac[15.0] <= frac[60.0] <= frac[240.0] + 0.01
+    assert frac[240.0] > frac[5.0] + 0.2
+    # Request flow is channel-limited, not timeout-limited — but timed-out
+    # operations skip the report_dispatch phase, so aggressive timeouts
+    # free a sliver of container capacity (~query/(query+report), +19%
+    # on the GT3 profile) and push slightly more (randomly placed) jobs.
+    n = [results[t].n_jobs for t in TIMEOUTS_S]
+    assert max(n) <= 1.35 * min(n)
+    assert results[5.0].n_jobs >= results[240.0].n_jobs

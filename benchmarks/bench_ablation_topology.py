@@ -1,0 +1,47 @@
+"""Ablation — decision-point overlay topologies.
+
+The paper connects decision points "in a mesh, a simple configuration
+that is adopted to simplify analysis and understanding".  This bench
+compares mesh, ring, and star overlays at 6 decision points.
+
+Expected shape: the mesh floods state in one exchange; ring/star need
+multiple hops, so peer placements stay stale longer and accuracy drops
+(or at best matches) — while throughput is topology-independent (the
+overlay only carries sync traffic, not queries).
+"""
+
+from benchmarks.conftest import DURATION_S, bench_once
+from repro.experiments import canonical_gt3, run_experiment
+from repro.metrics.report import format_table
+
+TOPOLOGIES = ("mesh", "ring", "star")
+
+
+def test_ablation_overlay_topologies(benchmark):
+    def sweep():
+        out = {}
+        for kind in TOPOLOGIES:
+            cfg = canonical_gt3(6, duration_s=DURATION_S, topology=kind,
+                                name=f"gt3-6dp-{kind}")
+            out[kind] = run_experiment(cfg)
+        return out
+
+    results = bench_once(benchmark, sweep)
+
+    rows = []
+    for kind in TOPOLOGIES:
+        r = results[kind]
+        rows.append([kind,
+                     round(100 * r.accuracy("handled"), 1),
+                     round(r.diperf().throughput_stats().peak, 2),
+                     round(r.qtime("all"), 1)])
+    print("\n" + format_table(
+        ["Topology", "Accuracy %", "Peak Thr (q/s)", "QTime (s)"], rows,
+        title="Overlay-topology ablation (GT3, 6 DPs)", col_width=15))
+
+    thr = {k: results[k].diperf().throughput_stats().peak for k in TOPOLOGIES}
+    # Query throughput does not depend on the sync overlay.
+    assert max(thr.values()) / min(thr.values()) < 1.15
+    acc = {k: results[k].accuracy("handled") for k in TOPOLOGIES}
+    # Mesh accuracy is at least on par with the multi-hop overlays.
+    assert acc["mesh"] >= min(acc["ring"], acc["star"]) - 0.02

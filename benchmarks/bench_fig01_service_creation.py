@@ -1,0 +1,35 @@
+"""Fig 1 — GT3 service instance creation under a DiPerF ramp.
+
+Paper shape: throughput rises with the client ramp and plateaus at the
+container's capacity; response time grows from ~2 s under light load to
+tens of seconds under heavy load.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_once
+from repro.experiments import run_fig1_service_creation
+from repro.net import GT3_PROFILE
+
+
+def test_fig01_instance_creation(benchmark):
+    result = bench_once(
+        benchmark,
+        lambda: run_fig1_service_creation(n_clients=300, duration_s=1800.0))
+
+    print("\n" + result.summary())
+    times, thr = result.throughput_series()
+    _, resp = result.response_series()
+    print("\nThroughput series (per minute, q/s):")
+    print("  " + " ".join(f"{v:5.1f}" for v in thr[::3]))
+    print("Response series (per minute, s):")
+    print("  " + " ".join(f"{v:5.1f}" for v in resp[::3]))
+
+    # Shape assertions (paper Fig 1).
+    cap = GT3_PROFILE.instance_capacity_qps
+    assert thr.max() <= cap * 1.3
+    assert thr.max() >= cap * 0.7                  # plateau reaches capacity
+    light = resp[~np.isnan(resp)][0]
+    heavy = np.nanmax(resp)
+    assert heavy > 5 * light                       # response grows with load
+    assert result.response_stats().minimum < 3.0   # ~2 s when unloaded

@@ -1,0 +1,44 @@
+"""Figs 5-7 — GT3 DI-GRUBER scalability: 1, 3, and 10 decision points.
+
+Paper shape: a single decision point plateaus just under ~2 queries/s
+with response time climbing steeply; three decision points improve
+throughput 2-3x; ten improve it ~5x, with response time roughly
+halving at each step.
+"""
+
+from benchmarks.conftest import bench_once
+from repro.metrics import render_diperf_figure
+from repro.metrics.report import format_table
+
+
+def _print_fig(result, caption):
+    d = result.diperf()
+    print(f"\n--- {caption} ---")
+    print(render_diperf_figure(d))
+    print(d.summary())
+
+
+def test_fig05_07_gt3_scalability(benchmark, gt3_sweep):
+    results = bench_once(benchmark, lambda: gt3_sweep)
+
+    peaks = {}
+    for k in sorted(results):
+        _print_fig(results[k], f"Fig {4 + [1, 3, 10].index(k) + 1}: "
+                               f"GT3 DI-GRUBER, {k} decision point(s)")
+        peaks[k] = results[k].diperf().throughput_stats().peak
+
+    rows = [[k,
+             round(results[k].diperf().response_stats().average, 1),
+             round(peaks[k], 2),
+             round(peaks[k] / peaks[1], 2)] for k in sorted(results)]
+    print("\n" + format_table(
+        ["DPs", "Avg Resp (s)", "Peak Thr (q/s)", "Speedup"], rows,
+        title="GT3 scalability summary"))
+
+    # Shape assertions (paper: "two to three times" at 3 DPs, "almost
+    # five times" at 10; single DP "a little less than 2 q/s").
+    assert 1.5 <= peaks[1] <= 3.0
+    assert 2.0 <= peaks[3] / peaks[1] <= 3.5
+    assert 3.5 <= peaks[10] / peaks[1] <= 6.5
+    r = {k: results[k].diperf().response_stats().average for k in results}
+    assert r[1] > r[3] > r[10]

@@ -1,0 +1,35 @@
+"""Fig 8 — GT3 scheduling accuracy vs state-exchange interval (3 DPs).
+
+Paper shape: "for the workloads considered, a three minute exchange
+interval is sufficient to achieve [high] Accuracy"; accuracy declines
+as the exchange interval grows.
+"""
+
+from benchmarks.conftest import DURATION_S, bench_once
+from repro.experiments import canonical_gt3
+from repro.experiments.figures import (
+    accuracy_vs_interval_table,
+    run_accuracy_sweep,
+)
+
+INTERVALS_MIN = (1.0, 3.0, 10.0, 30.0)
+
+
+def test_fig08_gt3_accuracy_vs_sync_interval(benchmark):
+    base = canonical_gt3(duration_s=DURATION_S)
+    results = bench_once(
+        benchmark,
+        lambda: run_accuracy_sweep(base, intervals_min=INTERVALS_MIN,
+                                   decision_points=3))
+
+    print("\nFig 8 (GT3, 3 decision points):")
+    print(accuracy_vs_interval_table(results))
+
+    acc = {m: results[m].accuracy("handled") for m in INTERVALS_MIN}
+    # Three-minute sync achieves high accuracy...
+    assert acc[3.0] >= 0.93
+    # ...and accuracy does not improve as exchanges get rarer.
+    assert acc[30.0] <= acc[3.0] + 0.01
+    assert acc[30.0] <= acc[1.0]
+    # The decline is measurable.
+    assert acc[1.0] - acc[30.0] >= 0.01

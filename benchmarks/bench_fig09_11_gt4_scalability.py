@@ -1,0 +1,44 @@
+"""Figs 9-11 — GT4 DI-GRUBER scalability: 1, 3, and 10 decision points.
+
+Paper shape: the GT4 prerelease container is slower per request than
+GT3 (single-DP plateau just above ~1 query/s); throughput and response
+improve ~3x from one to three decision points and ~5x toward ten; in
+the three- and ten-DP configurations GT4 handles almost all requests
+(unlike GT3 — Table 2 vs Table 1).
+"""
+
+from benchmarks.conftest import bench_once
+from repro.metrics.report import format_table
+
+
+def test_fig09_11_gt4_scalability(benchmark, gt4_sweep, gt3_sweep):
+    results = bench_once(benchmark, lambda: gt4_sweep)
+
+    peaks = {}
+    for k in sorted(results):
+        d = results[k].diperf()
+        print(f"\n--- Fig {8 + [1, 3, 10].index(k) + 1}: GT4 DI-GRUBER, "
+              f"{k} decision point(s) ---")
+        from repro.metrics import render_diperf_figure
+        print(render_diperf_figure(d))
+        print(d.summary())
+        peaks[k] = d.throughput_stats().peak
+
+    rows = [[k,
+             round(results[k].diperf().response_stats().average, 1),
+             round(peaks[k], 2),
+             round(peaks[k] / peaks[1], 2)] for k in sorted(results)]
+    print("\n" + format_table(
+        ["DPs", "Avg Resp (s)", "Peak Thr (q/s)", "Speedup"], rows,
+        title="GT4 scalability summary"))
+
+    # Shape assertions.
+    assert 0.9 <= peaks[1] <= 2.0                      # just above ~1 q/s
+    assert 2.0 <= peaks[3] / peaks[1] <= 3.6           # "factor of three"
+    assert 3.0 <= peaks[10] / peaks[1] <= 6.0          # toward "five"
+    # GT4 is slower than GT3 at every deployment size.
+    for k in (1, 3, 10):
+        gt3_peak = gt3_sweep[k].diperf().throughput_stats().peak
+        assert peaks[k] < gt3_peak
+    r = {k: results[k].diperf().response_stats().average for k in results}
+    assert r[1] > r[3] > r[10]

@@ -1,0 +1,33 @@
+"""Fig 12 — GT4 scheduling accuracy vs state-exchange interval (3 DPs).
+
+Paper shape: "for a three decision point infrastructure a three to ten
+minutes exchange interval is sufficient for achieving almost [full]
+Accuracy."
+"""
+
+from benchmarks.conftest import DURATION_S, bench_once
+from repro.experiments import canonical_gt4
+from repro.experiments.figures import (
+    accuracy_vs_interval_table,
+    run_accuracy_sweep,
+)
+
+INTERVALS_MIN = (1.0, 3.0, 10.0, 30.0)
+
+
+def test_fig12_gt4_accuracy_vs_sync_interval(benchmark):
+    base = canonical_gt4(duration_s=DURATION_S)
+    results = bench_once(
+        benchmark,
+        lambda: run_accuracy_sweep(base, intervals_min=INTERVALS_MIN,
+                                   decision_points=3))
+
+    print("\nFig 12 (GT4, 3 decision points):")
+    print(accuracy_vs_interval_table(results))
+
+    acc = {m: results[m].accuracy("handled") for m in INTERVALS_MIN}
+    # Three-to-ten-minute exchanges keep accuracy nearly full.
+    assert acc[3.0] >= 0.93
+    assert acc[10.0] >= 0.90
+    # No improvement from syncing less often.
+    assert acc[30.0] <= max(acc[1.0], acc[3.0]) + 0.01

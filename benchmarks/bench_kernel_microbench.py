@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Unlike the paper-artifact benches (deterministic one-shot simulations),
+these measure the kernel's raw event throughput with pytest-benchmark's
+repeated timing — they are the numbers that bound how large a grid this
+reproduction can emulate per wall-clock second.
+"""
+
+from repro.sim import RngRegistry, Server, Simulator
+
+
+def test_event_scheduling_throughput(benchmark):
+    """Schedule + dispatch 100k bare callbacks."""
+
+    def run():
+        sim = Simulator()
+        for i in range(100_000):
+            sim.schedule(float(i % 977), lambda: None)
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(run)
+    assert executed == 100_000
+
+
+def test_process_switching_throughput(benchmark):
+    """Drive 1k generator processes through 100 yields each."""
+
+    def run():
+        sim = Simulator()
+        done = []
+
+        def proc():
+            for _ in range(100):
+                yield 1.0
+            done.append(1)
+
+        for _ in range(1_000):
+            sim.process(proc())
+        sim.run()
+        return len(done)
+
+    completed = benchmark(run)
+    assert completed == 1_000
+
+
+def test_server_queue_throughput(benchmark):
+    """Push 20k jobs through a capacity-4 server."""
+
+    def run():
+        sim = Simulator()
+        srv = Server(sim, capacity=4)
+        served = []
+
+        def job():
+            yield srv.acquire()
+            try:
+                yield 0.5
+            finally:
+                srv.release()
+            served.append(1)
+
+        for _ in range(20_000):
+            sim.process(job())
+        sim.run()
+        return len(served)
+
+    served = benchmark(run)
+    assert served == 20_000
+
+
+def test_workload_generation_throughput(benchmark):
+    """Vectorized generation of one host-hour of jobs."""
+    from repro.grid import VORegistry
+    from repro.workloads import JobModel, WorkloadGenerator
+
+    vos = VORegistry()
+    for v in range(10):
+        vos.create(f"vo{v}", n_groups=10, users_per_group=3)
+
+    def run():
+        gen = WorkloadGenerator(vos, JobModel(),
+                                RngRegistry(0).stream("bench"))
+        wl = gen.host_workload("h", duration_s=3600.0, interarrival_s=1.0)
+        return len(wl)
+
+    n = benchmark(run)
+    assert n == 3600

@@ -1,0 +1,43 @@
+"""Table 1 — GT3 DI-GRUBER overall performance.
+
+Rows: requests handled by GRUBER / NOT handled / all, for 1, 3, and 10
+decision points; columns: % of requests, request count, QTime,
+Normalized QTime, Utilization, Accuracy.
+
+Paper shape: the single decision point handles a small fraction of
+requests (timeouts dominate); handled requests show better Accuracy
+than the random-fallback ones; utilization grows with the deployment
+size; the 1-DP QTime is deceivingly low (few jobs entered the grid),
+which Normalized QTime exposes.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_once
+from repro.experiments.figures import table_overall_performance
+
+
+def test_table1_gt3_overall_performance(benchmark, gt3_sweep):
+    table = bench_once(benchmark,
+                       lambda: table_overall_performance(gt3_sweep))
+    print("\nTable 1 (GT3):\n" + table)
+
+    r1, r3, r10 = (gt3_sweep[k] for k in (1, 3, 10))
+
+    # Handled fraction grows with decision points.
+    frac = [r.n_requests("handled") / max(r.n_jobs, 1) for r in (r1, r3, r10)]
+    assert frac[0] < 0.5                      # 1 DP: timeouts dominate
+    assert frac[0] < frac[1] < frac[2]
+    assert frac[2] > 0.9                      # 10 DPs: nearly all handled
+
+    # Handled requests are scheduled more accurately than fallbacks.
+    for r in (r1, r3):
+        if r.n_requests("not_handled") > 100:
+            assert r.accuracy("handled") >= r.accuracy("not_handled") - 0.02
+
+    # Utilization grows with deployment size (more brokered work).
+    utils = [r.utilization("all") for r in (r1, r3, r10)]
+    assert utils[0] < utils[1] < utils[2]
+
+    # The 1-DP run processed far fewer requests overall.
+    assert r1.n_jobs < 0.5 * r10.n_jobs

@@ -1,0 +1,32 @@
+"""Table 2 — GT4 DI-GRUBER overall performance.
+
+Paper shape: as Table 1, but "in the three and ten decision point
+cases, GT4 DI-GRUBER was able to handle almost all requests
+successfully, which is different from the GT3 DI-GRUBER."
+"""
+
+from benchmarks.conftest import bench_once
+from repro.experiments.figures import table_overall_performance
+
+
+def test_table2_gt4_overall_performance(benchmark, gt4_sweep, gt3_sweep):
+    table = bench_once(benchmark,
+                       lambda: table_overall_performance(gt4_sweep))
+    print("\nTable 2 (GT4):\n" + table)
+
+    frac = {k: gt4_sweep[k].n_requests("handled") / max(gt4_sweep[k].n_jobs, 1)
+            for k in (1, 3, 10)}
+
+    # 1 DP saturates; 3 and 10 DPs handle almost everything.
+    assert frac[1] < 0.6
+    assert frac[3] > 0.85
+    assert frac[10] > 0.95
+
+    # The contrast with GT3 at 3 DPs (the paper's explicit remark).
+    gt3_frac3 = (gt3_sweep[3].n_requests("handled")
+                 / max(gt3_sweep[3].n_jobs, 1))
+    assert frac[3] > gt3_frac3
+
+    # Utilization still grows with the deployment size.
+    utils = [gt4_sweep[k].utilization("all") for k in (1, 3, 10)]
+    assert utils[0] < utils[1] < utils[2]

@@ -1,0 +1,41 @@
+"""Table 3 — GRUB-SIM: required decision points.
+
+GRUB-SIM replays the query traces recorded in the scalability runs,
+identifies saturation, and provisions decision points on the fly.
+
+Paper shape: "for the GT3-based implementation, a total of [~5]
+decision points was necessary.  On the other hand, for the GT4
+DI-GRUBER, a total of [~4] decision points were needed" — i.e., "about
+4 or 5 ... are enough to handle the scheduling for a grid that is [10]
+times larger than today's Grid3."
+"""
+
+from benchmarks.conftest import bench_once
+from repro.grubsim import DPPerformanceModel, GrubSim
+from repro.metrics.report import format_table
+from repro.net import GT3_PROFILE, GT4_PROFILE
+
+
+def test_table3_grubsim_required_dps(benchmark, gt3_sweep, gt4_sweep):
+    def size_both():
+        gt3_model = DPPerformanceModel.from_profile(GT3_PROFILE)
+        gt4_model = DPPerformanceModel.from_profile(GT4_PROFILE)
+        gt3 = GrubSim(gt3_model).replay(gt3_sweep[1].trace, initial_dps=1,
+                                        name="GT3-based")
+        gt4 = GrubSim(gt4_model).replay(gt4_sweep[1].trace, initial_dps=1,
+                                        name="GT4-based")
+        return gt3, gt4
+
+    gt3, gt4 = bench_once(benchmark, size_both)
+
+    rows = [[r.name, r.initial_dps, r.additional_dps, r.final_dps,
+             len(r.overloads)] for r in (gt3, gt4)]
+    print("\nTable 3:\n" + format_table(
+        ["Trace", "Initial DPs", "Additional DPs", "Total DPs", "Overloads"],
+        rows, col_width=15))
+
+    # The paper's conclusion: only a few decision points — about 4 or 5 —
+    # are enough for a grid ten times larger than Grid3.
+    assert 4 <= gt3.final_dps <= 6
+    assert 3 <= gt4.final_dps <= 5
+    assert gt3.overloads and gt4.overloads  # saturation was identified

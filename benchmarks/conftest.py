@@ -1,0 +1,47 @@
+"""Shared fixtures for the paper-reproduction benchmark harness.
+
+Each paper table/figure has a bench module; the expensive experiment
+runs are session-cached here because the paper derives its tables from
+the same executions as its figures (Table 1 <- Figs 5-7, Table 2 <-
+Figs 9-11, Table 3 <- replaying those traces).
+
+Environment knobs:
+
+* ``REPRO_BENCH_DURATION`` — simulated seconds per run (default 1800;
+  the paper ran 3600 s experiments — set 3600 for the full-length
+  reproduction; shapes are stable from ~1200 s on).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import canonical_gt3, canonical_gt4
+from repro.experiments.figures import run_scalability_sweep
+
+DURATION_S = float(os.environ.get("REPRO_BENCH_DURATION", "1800"))
+
+DP_COUNTS = (1, 3, 10)
+
+
+def bench_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    These are simulations of fixed workloads — repeating them measures
+    the same deterministic run, so one round is the honest protocol.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def gt3_sweep():
+    """Figs 5-7 / Table 1 substrate: GT3 runs at 1, 3, 10 DPs."""
+    base = canonical_gt3(duration_s=DURATION_S)
+    return run_scalability_sweep(base, dp_counts=DP_COUNTS)
+
+
+@pytest.fixture(scope="session")
+def gt4_sweep():
+    """Figs 9-11 / Table 2 substrate: GT4 runs at 1, 3, 10 DPs."""
+    base = canonical_gt4(duration_s=DURATION_S)
+    return run_scalability_sweep(base, dp_counts=DP_COUNTS)

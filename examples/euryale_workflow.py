@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Euryale: late-binding workflow execution over DI-GRUBER.
+
+Runs a small physics-style DAG (generate → 4 parallel analyses →
+merge) through the full Euryale chain: DagMan drives each node's
+prescript (GRUBER site selection + input staging + replica
+registration), Condor-G submission, and postscript (output collection,
+popularity updates).  One analysis job is killed mid-run to show the
+late-binding replanning path.
+
+Run:  python examples/euryale_workflow.py
+"""
+
+from repro.core import DecisionPoint, LeastUsedSelector
+from repro.euryale import (
+    CondorGSubmitter,
+    DagMan,
+    DagNode,
+    EuryalePlanner,
+    FileSpec,
+    PlannerJob,
+    ReplicaCatalog,
+)
+from repro.grid import GridBuilder, Job
+from repro.net import GT3_PROFILE, Network, PairwiseWanLatency
+from repro.sim import RngRegistry, Simulator
+
+
+def make_node(name, parents, inputs, outputs, duration, cpus=2):
+    job = Job(vo="atlas", group="atlas-higgs", user="analyst",
+              cpus=cpus, duration_s=duration)
+    return DagNode(name, PlannerJob(job=job,
+                                    inputs=[FileSpec(*i) for i in inputs],
+                                    outputs=[FileSpec(*o) for o in outputs]),
+                   parents=parents)
+
+
+def main() -> None:
+    sim = Simulator()
+    rng = RngRegistry(23)
+    net = Network(sim, PairwiseWanLatency(rng.stream("wan")),
+                  kb_transfer_s=0.01)
+    grid = GridBuilder(sim, rng.stream("grid")).build(
+        n_sites=12, total_cpus=600, n_vos=1, groups_per_vo=1)
+
+    dp = DecisionPoint(sim, net, "dp0", grid, GT3_PROFILE, rng.stream("dp"),
+                       monitor_interval_s=120.0)
+    dp.start(neighbors=[])
+
+    catalog = ReplicaCatalog()
+    planner = EuryalePlanner(
+        sim, net, grid,
+        submitter=CondorGSubmitter(sim, net, grid),
+        catalog=catalog,
+        selector=LeastUsedSelector(rng.stream("sel")),
+        rng=rng.stream("fallback"),
+        decision_point="dp0", max_retries=3,
+        data_aware=True)  # analyses co-locate with events.root
+
+    dag = DagMan(sim, planner)
+    dag.add_node(make_node("generate", [], [("config.xml", 1.0)],
+                           [("events.root", 200.0)], duration=600.0, cpus=4))
+    for i in range(4):
+        dag.add_node(make_node(
+            f"analysis{i}", ["generate"],
+            [("events.root", 200.0)], [(f"histo{i}.root", 20.0)],
+            duration=900.0))
+    dag.add_node(make_node(
+        "merge", [f"analysis{i}" for i in range(4)],
+        [(f"histo{i}.root", 20.0) for i in range(4)],
+        [("result.root", 5.0)], duration=300.0))
+
+    done = dag.run()
+
+    # Fault injection: kill analysis2 shortly after it starts running.
+    def kill_when_running():
+        victim = dag.nodes["analysis2"].planner_job.job
+        while victim.started_at is None:
+            yield 30.0
+        yield 60.0
+        if victim.state.value == "running":
+            grid.site(victim.site).fail_running_job(victim.jid)
+            print(f"[t={sim.now:7.1f}] killed analysis2 at {victim.site} "
+                  "(Euryale will replan it)")
+
+    sim.process(kill_when_running())
+    sim.run(until=30000.0)
+
+    print(f"\nDAG finished: {done.value}")
+    print(f"Replans performed: {planner.replans}")
+    print("\nNode states and placements:")
+    for name, node in dag.nodes.items():
+        job = node.planner_job.job
+        print(f"  {name:<10} {node.state:<7} site={job.site or '-':<22} "
+              f"start={job.started_at if job.started_at is not None else float('nan'):9.1f} "
+              f"replans={job.replans}")
+
+    print("\nReplica catalog:")
+    print(f"  registered files: {len(catalog)}")
+    print(f"  most popular: {catalog.most_popular(3)}")
+    assert catalog.has_replica("result.root", "collection-area")
+
+
+if __name__ == "__main__":
+    main()

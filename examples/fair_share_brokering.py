@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""USLA-aware brokering: fair shares across competing VOs.
+
+Three VOs share a grid under grid-level fair-share USLAs (the paper's
+Maui-semantics × WS-Agreement representation):
+
+* ``atlas``  — 50% target of every site,
+* ``cms``    — 25% upper limit,
+* ``cdf``    — 25% upper limit.
+
+Each VO drives jobs through a USLA-aware decision point; a GRUBER
+queue manager also throttles cms at the submission host.  At the end,
+the delivered CPU shares are verified against the published rules.
+
+Run:  python examples/fair_share_brokering.py
+"""
+
+from repro.core import (
+    DecisionPoint,
+    LeastUsedSelector,
+    QueueManager,
+)
+from repro.grid import GridBuilder, Job
+from repro.net import GT3_PROFILE, Network, PairwiseWanLatency
+from repro.sim import RngRegistry, Simulator
+from repro.usla import (
+    Agreement,
+    AgreementContext,
+    ServiceTerm,
+    parse_policy,
+    verify_usage,
+)
+
+DURATION = 3600.0
+VOS = ("atlas", "cms", "cdf")
+
+
+def publish_shares(dp, grid):
+    """Publish per-site fair-share agreements to the decision point."""
+    policy_text = "\n".join(
+        f"{site}:atlas=50%\n{site}:cms=25%+\n{site}:cdf=25%+"
+        for site in grid.site_names)
+    rules = parse_policy(policy_text)
+    ag = Agreement(
+        name="grid-shares",
+        context=AgreementContext(provider="grid", consumer="all-vos"),
+        terms=[ServiceTerm(f"t{i}", r) for i, r in enumerate(rules)])
+    dp.engine.usla_store.publish(ag)
+    dp.engine.invalidate_policy_cache()
+
+
+def vo_submitter(sim, net, grid, dp, vo, rng, rate_s, queue_manager=None):
+    """A simple per-VO submission loop using the brokering protocol."""
+    selector = LeastUsedSelector(rng)
+
+    def broker_one(job):
+        ev = net.rpc(f"{vo}-host", dp.node_id, "get_state",
+                     {"vo": job.vo, "cpus": job.cpus})
+        try:
+            availabilities = yield ev
+        except Exception:
+            return
+        site = selector.select(availabilities, job.cpus)
+        if site is None:
+            return  # USLA filter says: no headroom anywhere right now
+        yield net.rpc(f"{vo}-host", dp.node_id, "report_dispatch",
+                      {"site": site, "vo": job.vo, "cpus": job.cpus})
+        grid.site(site).submit(job)
+
+    def release(job):
+        sim.process(broker_one(job))
+
+    def submit_loop():
+        while sim.now < DURATION:
+            job = Job(vo=vo, group=f"{vo}-g0", user=f"{vo}-u0",
+                      cpus=2, duration_s=float(rng.uniform(300, 900)))
+            job.mark_created(sim.now)
+            if queue_manager is not None:
+                queue_manager.enqueue(job)
+            else:
+                release(job)
+            yield rate_s
+
+    sim.process(submit_loop())
+    return release
+
+
+def main() -> None:
+    sim = Simulator()
+    rng = RngRegistry(11)
+    net = Network(sim, PairwiseWanLatency(rng.stream("wan")),
+                  kb_transfer_s=0.01)
+    grid = GridBuilder(sim, rng.stream("grid")).build(
+        n_sites=20, total_cpus=800, n_vos=3, groups_per_vo=1)
+
+    dp = DecisionPoint(sim, net, "dp0", grid, GT3_PROFILE,
+                       rng.stream("dp"), usla_aware=True,
+                       monitor_interval_s=120.0)
+    publish_shares(dp, grid)
+    dp.start(neighbors=[])
+
+    # cms additionally runs a GRUBER queue manager that holds jobs at
+    # the submission host while cms exceeds its grid-wide share.
+    from repro.net.transport import Endpoint
+    for vo in VOS:
+        Endpoint(net, f"{vo}-host")
+
+    cms_release = {"fn": None}
+    policy = dp.engine.usla_store.policy_engine()
+
+    def cms_usage():
+        used = sum(s.vo_cpu_seconds.get("cms", 0.0)
+                   for s in grid.sites.values())
+        total = sum(sum(s.vo_cpu_seconds.values()) or 1.0
+                    for s in grid.sites.values())
+        return used / total
+
+    qm = QueueManager(sim, "cms", policy, usage_probe=cms_usage,
+                      release=lambda job: cms_release["fn"](job),
+                      interval_s=30.0, batch_size=10,
+                      provider=grid.site_names[0])
+
+    # atlas and cdf submit directly; cms goes through the queue manager.
+    vo_submitter(sim, net, grid, dp, "atlas", rng.stream("atlas"), 4.0)
+    cms_release["fn"] = vo_submitter(sim, net, grid, dp, "cms",
+                                     rng.stream("cms"), 4.0,
+                                     queue_manager=qm)
+    vo_submitter(sim, net, grid, dp, "cdf", rng.stream("cdf"), 12.0)
+    qm.start()
+
+    sim.run(until=DURATION)
+
+    # Delivered shares, grid-wide.
+    delivered = {vo: sum(s.vo_cpu_seconds.get(vo, 0.0)
+                         for s in grid.sites.values()) for vo in VOS}
+    total = sum(delivered.values())
+    print("Delivered CPU-seconds by VO:")
+    for vo in VOS:
+        print(f"  {vo:<6} {delivered[vo]:12,.0f}  ({delivered[vo] / total:6.1%})")
+
+    usage = {("grid", vo): delivered[vo] / total for vo in VOS}
+    report = verify_usage(parse_policy(
+        "grid:atlas=50%\ngrid:cms=25%+\ngrid:cdf=25%+"), usage,
+        tolerance=0.05)
+    print("\nUSLA compliance verification:")
+    print(report.summary())
+    print(f"\ncms jobs held at the submission host: "
+          f"{qm.held_ticks} hold-ticks, {qm.released} released")
+    print("compliant:", report.compliant)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Scalability study: how many decision points does a grid need?
+
+A condensed version of the paper's headline experiment: the same
+client fleet is brokered by 1, 3, and 5 decision points; throughput,
+response time, and the handled-request fraction are compared, and
+GRUB-SIM replays the single-decision-point trace to predict the
+required deployment size.
+
+Run:  python examples/scalability_study.py   (~a minute of wall time)
+"""
+
+from repro.experiments import smoke_config
+from repro.experiments.figures import (
+    run_scalability_sweep,
+    table_overall_performance,
+)
+from repro.grubsim import DPPerformanceModel, GrubSim
+from repro.net import GT3_PROFILE
+
+
+def main() -> None:
+    base = smoke_config(
+        name="study", n_clients=48, duration_s=900.0,
+        n_sites=30, total_cpus=1500,
+    )
+    print(f"Sweeping decision-point counts with {base.n_clients} clients, "
+          f"{base.duration_s:.0f} s runs...\n")
+    results = run_scalability_sweep(base, dp_counts=(1, 3, 5))
+
+    print(f"{'DPs':>4} {'peak thr':>10} {'avg resp':>10} {'handled':>9} "
+          f"{'timeouts':>9} {'util':>7}")
+    for k, res in sorted(results.items()):
+        d = res.diperf()
+        fb = res.client_fallbacks()
+        print(f"{k:>4} {d.throughput_stats().peak:>9.2f}q/s "
+              f"{d.response_stats().average:>9.1f}s "
+              f"{fb['handled']:>9} {fb['timeout']:>9} "
+              f"{res.utilization('all'):>6.1%}")
+
+    print("\n" + table_overall_performance(results))
+
+    # GRUB-SIM: replay the 1-DP trace and ask how many DPs were needed.
+    model = DPPerformanceModel.from_profile(GT3_PROFILE)
+    sized = GrubSim(model).replay(results[1].trace, initial_dps=1,
+                                  name="study-1dp")
+    print("\n" + sized.summary())
+    print(f"\nGRUB-SIM says this load needs {sized.final_dps} decision "
+          f"point(s); the sweep above shows the improvement it predicts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Automated USLA negotiation, then enforcement through the broker.
+
+Three VOs negotiate CPU shares with a site provider (Cremona-style
+WS-Agreement negotiation):
+
+* atlas asks for 50% — full headroom, accepted as offered;
+* cms asks for 40% — only 30% remains under the provider's 80% commit
+  cap, so the provider counters and cms accepts the counter;
+* cdf asks for 20% — rejected (no headroom left above the floor).
+
+The accepted agreements land in the decision point's USLA store, so the
+USLA-aware engine immediately enforces them on availability queries.
+
+Run:  python examples/usla_negotiation.py
+"""
+
+from repro.core import DecisionPoint
+from repro.grid import GridBuilder
+from repro.net import GT3_PROFILE, Network, PairwiseWanLatency
+from repro.sim import RngRegistry, Simulator
+from repro.usla import Agreement, AgreementContext, FairShareRule, ServiceTerm
+from repro.usla.negotiation import ConsumerNegotiator, ProviderNegotiator
+
+
+def make_offer(site, vo, pct):
+    return Agreement(
+        name=f"{site}-{vo}",
+        context=AgreementContext(provider=site, consumer=vo),
+        terms=[ServiceTerm("cpu-share", FairShareRule(site, vo, pct))])
+
+
+def main() -> None:
+    sim = Simulator()
+    rng = RngRegistry(31)
+    net = Network(sim, PairwiseWanLatency(rng.stream("wan")))
+    grid = GridBuilder(sim, rng.stream("grid")).uniform(n_sites=1,
+                                                        cpus_per_site=100)
+    site = grid.site_names[0]
+
+    # The decision point's store doubles as the provider's agreement
+    # repository, so accepted shares are instantly enforceable.
+    dp = DecisionPoint(sim, net, "dp0", grid, GT3_PROFILE, rng.stream("dp"),
+                       usla_aware=True, monitor_interval_s=600.0)
+    dp.start(neighbors=[])
+    provider = ProviderNegotiator(net, f"{site}-negotiator",
+                                  dp.engine.usla_store,
+                                  max_commit_fraction=0.8)
+
+    asks = (("atlas", 50.0, 0.5), ("cms", 40.0, 0.5), ("cdf", 20.0, 0.5))
+    outcomes = {}
+
+    def negotiate_all():
+        for vo, pct, min_frac in asks:
+            consumer = ConsumerNegotiator(net, f"{vo}-negotiator", sim)
+            outcome = yield sim.process(consumer.negotiate(
+                f"{site}-negotiator", make_offer(site, vo, pct),
+                min_fraction=min_frac))
+            outcomes[vo] = outcome
+            dp.engine.invalidate_policy_cache()
+
+    sim.process(negotiate_all())
+    sim.run(until=60.0)
+
+    print("Negotiation outcomes:")
+    for vo, pct, _ in asks:
+        o = outcomes[vo]
+        granted = (f"{o.agreement.terms[0].rule.percent:.0f}%"
+                   if o.agreement else "-")
+        print(f"  {vo:<6} asked {pct:.0f}%  ->  {o.status:<9} "
+              f"granted {granted}  (rounds: {o.rounds})")
+
+    print(f"\nProvider stats: offers={provider.offers_seen} "
+          f"accepted={provider.accepted} countered={provider.countered} "
+          f"rejected={provider.rejected}")
+
+    # The shares are now live: the USLA-aware engine filters the
+    # availability view per VO.
+    print("\nUSLA-filtered availability at the decision point "
+          f"({site}, 100 CPUs total):")
+    for vo in ("atlas", "cms", "cdf", "unlisted-vo"):
+        avail = dp.engine.availabilities(vo=vo, now=sim.now)[site]
+        print(f"  {vo:<12} sees {avail:5.1f} free CPUs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Analytic queueing models used to validate the simulation.
+
+The paper's client/decision-point system is, in queueing terms, a
+*machine-repairman* (finite-source) model: N submission hosts each keep
+one query in flight, served by a station of rate ``mu`` per decision
+point.  Closed forms for that model give the expected throughput and
+response time, and the validation tests check the DES against them —
+the reproduction's numbers are then model-backed, not just plausible.
+"""
+
+from repro.analysis.queueing import (
+    closed_loop_equilibrium,
+    machine_repairman,
+    mmc_metrics,
+)
+
+__all__ = ["closed_loop_equilibrium", "machine_repairman", "mmc_metrics"]

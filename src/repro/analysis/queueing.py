@@ -1,0 +1,113 @@
+"""Closed-form queueing results.
+
+Three models cover the regimes the experiments traverse:
+
+* :func:`mmc_metrics` — the open M/M/c queue (Erlang C), for the
+  service containers under open load;
+* :func:`machine_repairman` — the finite-source M/M/c queue ("machine
+  repairman"), which *is* the client/decision-point loop: N clients,
+  each thinking for ``think_s`` then holding one request until served;
+* :func:`closed_loop_equilibrium` — the asymptotic bounds commonly used
+  for closed systems, cheap and good enough for sizing checks
+  (GRUB-SIM's demand model is its corollary).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["QueueMetrics", "mmc_metrics", "machine_repairman",
+           "closed_loop_equilibrium"]
+
+
+@dataclass(frozen=True)
+class QueueMetrics:
+    """Steady-state performance of a queueing station."""
+
+    throughput: float       # completions per second
+    response_s: float       # mean time in station (wait + service)
+    utilization: float      # fraction of server capacity busy
+    mean_in_system: float   # jobs at the station (queued + in service)
+
+
+def mmc_metrics(arrival_rate: float, service_rate: float, c: int
+                ) -> QueueMetrics:
+    """Open M/M/c steady state (requires ``arrival < c * service``)."""
+    if arrival_rate < 0 or service_rate <= 0 or c < 1:
+        raise ValueError("need arrival >= 0, service > 0, c >= 1")
+    rho = arrival_rate / (c * service_rate)
+    if rho >= 1.0:
+        raise ValueError(f"unstable queue: rho={rho:.3f} >= 1")
+    a = arrival_rate / service_rate
+    # Erlang C probability of waiting.
+    summation = sum(a ** k / math.factorial(k) for k in range(c))
+    last = a ** c / (math.factorial(c) * (1 - rho))
+    p_wait = last / (summation + last)
+    wq = p_wait / (c * service_rate - arrival_rate)
+    response = wq + 1.0 / service_rate
+    return QueueMetrics(throughput=arrival_rate, response_s=response,
+                        utilization=rho,
+                        mean_in_system=arrival_rate * response)
+
+
+def machine_repairman(n_clients: int, think_s: float, service_rate: float,
+                      c: int = 1) -> QueueMetrics:
+    """Finite-source M/M/c: N clients cycling think → request → served.
+
+    This is the paper's client/decision-point loop: each submission
+    host keeps at most one query outstanding.  ``think_s`` is the mean
+    time between receiving a response and issuing the next query
+    (client-side stack work + WAN, which consume no server capacity).
+    """
+    if n_clients < 1 or think_s < 0 or service_rate <= 0 or c < 1:
+        raise ValueError("invalid machine-repairman parameters")
+    lam = 1.0 / think_s if think_s > 0 else float("inf")
+    mu = service_rate
+
+    if think_s == 0:
+        # Degenerate: clients resubmit instantly; the station is
+        # saturated whenever N >= c.
+        thr = min(n_clients, c) * mu
+        mean_in_system = float(n_clients)
+        response = n_clients / thr
+        return QueueMetrics(throughput=thr, response_s=response,
+                            utilization=min(n_clients / c, 1.0),
+                            mean_in_system=mean_in_system)
+
+    # Birth-death chain on k = requests at the station (0..N).
+    # birth rate (k -> k+1): (N - k) * lam ; death rate: min(k, c) * mu.
+    weights = [1.0]
+    for k in range(1, n_clients + 1):
+        birth = (n_clients - (k - 1)) * lam
+        death = min(k, c) * mu
+        weights.append(weights[-1] * birth / death)
+    total = sum(weights)
+    probs = [w / total for w in weights]
+    mean_in_system = sum(k * p for k, p in enumerate(probs))
+    busy = sum(min(k, c) * p for k, p in enumerate(probs))
+    throughput = busy * mu
+    # Little's law over the station.
+    response = mean_in_system / throughput if throughput > 0 else 0.0
+    return QueueMetrics(throughput=throughput, response_s=response,
+                        utilization=busy / c,
+                        mean_in_system=mean_in_system)
+
+
+def closed_loop_equilibrium(n_clients: int, think_s: float,
+                            service_rate: float, c: int = 1
+                            ) -> QueueMetrics:
+    """Asymptotic bounds for the closed loop (cheap sizing estimate).
+
+    ``X = min(c * mu, N / (think + 1/mu))`` and ``R = N/X - think`` —
+    the textbook balanced bounds; exact values come from
+    :func:`machine_repairman`.
+    """
+    if n_clients < 1 or think_s < 0 or service_rate <= 0 or c < 1:
+        raise ValueError("invalid closed-loop parameters")
+    service_s = 1.0 / service_rate
+    x = min(c * service_rate, n_clients / (think_s + service_s))
+    r = n_clients / x - think_s
+    return QueueMetrics(throughput=x, response_s=r,
+                        utilization=min(x / (c * service_rate), 1.0),
+                        mean_in_system=x * r)

@@ -1,0 +1,196 @@
+"""Command-line interface: ``digruber``.
+
+Regenerate any paper artifact or run a custom experiment from the
+shell::
+
+    digruber quickstart
+    digruber fig1
+    digruber scalability --profile gt3 --dps 1 3 10 --duration 1800
+    digruber accuracy --profile gt4 --intervals 1 3 10 30
+    digruber grubsim --profile gt3
+    digruber run --dps 3 --clients 60 --duration 900
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="digruber",
+        description="DI-GRUBER reproduction: distributed grid USLA brokering")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("quickstart", help="run the quickstart deployment")
+
+    fig1 = sub.add_parser("fig1", help="Fig 1: service instance creation")
+    fig1.add_argument("--clients", type=int, default=300)
+    fig1.add_argument("--duration", type=float, default=1800.0)
+
+    def add_common(p):
+        p.add_argument("--profile", choices=("gt3", "gt4"), default="gt3")
+        p.add_argument("--duration", type=float, default=1800.0)
+        p.add_argument("--seed", type=int, default=None)
+
+    scal = sub.add_parser("scalability",
+                          help="Figs 5-7 / 9-11 + Tables 1-2")
+    add_common(scal)
+    scal.add_argument("--dps", type=int, nargs="+", default=[1, 3, 10])
+
+    acc = sub.add_parser("accuracy", help="Figs 8 / 12: accuracy vs sync")
+    add_common(acc)
+    acc.add_argument("--intervals", type=float, nargs="+",
+                     default=[1.0, 3.0, 10.0, 30.0],
+                     help="exchange intervals in minutes")
+    acc.add_argument("--dps", type=int, default=3)
+
+    gs = sub.add_parser("grubsim", help="Table 3: required decision points")
+    add_common(gs)
+
+    rep = sub.add_parser("report",
+                         help="regenerate every paper artifact as markdown")
+    rep.add_argument("--duration", type=float, default=1800.0)
+    rep.add_argument("--out", default="-")
+    rep.add_argument("--parallel", "-j", nargs="?", type=int, const=0,
+                     default=None, metavar="WORKERS",
+                     help="fan runs out over worker processes")
+
+    run = sub.add_parser("run", help="run one custom experiment")
+    add_common(run)
+    run.add_argument("--dps", type=int, default=3)
+    run.add_argument("--clients", type=int, default=None)
+    run.add_argument("--sites", type=int, default=None)
+    run.add_argument("--cpus", type=int, default=None)
+    run.add_argument("--sync", type=float, default=None,
+                     help="sync interval in seconds")
+    run.add_argument("--selector", default=None,
+                     choices=("least_used", "round_robin", "lru", "random"))
+    run.add_argument("--topology", default=None,
+                     choices=("mesh", "ring", "star", "line"))
+    return parser
+
+
+def _base_config(args):
+    from repro.experiments import canonical_gt3, canonical_gt4
+    maker = canonical_gt3 if args.profile == "gt3" else canonical_gt4
+    overrides = {"duration_s": args.duration}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return maker, overrides
+
+
+def _cmd_quickstart(_args) -> int:
+    from repro.experiments import ExperimentConfig, run_experiment
+    from repro.workloads import JobModel
+    config = ExperimentConfig(
+        name="quickstart", decision_points=3, n_clients=20,
+        duration_s=600.0, n_sites=40, total_cpus=4000, n_vos=4,
+        groups_per_vo=3, sync_interval_s=60.0,
+        job_model=JobModel(duration_mean_s=240.0, min_duration_s=20.0),
+        seed=7)
+    print(run_experiment(config).summary())
+    return 0
+
+
+def _cmd_fig1(args) -> int:
+    from repro.experiments import run_fig1_service_creation
+    result = run_fig1_service_creation(n_clients=args.clients,
+                                       duration_s=args.duration)
+    print(result.summary())
+    return 0
+
+
+def _cmd_scalability(args) -> int:
+    from repro.experiments.figures import (
+        run_scalability_sweep,
+        table_overall_performance,
+    )
+    maker, overrides = _base_config(args)
+    results = run_scalability_sweep(maker(**overrides),
+                                    dp_counts=tuple(args.dps))
+    for k in sorted(results):
+        print(f"\n--- {args.profile.upper()} DI-GRUBER, {k} decision "
+              f"point(s) ---")
+        print(results[k].diperf().summary())
+    print("\n" + table_overall_performance(results))
+    return 0
+
+
+def _cmd_accuracy(args) -> int:
+    from repro.experiments.figures import (
+        accuracy_vs_interval_table,
+        run_accuracy_sweep,
+    )
+    maker, overrides = _base_config(args)
+    results = run_accuracy_sweep(maker(**overrides),
+                                 intervals_min=tuple(args.intervals),
+                                 decision_points=args.dps)
+    print(accuracy_vs_interval_table(results))
+    return 0
+
+
+def _cmd_grubsim(args) -> int:
+    from repro.experiments import run_experiment
+    from repro.grubsim import DPPerformanceModel, GrubSim
+    from repro.net import GT3_PROFILE, GT4_PROFILE
+    maker, overrides = _base_config(args)
+    result = run_experiment(maker(1, **overrides))
+    profile = GT3_PROFILE if args.profile == "gt3" else GT4_PROFILE
+    sized = GrubSim(DPPerformanceModel.from_profile(profile)).replay(
+        result.trace, initial_dps=1, name=f"{args.profile.upper()}-based")
+    print(sized.summary())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments import run_experiment
+    maker, overrides = _base_config(args)
+    if args.clients is not None:
+        overrides["n_clients"] = args.clients
+    if args.sites is not None:
+        overrides["n_sites"] = args.sites
+    if args.cpus is not None:
+        overrides["total_cpus"] = args.cpus
+    if args.sync is not None:
+        overrides["sync_interval_s"] = args.sync
+    if args.selector is not None:
+        overrides["selector"] = args.selector
+    if args.topology is not None:
+        overrides["topology"] = args.topology
+    print(run_experiment(maker(args.dps, **overrides)).summary())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import main as report_main
+    argv = ["--duration", str(args.duration)]
+    if args.out != "-":
+        argv += ["--out", args.out]
+    if args.parallel is not None:
+        argv += ["--parallel", str(args.parallel)] if args.parallel else \
+            ["--parallel"]
+    return report_main(argv)
+
+
+_COMMANDS = {
+    "quickstart": _cmd_quickstart,
+    "fig1": _cmd_fig1,
+    "scalability": _cmd_scalability,
+    "accuracy": _cmd_accuracy,
+    "grubsim": _cmd_grubsim,
+    "report": _cmd_report,
+    "run": _cmd_run,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

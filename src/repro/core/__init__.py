@@ -1,0 +1,65 @@
+"""GRUBER / DI-GRUBER: the paper's contribution.
+
+* :mod:`repro.core.state` — a decision point's (possibly stale) view of
+  grid resource usage, built from its own dispatches, peer dispatch
+  records received at sync, and periodic monitor refreshes;
+* :mod:`repro.core.engine` — the GRUBER engine: availability detection
+  and USLA-filtered resource views;
+* :mod:`repro.core.monitor` — the site monitor data provider;
+* :mod:`repro.core.selectors` — site-selector task-assignment policies
+  (round-robin, least-used, least-recently-used, random);
+* :mod:`repro.core.decision_point` — the DI-GRUBER decision point
+  service (container-hosted query handlers + sync participation);
+* :mod:`repro.core.sync` — the loose synchronization protocol and its
+  three dissemination strategies;
+* :mod:`repro.core.client` — the submission-host client with the
+  paper's timeout → random-fallback degradation;
+* :mod:`repro.core.queue_manager` — the GRUBER queue manager (VO-policy
+  controlled job release; not used in the paper's experiments but part
+  of GRUBER);
+* :mod:`repro.core.broker` — deployment facade wiring everything up;
+* :mod:`repro.core.saturation` / :mod:`repro.core.rebalance` — §5's
+  dynamic evaluation: saturation signals and the third-party observer
+  that grows/rebalances the decision-point set.
+"""
+
+from repro.core.broker import DIGruberDeployment
+from repro.core.client import GruberClient
+from repro.core.decision_point import DecisionPoint
+from repro.core.engine import GruberEngine
+from repro.core.monitor import SiteMonitor
+from repro.core.queue_manager import QueueManager
+from repro.core.rebalance import ReconfigurationObserver
+from repro.core.saturation import SaturationDetector, SaturationSignal
+from repro.core.selectors import (
+    LeastRecentlyUsedSelector,
+    LeastUsedSelector,
+    RandomSelector,
+    RoundRobinSelector,
+    SiteSelector,
+    make_selector,
+)
+from repro.core.state import DispatchRecord, GridStateView
+from repro.core.sync import DisseminationStrategy, SyncProtocol
+
+__all__ = [
+    "DIGruberDeployment",
+    "DecisionPoint",
+    "DispatchRecord",
+    "DisseminationStrategy",
+    "GridStateView",
+    "GruberClient",
+    "GruberEngine",
+    "LeastRecentlyUsedSelector",
+    "LeastUsedSelector",
+    "QueueManager",
+    "RandomSelector",
+    "ReconfigurationObserver",
+    "RoundRobinSelector",
+    "SaturationDetector",
+    "SaturationSignal",
+    "SiteMonitor",
+    "SiteSelector",
+    "SyncProtocol",
+    "make_selector",
+]

@@ -1,0 +1,147 @@
+"""DI-GRUBER deployment facade.
+
+Wires a set of decision points over an overlay topology against one
+grid, manages client attachment, and supports growing the
+decision-point set at runtime (the §5 dynamic-reconfiguration
+enhancement).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.client import GruberClient
+from repro.core.decision_point import DecisionPoint
+from repro.core.sync import DisseminationStrategy
+from repro.grid.builder import Grid
+from repro.net.container import ContainerProfile
+from repro.net.topology import BrokerTopology
+from repro.net.transport import Network
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.usla.agreement import Agreement
+
+__all__ = ["DIGruberDeployment"]
+
+
+class DIGruberDeployment:
+    """All decision points of one DI-GRUBER installation."""
+
+    def __init__(self, sim: Simulator, network: Network, grid: Grid,
+                 profile: ContainerProfile, rng: RngRegistry,
+                 n_decision_points: int = 1, topology_kind: str = "mesh",
+                 sync_interval_s: float = 180.0,
+                 monitor_interval_s: float = 600.0,
+                 strategy: DisseminationStrategy = DisseminationStrategy.USAGE_ONLY,
+                 usla_aware: bool = False,
+                 site_state_kb: float = 0.06,
+                 assumed_job_lifetime_s: float = 900.0):
+        if n_decision_points < 1:
+            raise ValueError("need at least one decision point")
+        self.sim = sim
+        self.network = network
+        self.grid = grid
+        self.profile = profile
+        self.rng = rng
+        self.topology_kind = topology_kind
+        self.sync_interval_s = sync_interval_s
+        self.monitor_interval_s = monitor_interval_s
+        self.strategy = strategy
+        self.usla_aware = usla_aware
+        self.site_state_kb = site_state_kb
+        self.assumed_job_lifetime_s = assumed_job_lifetime_s
+        self.decision_points: dict[str, DecisionPoint] = {}
+        self.clients: list[GruberClient] = []
+        self._started = False
+        for _ in range(n_decision_points):
+            self._create_dp()
+        self._rewire()
+
+    # -- construction ------------------------------------------------------
+    def _create_dp(self) -> DecisionPoint:
+        dp_id = f"dp{len(self.decision_points)}"
+        dp = DecisionPoint(
+            sim=self.sim, network=self.network, node_id=dp_id,
+            grid=self.grid, profile=self.profile,
+            rng=self.rng.stream(f"dp:{dp_id}"),
+            monitor_interval_s=self.monitor_interval_s,
+            sync_interval_s=self.sync_interval_s,
+            strategy=self.strategy, usla_aware=self.usla_aware,
+            site_state_kb=self.site_state_kb,
+            assumed_job_lifetime_s=self.assumed_job_lifetime_s)
+        self.decision_points[dp_id] = dp
+        return dp
+
+    def _rewire(self) -> None:
+        topo = BrokerTopology(list(self.decision_points), kind=self.topology_kind)
+        for dp_id, dp in self.decision_points.items():
+            dp.set_neighbors(topo.neighbors(dp_id))
+
+    @property
+    def dp_ids(self) -> list[str]:
+        return list(self.decision_points)
+
+    def dp(self, dp_id: str) -> DecisionPoint:
+        return self.decision_points[dp_id]
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("deployment already started")
+        for dp in self.decision_points.values():
+            dp.start()
+        self._started = True
+
+    def stop(self) -> None:
+        for dp in self.decision_points.values():
+            dp.stop()
+        self._started = False
+
+    # -- USLA distribution ------------------------------------------------------
+    def publish_usla(self, agreement: Agreement,
+                     dp_id: Optional[str] = None) -> None:
+        """Publish an agreement to one decision point (or all of them).
+
+        With the ``USAGE_AND_USLA`` dissemination strategy a single-DP
+        publish eventually floods everywhere; the default strategy does
+        not carry USLAs, so publishing to all is the operational norm.
+        """
+        targets = [self.decision_points[dp_id]] if dp_id else \
+            list(self.decision_points.values())
+        for dp in targets:
+            dp.engine.usla_store.publish(agreement)
+            dp.engine.invalidate_policy_cache()
+
+    # -- clients ---------------------------------------------------------------
+    def attach_client(self, client: GruberClient) -> None:
+        self.clients.append(client)
+
+    def clients_of(self, dp_id: str) -> list[GruberClient]:
+        return [c for c in self.clients if c.decision_point == dp_id]
+
+    # -- dynamic reconfiguration (§5) --------------------------------------------
+    def add_decision_point(self) -> DecisionPoint:
+        """Deploy one more decision point into the running overlay."""
+        dp = self._create_dp()
+        self._rewire()
+        if self._started:
+            dp.start()
+        return dp
+
+    def rebalance_clients(self, from_dp: str, to_dp: str,
+                          fraction: float = 0.5) -> int:
+        """Move a fraction of ``from_dp``'s clients to ``to_dp``.
+
+        New queries go to the new decision point; in-flight queries
+        finish against the old one (rebinding is a client-side pointer
+        swap, exactly as a real reconfiguration service would do it).
+        """
+        if not (0.0 < fraction <= 1.0):
+            raise ValueError("fraction must be in (0, 1]")
+        if to_dp not in self.decision_points:
+            raise KeyError(f"unknown decision point {to_dp!r}")
+        movable = self.clients_of(from_dp)
+        n_move = int(len(movable) * fraction)
+        for client in movable[:n_move]:
+            client.rebind(to_dp)
+        return n_move

@@ -1,0 +1,262 @@
+"""The GRUBER client on a submission host.
+
+Implements the paper's client behaviour (§3.2, §4.3):
+
+* a "standard GT client that allows communication with ... the GRUBER
+  engine" — here, the two-phase brokering protocol (``get_state`` then
+  ``report_dispatch``) over the simulated WAN, paying the container
+  profile's client-stack overhead and extra auth round trips;
+* **one connection per host**: each submission host "maintained a
+  connection with only one DI-GRUBER decision point"; the brokering
+  channel is serialized, so jobs arriving while a query is in flight
+  queue in the host's backlog — "when timeouts occur, job submissions
+  are delayed and thus the total number of job submissions is reduced
+  during the time period" (§4.4.2);
+* **timeout fallback**: "each client was configured to apply a [15] s
+  timeout ...  If this timeout expires, the client's site selector then
+  selects a site at random, without considering USLAs" — the original
+  query still runs to completion and is recorded for response-time
+  metrics, but its answer is discarded.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Optional
+
+import numpy as np
+
+from repro.core.selectors import RandomSelector, SiteSelector
+from repro.grid.builder import Grid
+from repro.grid.job import Job
+from repro.net.container import ContainerProfile, lognormal_for_mean
+from repro.net.transport import Endpoint, Network, RpcError
+from repro.sim.kernel import Simulator
+from repro.workloads.generator import HostWorkload
+from repro.workloads.trace import TraceRecorder
+
+__all__ = ["GruberClient"]
+
+#: Wire size of a get_state request / report_dispatch message, in KB.
+REQUEST_KB = 0.4
+REPORT_KB = 0.3
+
+
+class GruberClient(Endpoint):
+    """One submission host: consumes a workload, brokers via one DP."""
+
+    def __init__(self, sim: Simulator, network: Network, host_id: Hashable,
+                 decision_point: Hashable, grid: Grid,
+                 workload: HostWorkload, selector: SiteSelector,
+                 profile: ContainerProfile, rng: np.random.Generator,
+                 trace: TraceRecorder, timeout_s: float = 15.0,
+                 state_response_kb: float = 18.0,
+                 one_phase: bool = False):
+        super().__init__(network, host_id)
+        self.sim = sim
+        self.decision_point = decision_point
+        self.grid = grid
+        self.workload = workload
+        self.selector = selector
+        self.fallback = RandomSelector(rng)
+        self.profile = profile
+        self.rng = rng
+        self.trace = trace
+        self.timeout_s = timeout_s
+        self.state_response_kb = state_response_kb
+        #: One-phase protocol: the decision point selects the site
+        #: server-side and a single RPC carries only the answer — the
+        #: paper's "reduce the communication from two layers to one".
+        self.one_phase = one_phase
+        self._site_names = grid.site_names
+
+        self.jobs: list[Job] = []
+        self.busy = False
+        self._backlog: deque[int] = deque()  # workload indices awaiting the channel
+        self.n_handled = 0
+        self.n_fallback_timeout = 0
+        self.n_abandoned = 0  # responses given up on (dead decision point)
+        self.backlog_peak = 0
+        self.active_from: Optional[float] = None
+        self.active_until: Optional[float] = None
+        self._proc = None
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> None:
+        if self._proc is not None:
+            raise RuntimeError(f"client {self.node_id!r} already started")
+        self._proc = self.sim.process(self._run(), name=f"client:{self.node_id}")
+
+    def rebind(self, decision_point: Hashable) -> None:
+        """Point this host at a different decision point (rebalancing)."""
+        self.decision_point = decision_point
+
+    @property
+    def backlog_len(self) -> int:
+        """Jobs waiting at the host for the brokering channel."""
+        return len(self._backlog)
+
+    # -- main loop ------------------------------------------------------------
+    def _run(self):
+        for arrival, idx in self.workload:
+            delay = arrival - self.sim.now
+            if delay > 0:
+                yield delay
+            if self.active_from is None:
+                self.active_from = self.sim.now
+            # Jobs enter the host backlog (paper state 1: "submitted by
+            # a user to a submission host") and are brokered one at a
+            # time over the single decision-point connection.  Backlog
+            # entries stay as workload indices — jobs materialize only
+            # when the channel reaches them.
+            self._backlog.append(idx)
+            if len(self._backlog) > self.backlog_peak:
+                self.backlog_peak = len(self._backlog)
+            self._pump()
+        self.active_until = self.sim.now
+
+    def _pump(self) -> None:
+        """Start brokering the next backlogged job if the channel is free."""
+        if self.busy or not self._backlog:
+            return
+        idx = self._backlog.popleft()
+        job = self.workload.job_at(idx)
+        job.mark_created(float(self.workload.arrivals[idx]))
+        job.decision_point = str(self.decision_point)
+        self.jobs.append(job)
+        self.busy = True
+        self.sim.process(self._broker(job),
+                         name=f"broker:{self.node_id}:{job.jid}")
+
+    def _broker(self, job: Job):
+        """One two-phase brokering operation for one job."""
+        t0 = self.sim.now
+        try:
+            # Client-side stack work (auth, marshalling) ...
+            overhead = lognormal_for_mean(self.rng, self.profile.client_overhead_s,
+                                          self.profile.sigma)
+            if overhead > 0:
+                yield overhead
+            # ... plus the protocol's extra round trips beyond the
+            # request/response pair carried by the RPC itself.
+            extra_rtts = max(self.profile.query_rtts - 1, 0)
+            if extra_rtts:
+                yield sum(self.network.latency.rtt(self.node_id,
+                                                   self.decision_point)
+                          for _ in range(extra_rtts))
+
+            if self.one_phase:
+                ev = self.network.rpc(self.node_id, self.decision_point,
+                                      "broker_job",
+                                      {"vo": job.vo, "group": job.group,
+                                       "cpus": job.cpus},
+                                      size_kb=REQUEST_KB,
+                                      response_size_kb=REQUEST_KB)
+            else:
+                ev = self.network.rpc(self.node_id, self.decision_point,
+                                      "get_state",
+                                      {"vo": job.vo, "group": job.group,
+                                       "cpus": job.cpus},
+                                      size_kb=REQUEST_KB,
+                                      response_size_kb=self.state_response_kb)
+            remaining = self.timeout_s - (self.sim.now - t0)
+            timed_out = False
+            if remaining <= 0:
+                timed_out = True
+            else:
+                race = self.sim.any_of([ev, self.sim.timeout(remaining)])
+                try:
+                    yield race
+                except RpcError:
+                    self._record_query(t0, None, timed_out=False)
+                    self._dispatch_random(job)
+                    self.n_fallback_timeout += 1
+                    return
+                timed_out = not ev.triggered
+
+            if timed_out:
+                # Place the job now, USLA-blind; keep waiting for the
+                # response so DiPerF still measures it — but only up to
+                # an abandon deadline: a decision point that never
+                # answers (crashed, §2.2) must not wedge the channel.
+                self.n_fallback_timeout += 1
+                self._dispatch_random(job)
+                grace = max(4.0 * self.timeout_s, 60.0)
+                wait = self.sim.any_of([ev, self.sim.timeout(grace)])
+                try:
+                    yield wait
+                except RpcError:
+                    self._record_query(t0, None, timed_out=True)
+                    return
+                if ev.triggered:
+                    self._record_query(t0, self.sim.now, timed_out=True)
+                else:
+                    self.n_abandoned += 1
+                    self._record_query(t0, None, timed_out=True)
+                return
+
+            if self.one_phase:
+                site = ev.value["site"]
+                self._dispatch(job, site, handled=True)
+                self.n_handled += 1
+            else:
+                availabilities = ev.value
+                site = self.selector.select(availabilities, job.cpus)
+                if site is None:
+                    # Nothing fits: take a least-bad site (most free,
+                    # ties — e.g. a fully USLA-filtered view — broken
+                    # randomly so the fallback stream spreads out).
+                    best = max(availabilities.values())
+                    top = [s for s, v in availabilities.items()
+                           if v >= best - 1e-9]
+                    site = self.fallback.select_any(top)
+                self._dispatch(job, site, handled=True)
+                self.n_handled += 1
+                report = self.network.rpc(self.node_id, self.decision_point,
+                                          "report_dispatch",
+                                          {"site": site, "vo": job.vo,
+                                           "group": job.group,
+                                           "cpus": job.cpus},
+                                          size_kb=REPORT_KB)
+                try:
+                    yield report
+                except RpcError:
+                    pass  # lost report: the sync/monitor path catches up
+            job.query_response_s = self.sim.now - t0
+            self._record_query(t0, self.sim.now, timed_out=False)
+        finally:
+            self.busy = False
+            self._pump()
+
+    # -- dispatch ------------------------------------------------------------
+    def _dispatch(self, job: Job, site: str, handled: bool) -> None:
+        """Send the job to a site; record SA_i against ground truth.
+
+        SA_i grades how much of the job's request the selected site can
+        host *right now*: 1.0 when the job starts immediately, scaled
+        down by the free fraction of the requested CPUs, and 0.0 when
+        the site's queue would make it wait regardless.  (The paper's
+        verbatim formula — selected-site free over grid-wide free —
+        normalizes to unusable magnitudes at 300 sites; this is the
+        operational reading, see EXPERIMENTS.md.)
+        """
+        site_obj = self.grid.site(site)
+        if site_obj.queue_length > 0:
+            sa = 0.0
+        else:
+            free = self.grid.free_at(site)
+            sa = min(max(free, 0) / job.cpus, 1.0)
+        job.scheduling_accuracy = sa
+        job.handled_by_gruber = handled
+        latency = self.network.latency.sample(self.node_id, site)
+        self.sim.schedule(latency, lambda: site_obj.submit(job))
+
+    def _dispatch_random(self, job: Job) -> None:
+        self._dispatch(job, self.fallback.select_any(self._site_names),
+                       handled=False)
+
+    def _record_query(self, sent_at: float, responded_at: Optional[float],
+                      timed_out: bool) -> None:
+        self.trace.record_query(sent_at, responded_at, timed_out,
+                                client=str(self.node_id),
+                                decision_point=str(self.decision_point))

@@ -1,0 +1,200 @@
+"""The DI-GRUBER decision point service.
+
+One decision point = a GRUBER engine + USLA store hosted in a Globus
+service container (GT3 or GT4 profile), attached to the WAN, serving
+two operations:
+
+* ``get_state`` — return the availability map (estimated free CPUs per
+  site, USLA-filtered for the requesting VO).  This is the expensive
+  call: it consumes the container's query service time and its response
+  carries per-site state ("the transport of significant state").
+* ``report_dispatch`` — the site selector "informs the decision point
+  about its site selection"; cheap container work, updates the local
+  view, and enters the record into the sync flood.
+
+The decision point also runs its own site monitor (the engine's data
+provider) and a :class:`~repro.core.sync.SyncProtocol` instance.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+import numpy as np
+
+from repro.core.engine import GruberEngine
+from repro.core.monitor import SiteMonitor
+from repro.core.sync import DisseminationStrategy, SyncProtocol
+from repro.grid.builder import Grid
+from repro.net.container import ContainerProfile, ServiceContainer
+from repro.net.transport import Endpoint, Message, Network
+from repro.sim.kernel import Simulator
+
+__all__ = ["DecisionPoint"]
+
+
+class DecisionPoint(Endpoint):
+    """A container-hosted brokering service instance."""
+
+    def __init__(self, sim: Simulator, network: Network, node_id: Hashable,
+                 grid: Grid, profile: ContainerProfile,
+                 rng: np.random.Generator,
+                 monitor_interval_s: float = 600.0,
+                 sync_interval_s: float = 180.0,
+                 strategy: DisseminationStrategy = DisseminationStrategy.USAGE_ONLY,
+                 usla_aware: bool = False,
+                 site_state_kb: float = 0.06,
+                 assumed_job_lifetime_s: float = 900.0,
+                 private: bool = False):
+        super().__init__(network, node_id)
+        self.sim = sim
+        self.grid = grid
+        self.rng = rng
+        self.profile = profile
+        self.site_state_kb = site_state_kb
+        #: A *private broker* (§2.3: users "can require various privacy
+        #: issues for the availability of information about their work
+        #: ... the maintenance of a private broker could be a necessity")
+        #: consumes the sync flood but never discloses its own
+        #: dispatches or USLAs to peers.
+        self.private = private
+        self.container = ServiceContainer(sim, profile, rng,
+                                          name=f"{node_id}.container")
+        capacities = {s.name: s.total_cpus for s in grid.sites.values()}
+        self.engine = GruberEngine(
+            owner=str(node_id), site_capacities=capacities,
+            usla_aware=usla_aware,
+            assumed_job_lifetime_s=assumed_job_lifetime_s)
+        self.monitor = SiteMonitor(sim, grid, self.engine,
+                                   interval_s=monitor_interval_s,
+                                   jitter_s=monitor_interval_s * 0.05, rng=rng)
+        self.sync = SyncProtocol(self, interval_s=sync_interval_s,
+                                 strategy=strategy)
+        self.neighbors: list[Hashable] = []
+        self.started = False
+
+        # Server-side selector for the one-phase protocol variant.
+        from repro.core.selectors import LeastUsedSelector
+        self._server_selector = LeastUsedSelector(rng, spread=0.85)
+
+        self.register_handler("get_state", self._handle_get_state)
+        self.register_handler("report_dispatch", self._handle_report_dispatch)
+        self.register_handler("broker_job", self._handle_broker_job)
+        self.register_handler("create_instance", self._handle_create_instance)
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self, neighbors: Optional[list[Hashable]] = None) -> None:
+        """Bring the service up: initial monitor sweep + sync timer."""
+        if self.started:
+            raise RuntimeError(f"decision point {self.node_id!r} already started")
+        if neighbors is not None:
+            self.neighbors = list(neighbors)
+        self.monitor.start(initial=True)
+        self.sync.start()
+        self.started = True
+
+    def stop(self) -> None:
+        self.monitor.stop()
+        self.sync.stop()
+        self.started = False
+
+    # -- failure injection (§2.2 reliability) -----------------------------
+    def crash(self) -> None:
+        """Take the service down: requests go unanswered, timers stop."""
+        if not self.online:
+            return
+        self.online = False
+        if self.started:
+            self.monitor.stop()
+            self.sync.stop()
+            self.started = False
+
+    def recover(self) -> None:
+        """Bring the service back with a fresh monitor sweep."""
+        if self.online and self.started:
+            return
+        self.online = True
+        self.monitor.start(initial=True)
+        self.sync.start()
+        self.started = True
+
+    def set_neighbors(self, neighbors: list[Hashable]) -> None:
+        """Rewire the overlay (used by dynamic reconfiguration)."""
+        self.neighbors = list(neighbors)
+
+    # -- handlers ------------------------------------------------------------
+    def _handle_get_state(self, payload, src):
+        """Availability query; generator consumes container service time."""
+        payload = payload or {}
+        vo = payload.get("vo")
+        group = payload.get("group")
+        yield from self.container.service_query()
+        return self.engine.availabilities(vo=vo, group=group,
+                                          now=self.sim.now)
+
+    def _handle_report_dispatch(self, payload, src):
+        """Site-selection report; updates the view, feeds the sync flood."""
+        site = payload["site"]
+        vo = payload["vo"]
+        cpus = int(payload["cpus"])
+        group = payload.get("group", "")
+        yield from self.container.service_report()
+        rec = self.engine.record_local_dispatch(site=site, vo=vo, cpus=cpus,
+                                                now=self.sim.now, group=group)
+        return {"ack": True, "seq": rec.seq}
+
+    def _handle_broker_job(self, payload, src):
+        """One-phase brokering: select server-side, return only the site.
+
+        The paper's suggested optimization — "a tighter coupling
+        between the resource broker and the job manager ... would
+        reduce the complexity of the communication from two layers to
+        one layer": a single round trip, no per-site state on the wire,
+        and one combined container service slot instead of two.
+        """
+        vo = payload["vo"]
+        cpus = int(payload["cpus"])
+        group = payload.get("group", "")
+        yield from self.container.service_query()
+        availabilities = self.engine.availabilities(vo=vo, group=group or None,
+                                                    now=self.sim.now)
+        site = self._server_selector.select(availabilities, cpus)
+        if site is None:
+            # Nothing fits: least-bad site, random among ties (a fully
+            # USLA-filtered view must not funnel everything to one site).
+            best = max(availabilities.values())
+            top = [s for s, v in availabilities.items() if v >= best - 1e-9]
+            site = top[int(self.rng.integers(0, len(top)))]
+        self.engine.record_local_dispatch(site=site, vo=vo, cpus=cpus,
+                                          now=self.sim.now, group=group)
+        return {"site": site}
+
+    def _handle_create_instance(self, payload, src):
+        """Bare service-instance creation (the Fig 1 micro-benchmark)."""
+        yield from self.container.service_instance_creation()
+        return {"created": True}
+
+    # -- sync plumbing -----------------------------------------------------------
+    def on_oneway(self, msg: Message) -> None:
+        if msg.op == "sync":
+            self.sync.on_sync(msg.payload)
+        else:
+            raise ValueError(f"decision point {self.node_id!r} got unexpected "
+                             f"one-way op {msg.op!r}")
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def state_response_kb(self) -> float:
+        """Wire size of a ``get_state`` response (scales with grid size)."""
+        return len(self.grid) * self.site_state_kb
+
+    def load_snapshot(self) -> dict:
+        """What the saturation detector samples."""
+        return {
+            "node": self.node_id,
+            "time": self.sim.now,
+            "queue_len": self.container.queue_len,
+            "in_service": self.container.in_service,
+            "ops_last_minute": self.container.ops_in_window(60.0),
+            "capacity_qps": self.profile.query_capacity_qps,
+        }

@@ -1,0 +1,116 @@
+"""The GRUBER engine.
+
+"The GRUBER engine is the main component of the architecture.  It
+implements various algorithms for detecting available resources and
+maintains a generic view of resource utilization in the grid."
+
+The engine owns a :class:`~repro.core.state.GridStateView` plus the
+decision point's USLA store, and answers availability queries —
+optionally filtered by USLA entitlements so that a VO already at its
+share cap at a site sees no headroom there.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.core.state import DispatchRecord, GridStateView
+from repro.usla.policy import PolicyEngine
+from repro.usla.store import UslaStore
+
+__all__ = ["GruberEngine"]
+
+
+class GruberEngine:
+    """Availability detection + utilization view for one decision point."""
+
+    def __init__(self, owner: str, site_capacities: dict[str, int],
+                 usla_store: Optional[UslaStore] = None,
+                 usla_aware: bool = False,
+                 assumed_job_lifetime_s: float = 900.0):
+        self.owner = owner
+        self.view = GridStateView(
+            site_capacities, assumed_job_lifetime_s=assumed_job_lifetime_s)
+        self.usla_store = usla_store if usla_store is not None else UslaStore(owner)
+        self.usla_aware = usla_aware
+        self._policy_cache: Optional[PolicyEngine] = None
+        self._seq = itertools.count(1)
+        self.queries_served = 0
+        self.dispatches_recorded = 0
+
+    # -- policy ----------------------------------------------------------
+    def _policy(self) -> PolicyEngine:
+        if self._policy_cache is None:
+            self._policy_cache = self.usla_store.policy_engine()
+        return self._policy_cache
+
+    def invalidate_policy_cache(self) -> None:
+        """Call after the USLA store changes (publish/merge)."""
+        self._policy_cache = None
+
+    # -- availability queries ------------------------------------------------
+    def availabilities(self, vo: Optional[str] = None,
+                       now: Optional[float] = None,
+                       group: Optional[str] = None) -> dict[str, float]:
+        """Estimated free CPUs per site, USLA-filtered when enabled.
+
+        ``now`` lets the view age out records past the assumed job
+        lifetime before answering.  With ``usla_aware`` and a VO given,
+        each site's availability is capped by the VO's remaining
+        entitlement there: ``min(free, entitled * capacity - vo_busy)``.
+        With a ``group``, the recursive group-level USLA also applies:
+        the group's headroom within the VO's site entitlement, per the
+        paper's two-level allocation model (resource owner → VO → group).
+        """
+        self.queries_served += 1
+        free = self.view.free_map(now=now)
+        if not (self.usla_aware and vo):
+            return free
+        policy = self._policy()
+        consumer = f"{vo}.{group}" if group else None
+        out: dict[str, float] = {}
+        for site, f in free.items():
+            cap = self.view.capacities[site]
+            entitled = policy.entitled_fraction(site, vo) * cap
+            headroom = entitled - self.view.estimated_vo_busy(site, vo)
+            if consumer is not None:
+                # The group's share is of the VO's entitlement at the
+                # site ("extending the specification in a recursive way
+                # to VOs, groups, and users").
+                group_entitled = policy.entitled_fraction(vo, consumer) * entitled
+                group_headroom = (group_entitled
+                                  - self.view.estimated_vo_busy(site, consumer))
+                headroom = min(headroom, group_headroom)
+            out[site] = max(min(f, headroom), 0.0)
+        return out
+
+    def utilization_view(self) -> dict[str, float]:
+        """Estimated per-site utilization (monitor-style introspection)."""
+        return {s: self.view.estimated_busy(s) / self.view.capacities[s]
+                for s in self.view.capacities}
+
+    # -- dispatch bookkeeping ---------------------------------------------------
+    def record_local_dispatch(self, site: str, vo: str, cpus: int,
+                              now: float, group: str = "") -> DispatchRecord:
+        """Record a dispatch this decision point recommended."""
+        rec = DispatchRecord(origin=self.owner, seq=next(self._seq),
+                             site=site, vo=vo, cpus=cpus, time=now,
+                             group=group)
+        self.view.apply_record(rec)
+        self.dispatches_recorded += 1
+        return rec
+
+    def merge_remote_records(self, records: list[DispatchRecord],
+                             now: Optional[float] = None) -> int:
+        """Adopt peer dispatch records delivered by the sync protocol.
+
+        ``now`` is the receive time, which becomes the relay horizon
+        timestamp for further flooding.
+        """
+        return self.view.apply_records(records, now=now)
+
+    def on_monitor_refresh(self, busy_by_site: dict[str, float],
+                           now: float) -> None:
+        self.view.refresh_all(busy_by_site, now)
+        self.view.expire(now)

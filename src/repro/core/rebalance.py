@@ -1,0 +1,114 @@
+"""Dynamic reconfiguration: the third-party observer (paper §5.1).
+
+"Having information from each individual decision point about their
+state, a third party observer can decide dynamically what steps should
+be taken to reconfigure the scheduling infrastructure, for example by
+adding decision points or by rebalancing load among existing decision
+points to avoid overloading."
+
+The paper proposes this but notes "we do not have a DI-GRUBER
+implementation for such an approach"; this module provides the live
+implementation (GRUB-SIM, in :mod:`repro.grubsim`, provides the
+trace-driven evaluation the paper actually ran).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.broker import DIGruberDeployment
+from repro.core.saturation import SaturationDetector, SaturationSignal
+from repro.sim.kernel import Simulator
+
+__all__ = ["ReconfigurationObserver"]
+
+
+@dataclass
+class ReconfigurationEvent:
+    """One action the observer took."""
+
+    time: float
+    action: str          # "add_dp" | "rebalance"
+    saturated_dp: str
+    new_dp: str = ""
+    clients_moved: int = 0
+
+
+class ReconfigurationObserver:
+    """Grows and rebalances the decision-point set on saturation signals."""
+
+    def __init__(self, sim: Simulator, deployment: DIGruberDeployment,
+                 detector: SaturationDetector, cooldown_s: float = 300.0,
+                 max_decision_points: int = 10,
+                 move_fraction: float = 0.5):
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        self.sim = sim
+        self.deployment = deployment
+        self.detector = detector
+        self.cooldown_s = cooldown_s
+        self.max_decision_points = max_decision_points
+        self.move_fraction = move_fraction
+        self.events: list[ReconfigurationEvent] = []
+        self._last_action_at = -float("inf")
+        detector.listeners.append(self.on_signal)
+
+    @property
+    def dps_added(self) -> int:
+        return sum(1 for e in self.events if e.action == "add_dp")
+
+    def on_signal(self, signal: SaturationSignal) -> None:
+        """React to one signal, rate-limited by the cooldown.
+
+        Liveness failures ("down") bypass the cooldown — a dead broker
+        is an emergency, not a tuning event: every client bound to it
+        is evacuated to the least-loaded live decision point.
+        """
+        if signal.reason == "down":
+            self._failover(signal)
+            return
+        if self.sim.now - self._last_action_at < self.cooldown_s:
+            return
+        if len(self.deployment.decision_points) < self.max_decision_points:
+            new_dp = self.deployment.add_decision_point()
+            self.detector.watch(new_dp)
+            moved = self.deployment.rebalance_clients(
+                signal.decision_point, str(new_dp.node_id),
+                fraction=self.move_fraction)
+            self.events.append(ReconfigurationEvent(
+                time=self.sim.now, action="add_dp",
+                saturated_dp=signal.decision_point,
+                new_dp=str(new_dp.node_id), clients_moved=moved))
+        else:
+            # At the cap: shed load toward the least-loaded *live* DP.
+            target = min(
+                (dp for dp in self.deployment.decision_points.values()
+                 if str(dp.node_id) != signal.decision_point and dp.online),
+                key=lambda dp: dp.container.queue_len,
+                default=None)
+            if target is None:
+                return
+            moved = self.deployment.rebalance_clients(
+                signal.decision_point, str(target.node_id),
+                fraction=self.move_fraction / 2)
+            self.events.append(ReconfigurationEvent(
+                time=self.sim.now, action="rebalance",
+                saturated_dp=signal.decision_point,
+                new_dp=str(target.node_id), clients_moved=moved))
+        self._last_action_at = self.sim.now
+
+    def _failover(self, signal: SaturationSignal) -> None:
+        victims = self.deployment.clients_of(signal.decision_point)
+        if not victims:
+            return
+        live = [dp for dp in self.deployment.decision_points.values()
+                if dp.online and str(dp.node_id) != signal.decision_point]
+        if not live:
+            return  # nowhere to go; clients keep degrading gracefully
+        target = min(live, key=lambda dp: dp.container.queue_len)
+        moved = self.deployment.rebalance_clients(
+            signal.decision_point, str(target.node_id), fraction=1.0)
+        self.events.append(ReconfigurationEvent(
+            time=self.sim.now, action="failover",
+            saturated_dp=signal.decision_point,
+            new_dp=str(target.node_id), clients_moved=moved))

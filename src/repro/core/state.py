@@ -1,0 +1,212 @@
+"""A decision point's view of grid resource usage.
+
+Per the paper's chosen dissemination model (§2.5, second approach),
+"each decision point has complete static knowledge about available
+resources, but not the latest resource utilizations".  The dynamic part
+of the view is assembled from three information flows:
+
+1. **own dispatches** — applied instantly when this decision point
+   recommends a site;
+2. **peer dispatch records** — applied when the periodic sync delivers
+   them (this is the staleness the accuracy experiments measure);
+3. **monitor refreshes** — ground-truth per-site snapshots from the
+   site monitor, which reconcile whatever the record stream got wrong.
+
+A dispatch record contributes busy CPUs from its dispatch time until
+``assumed_job_lifetime_s`` later — the broker does not know real job
+durations, so it ages records out at the workload's expected lifetime
+(exactly what keeps estimates from ratcheting upward between monitor
+sweeps).  To avoid double counting, each site's estimate is a *base*
+(ground-truth busy CPUs at the last refresh) plus the live records
+newer than that refresh; records are deduplicated by ``(origin, seq)``
+so the flooding protocol can relay them along arbitrary overlays.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+__all__ = ["DispatchRecord", "GridStateView"]
+
+
+@dataclass(frozen=True)
+class DispatchRecord:
+    """One job-dispatch event, as exchanged between decision points."""
+
+    origin: str      # decision point that made the recommendation
+    seq: int         # per-origin sequence number (dedup key with origin)
+    site: str
+    vo: str
+    cpus: int
+    time: float      # dispatch instant
+    group: str = ""  # VO group, for group-level USLA accounting (§4.1)
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.origin, self.seq)
+
+    @property
+    def consumers(self) -> tuple[str, ...]:
+        """USLA consumers this dispatch counts against (VO, VO.group)."""
+        if self.group:
+            return (self.vo, f"{self.vo}.{self.group}")
+        return (self.vo,)
+
+
+class GridStateView:
+    """Staleness-aware per-site busy-CPU estimates.
+
+    Parameters
+    ----------
+    site_capacities:
+        Static knowledge: total CPUs per site (complete, per the paper).
+    assumed_job_lifetime_s:
+        How long a dispatch record is presumed to occupy its CPUs.
+        Calibrate to the workload's mean job runtime.
+    """
+
+    def __init__(self, site_capacities: dict[str, int],
+                 assumed_job_lifetime_s: float = 900.0):
+        if not site_capacities:
+            raise ValueError("need at least one site")
+        if assumed_job_lifetime_s <= 0:
+            raise ValueError("assumed_job_lifetime_s must be > 0")
+        self.capacities = dict(site_capacities)
+        self.assumed_job_lifetime_s = assumed_job_lifetime_s
+        # Base usage from the last monitor refresh.
+        self._base_busy: dict[str, float] = {s: 0.0 for s in site_capacities}
+        self._base_time: dict[str, float] = {s: -float("inf")
+                                             for s in site_capacities}
+        # Live records per site, as a min-heap on dispatch time so both
+        # expiry and refresh absorption pop oldest-first.
+        self._records: dict[str, list[tuple[float, int, DispatchRecord]]] = {
+            s: [] for s in site_capacities}
+        self._tiebreak = itertools.count()
+        # Incremental sums so estimates are O(1) per site per query.
+        self._extra_busy: dict[str, float] = {s: 0.0 for s in site_capacities}
+        self._seen: set[tuple[str, int]] = set()
+        # When *this node* learned each live record — the flooding relay
+        # horizon keys off this, not the (possibly much older) dispatch
+        # time, so records can travel any number of overlay hops.
+        self._learned_at: dict[tuple[str, int], float] = {}
+        # Per-(site, vo) incremental usage estimate for USLA filtering.
+        self._vo_busy: dict[tuple[str, str], float] = {}
+
+    # -- internal removal ----------------------------------------------------
+    def _drop(self, rec: DispatchRecord) -> None:
+        """Retract one record's contribution (already popped from heap)."""
+        self._extra_busy[rec.site] -= rec.cpus
+        for consumer in rec.consumers:
+            key = (rec.site, consumer)
+            self._vo_busy[key] = self._vo_busy.get(key, 0.0) - rec.cpus
+        self._learned_at.pop(rec.key, None)
+        self._seen.discard(rec.key)
+
+    def expire(self, now: float) -> int:
+        """Age out records past the assumed job lifetime; returns count."""
+        cutoff = now - self.assumed_job_lifetime_s
+        dropped = 0
+        for heap in self._records.values():
+            while heap and heap[0][0] < cutoff:
+                _, _, rec = heapq.heappop(heap)
+                self._drop(rec)
+                dropped += 1
+        return dropped
+
+    # -- updates -------------------------------------------------------------
+    def apply_record(self, rec: DispatchRecord,
+                     now: Optional[float] = None) -> bool:
+        """Apply one dispatch record; returns False if already known.
+
+        ``now`` stamps when this node learned the record (defaults to
+        the dispatch time itself, appropriate for locally-originated
+        records).  Records for unknown sites are rejected loudly —
+        static knowledge is complete by assumption, so this indicates a
+        bug.
+        """
+        if rec.site not in self.capacities:
+            raise KeyError(f"dispatch record for unknown site {rec.site!r}")
+        if rec.key in self._seen:
+            return False
+        learn_time = rec.time if now is None else now
+        if rec.time <= self._base_time[rec.site]:
+            # Already reflected in the monitor's ground truth.
+            return False
+        if learn_time - rec.time >= self.assumed_job_lifetime_s:
+            # Arrived after its own expiry (very slow relay path).
+            return False
+        self._seen.add(rec.key)
+        heapq.heappush(self._records[rec.site],
+                       (rec.time, next(self._tiebreak), rec))
+        self._extra_busy[rec.site] += rec.cpus
+        self._learned_at[rec.key] = learn_time
+        for consumer in rec.consumers:
+            key = (rec.site, consumer)
+            self._vo_busy[key] = self._vo_busy.get(key, 0.0) + rec.cpus
+        return True
+
+    def apply_records(self, records: Iterable[DispatchRecord],
+                      now: Optional[float] = None) -> int:
+        return sum(1 for r in records if self.apply_record(r, now=now))
+
+    def refresh_site(self, site: str, busy_cpus: float, now: float) -> None:
+        """Monitor refresh: adopt ground truth for one site at ``now``.
+
+        Records at or before the refresh instant are absorbed — their
+        effect (if the job is still running) is inside the ground-truth
+        number now.
+        """
+        if site not in self.capacities:
+            raise KeyError(f"refresh for unknown site {site!r}")
+        self._base_busy[site] = busy_cpus
+        self._base_time[site] = now
+        heap = self._records[site]
+        while heap and heap[0][0] <= now:
+            _, _, rec = heapq.heappop(heap)
+            self._drop(rec)
+
+    def refresh_all(self, busy_by_site: dict[str, float], now: float) -> None:
+        for site, busy in busy_by_site.items():
+            self.refresh_site(site, busy, now)
+
+    # -- queries ---------------------------------------------------------------
+    def estimated_busy(self, site: str, now: Optional[float] = None) -> float:
+        if now is not None:
+            self.expire(now)
+        busy = self._base_busy[site] + self._extra_busy[site]
+        return min(max(busy, 0.0), self.capacities[site])
+
+    def estimated_free(self, site: str, now: Optional[float] = None) -> float:
+        return self.capacities[site] - self.estimated_busy(site, now)
+
+    def estimated_vo_busy(self, site: str, vo: str) -> float:
+        return max(self._vo_busy.get((site, vo), 0.0), 0.0)
+
+    def free_map(self, now: Optional[float] = None) -> dict[str, float]:
+        """Estimated free CPUs for every site (the availability answer)."""
+        if now is not None:
+            self.expire(now)
+        return {s: self.estimated_free(s) for s in self.capacities}
+
+    def pending_records(self, newer_than: float) -> list[DispatchRecord]:
+        """Live records this node *learned* after the cutoff.
+
+        This is the sync payload selection: keying on learn time (not
+        dispatch time) lets relayed records keep flooding outward on
+        multi-hop overlays.
+        """
+        learned = self._learned_at
+        return [rec for heap in self._records.values()
+                for _, _, rec in heap
+                if learned.get(rec.key, -float("inf")) > newer_than]
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.capacities)
+
+    @property
+    def n_records(self) -> int:
+        return sum(len(h) for h in self._records.values())

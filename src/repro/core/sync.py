@@ -1,0 +1,121 @@
+"""Loose synchronization between decision points.
+
+"Each decision point maintained a view of the ... environment via the
+periodic exchange (every three minutes) with other decision points of
+information about recent job dispatch operations."  Decision points are
+"cooperating brokers that communicate via a flooding protocol".
+
+Three dissemination strategies (paper §2.5):
+
+* ``USAGE_AND_USLA`` — exchange dispatch records *and* USLA documents;
+* ``USAGE_ONLY`` — exchange only dispatch records (the paper's focus:
+  "an advantage of this approach is the simplified implementation by
+  avoiding USLA tracking");
+* ``NONE`` — no exchange; each decision point relies only on its own
+  monitor and dispatches.
+
+Flooding: each tick a decision point sends every record it has learned
+recently (its own *and* relayed ones) to its overlay neighbors;
+receivers deduplicate by ``(origin, seq)``.  On the paper's mesh this
+converges in one exchange; on ring/line overlays (ablation benches)
+information travels one hop per tick.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.state import DispatchRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.decision_point import DecisionPoint
+
+__all__ = ["DisseminationStrategy", "SyncProtocol"]
+
+#: Approximate wire size of one dispatch record, in KB (SOAP-encoded).
+RECORD_KB = 0.05
+#: Approximate wire size of one USLA document, in KB.
+AGREEMENT_KB = 0.5
+
+
+class DisseminationStrategy(enum.Enum):
+    USAGE_AND_USLA = "usage_and_usla"
+    USAGE_ONLY = "usage_only"
+    NONE = "none"
+
+
+class SyncProtocol:
+    """Periodic state exchange for one decision point."""
+
+    def __init__(self, dp: "DecisionPoint", interval_s: float = 180.0,
+                 strategy: DisseminationStrategy = DisseminationStrategy.USAGE_ONLY,
+                 jitter_s: float = 5.0):
+        if interval_s <= 0:
+            raise ValueError("sync interval must be > 0")
+        self.dp = dp
+        self.interval_s = interval_s
+        self.strategy = strategy
+        self.jitter_s = jitter_s
+        self.rounds_sent = 0
+        self.records_sent = 0
+        self.records_received = 0
+        self.records_adopted = 0
+        self._handle = None
+        # Relay horizon: resend anything learned in the last two ticks
+        # so multi-hop overlays keep flooding records outward.
+        self._horizon_factor = 2.0
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        if self.strategy is DisseminationStrategy.NONE:
+            return
+        if self._handle is not None:
+            raise RuntimeError("sync already started")
+        self._handle = self.dp.sim.every(
+            self.interval_s, self.tick,
+            jitter=self.jitter_s, rng=self.dp.rng)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    # -- send side ------------------------------------------------------------
+    def tick(self) -> None:
+        """One exchange round: push recent records to every neighbor.
+
+        A private decision point (§2.3) relays what it learned from
+        others but discloses nothing of its own: its local dispatch
+        records and USLA store stay out of every payload.
+        """
+        dp = self.dp
+        cutoff = dp.sim.now - self.interval_s * self._horizon_factor
+        records = dp.engine.view.pending_records(newer_than=cutoff)
+        if getattr(dp, "private", False):
+            records = [r for r in records if r.origin != dp.engine.owner]
+        payload: dict = {"records": records}
+        size_kb = len(records) * RECORD_KB
+        if (self.strategy is DisseminationStrategy.USAGE_AND_USLA
+                and not getattr(dp, "private", False)):
+            payload["uslas"] = dp.engine.usla_store.export()
+            size_kb += len(dp.engine.usla_store) * AGREEMENT_KB
+        for peer in dp.neighbors:
+            dp.network.send_oneway(dp.node_id, peer, "sync", payload,
+                                   size_kb=size_kb)
+        self.rounds_sent += 1
+        self.records_sent += len(records) * len(dp.neighbors)
+
+    # -- receive side -----------------------------------------------------------
+    def on_sync(self, payload: dict) -> None:
+        records: list[DispatchRecord] = payload.get("records", [])
+        self.records_received += len(records)
+        self.records_adopted += self.dp.engine.merge_remote_records(
+            records, now=self.dp.sim.now)
+        if (self.strategy is DisseminationStrategy.USAGE_AND_USLA
+                and "uslas" in payload):
+            from repro.usla.store import UslaStore
+            adopted = self.dp.engine.usla_store.merge_from(
+                UslaStore.import_wire(payload["uslas"]))
+            if adopted:
+                self.dp.engine.invalidate_policy_cache()

@@ -1,0 +1,29 @@
+"""DiPerF: the distributed performance-testing framework (reimplemented).
+
+"DiPerF coordinates several machines in executing a performance service
+client and collects various metrics about the performance of the tested
+service.  The framework is composed of a controller/collector, several
+submitter modules and a tester component.  ...  For the experiments
+reported here, we extended it to enable testing of distributed services
+such as DI-GRUBER."
+
+* :mod:`repro.diperf.ramp` — slow client ramp-up schedules ("we varied
+  slowly the participation of clients");
+* :mod:`repro.diperf.tester` — the closed-loop tester used for the
+  service-instance-creation micro-benchmark (Fig 1); the DI-GRUBER
+  tester is :class:`~repro.core.client.GruberClient` itself;
+* :mod:`repro.diperf.collector` — the controller/collector: turns a
+  trace plus client activity windows into the paper's three plotted
+  series (load, response time, throughput) and summary rows.
+"""
+
+from repro.diperf.collector import DiPerfResult
+from repro.diperf.ramp import RampSchedule
+from repro.diperf.tester import InstanceCreationTester, run_instance_creation_test
+
+__all__ = [
+    "DiPerfResult",
+    "InstanceCreationTester",
+    "RampSchedule",
+    "run_instance_creation_test",
+]

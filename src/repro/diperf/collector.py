@@ -1,0 +1,103 @@
+"""The DiPerF controller/collector's analysis side.
+
+Turns a query trace plus client activity windows into the three series
+every paper figure plots — concurrent load, service response time, and
+throughput — and the min/median/average/max/stdev/peak summary rows
+printed under each figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.report import SummaryStats, format_table
+from repro.metrics.timeseries import (
+    concurrency_series,
+    windowed_mean,
+    windowed_rate,
+)
+from repro.workloads.trace import TraceRecorder
+
+__all__ = ["DiPerfResult"]
+
+
+@dataclass
+class DiPerfResult:
+    """Collected outcome of one DiPerF test against one configuration."""
+
+    name: str
+    trace: TraceRecorder
+    t_start: float
+    t_end: float
+    client_starts: np.ndarray
+    client_ends: np.ndarray
+    window_s: float = 60.0
+    _q: dict = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.t_end <= self.t_start:
+            raise ValueError("t_end must be after t_start")
+        self._q = self.trace.query_arrays()
+
+    # -- series (the figure axes) ------------------------------------------
+    def load_series(self) -> tuple[np.ndarray, np.ndarray]:
+        return concurrency_series(self.client_starts, self.client_ends,
+                                  self.t_start, self.t_end, self.window_s)
+
+    def response_series(self) -> tuple[np.ndarray, np.ndarray]:
+        return windowed_mean(self._q["responded_at"], self._q["response_s"],
+                             self.t_start, self.t_end, self.window_s)
+
+    def throughput_series(self) -> tuple[np.ndarray, np.ndarray]:
+        return windowed_rate(self._q["responded_at"], self.t_start,
+                             self.t_end, self.window_s)
+
+    # -- summaries (the rows under the figures) ------------------------------
+    def response_stats(self) -> SummaryStats:
+        _, means = self.response_series()
+        responses = self._q["response_s"]
+        responses = responses[~np.isnan(responses)]
+        valid = means[~np.isnan(means)]
+        peak = float(valid.max()) if len(valid) else 0.0
+        return SummaryStats.from_array(responses, peak=peak)
+
+    def throughput_stats(self) -> SummaryStats:
+        _, rates = self.throughput_series()
+        return SummaryStats.from_array(rates, peak=float(rates.max())
+                                       if len(rates) else 0.0)
+
+    # -- scalars ------------------------------------------------------------
+    @property
+    def n_queries(self) -> int:
+        return self.trace.n_queries
+
+    @property
+    def n_answered(self) -> int:
+        return int((~np.isnan(self._q["responded_at"])).sum())
+
+    @property
+    def n_timed_out(self) -> int:
+        return int(self._q["timed_out"].sum())
+
+    def mean_throughput(self) -> float:
+        """Answered queries per second over the whole test."""
+        return self.n_answered / (self.t_end - self.t_start)
+
+    def peak_load(self) -> int:
+        _, load = self.load_series()
+        return int(load.max()) if len(load) else 0
+
+    # -- reporting ------------------------------------------------------------
+    def summary(self) -> str:
+        rows = [
+            ["Response Time (s)"] + [round(v, 2) for v in self.response_stats().row()],
+            ["Throughput (q/s)"] + [round(v, 2) for v in self.throughput_stats().row()],
+        ]
+        header = ["Series", *SummaryStats.HEADER]
+        body = format_table(header, rows, title=f"DiPerF: {self.name}",
+                            col_width=11)
+        tail = (f"\nqueries={self.n_queries} answered={self.n_answered} "
+                f"timed_out={self.n_timed_out} peak_load={self.peak_load()}")
+        return body + tail

@@ -1,0 +1,43 @@
+"""Client ramp-up schedules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RampSchedule"]
+
+
+@dataclass(frozen=True)
+class RampSchedule:
+    """Staggered client joins over a span of the experiment.
+
+    Clients join one by one at equal gaps across ``[start_s,
+    start_s + span_s]`` and stay active until the end of the run —
+    DiPerF's slow participation ramp, which is what turns one run into
+    a load sweep (each time window of the figures corresponds to a
+    different concurrency level).
+    """
+
+    n_clients: int
+    span_s: float
+    start_s: float = 0.0
+
+    def __post_init__(self):
+        if self.n_clients < 1:
+            raise ValueError("need at least one client")
+        if self.span_s < 0 or self.start_s < 0:
+            raise ValueError("span_s and start_s must be >= 0")
+
+    def join_time(self, index: int) -> float:
+        if not 0 <= index < self.n_clients:
+            raise IndexError(f"client index {index} out of range")
+        if self.n_clients == 1:
+            return self.start_s
+        gap = self.span_s / (self.n_clients - 1)
+        return self.start_s + index * gap
+
+    def offsets(self, hosts: list[str]) -> dict[str, float]:
+        """Join times keyed by host name (host order = join order)."""
+        if len(hosts) != self.n_clients:
+            raise ValueError(f"{len(hosts)} hosts vs n_clients={self.n_clients}")
+        return {h: self.join_time(i) for i, h in enumerate(hosts)}

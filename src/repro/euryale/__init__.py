@@ -1,0 +1,36 @@
+"""Euryale: the concrete planner (paper §3.4).
+
+"Euryale uses Condor-G (and thus the Globus Toolkit GRAM) to submit and
+monitor jobs at sites.  It takes a late binding approach ... site
+placement decisions are made immediately prior to running the job. ...
+A tool called DagMan executes the Euryale prescript and postscript.
+The prescript calls out to the external site selector (i.e., in our
+case, GRUBER) to identify the site on which the job should run,
+rewrites the job submit file ... transfers necessary input files ...
+registers transferred files with the replica mechanism, and deals with
+replanning.  The postscript file transfers output files ... registers
+produced files, checks on successful job execution, and updates file
+popularity."
+
+* :mod:`repro.euryale.replica` — replica catalog with popularity;
+* :mod:`repro.euryale.condor_g` — Condor-G-style submission/monitoring;
+* :mod:`repro.euryale.dagman` — minimal DAG executor with pre/post
+  scripts;
+* :mod:`repro.euryale.planner` — the late-binding planner itself, with
+  failure-driven replanning.
+"""
+
+from repro.euryale.condor_g import CondorGSubmitter
+from repro.euryale.dagman import DagMan, DagNode
+from repro.euryale.planner import EuryalePlanner, FileSpec, PlannerJob
+from repro.euryale.replica import ReplicaCatalog
+
+__all__ = [
+    "CondorGSubmitter",
+    "DagMan",
+    "DagNode",
+    "EuryalePlanner",
+    "FileSpec",
+    "PlannerJob",
+    "ReplicaCatalog",
+]

@@ -1,0 +1,68 @@
+"""Condor-G-style job submission and monitoring.
+
+Submits a job to a site over the WAN (GRAM submission latency) and
+resolves a completion event when the site reports the job finished or
+failed — the "submit and monitor jobs at sites" role Condor-G plays
+under Euryale.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.grid.builder import Grid
+from repro.grid.job import Job, JobState
+from repro.net.transport import Network
+from repro.sim.kernel import Event, Simulator
+
+__all__ = ["CondorGSubmitter"]
+
+
+class CondorGSubmitter:
+    """Submission + completion monitoring against the grid fabric."""
+
+    def __init__(self, sim: Simulator, network: Network, grid: Grid,
+                 origin: Hashable = "condor-g"):
+        self.sim = sim
+        self.network = network
+        self.grid = grid
+        self.origin = origin
+        self.submitted = 0
+        self._watched: dict[int, Event] = {}
+        self._hooked_sites: set[str] = set()
+
+    def submit(self, job: Job, site: str) -> Event:
+        """Send the job to ``site``; returns the completion event.
+
+        The event succeeds with the job when it completes and *fails*
+        with a RuntimeError when the site reports failure — callers
+        (the planner) catch that to replan.
+        """
+        if site not in self.grid.sites:
+            raise KeyError(f"unknown site {site!r}")
+        done = self.sim.event(name=f"condor-g:{job.jid}")
+        self._watched[job.jid] = done
+        self._hook(site)
+        latency = self.network.latency.sample(self.origin, site)
+        self.sim.schedule(latency, lambda: self.grid.site(site).submit(job))
+        self.submitted += 1
+        return done
+
+    def _hook(self, site_name: str) -> None:
+        if site_name in self._hooked_sites:
+            return
+        self._hooked_sites.add(site_name)
+        self.grid.site(site_name).on_job_completed.append(self._on_terminal)
+
+    def _on_terminal(self, job: Job) -> None:
+        done = self._watched.pop(job.jid, None)
+        if done is None or done.triggered:
+            return
+        if job.state is JobState.COMPLETED:
+            done.succeed(job)
+        else:
+            done.fail(RuntimeError(f"job {job.jid} failed at {job.site}"))
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._watched)

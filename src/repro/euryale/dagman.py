@@ -1,0 +1,128 @@
+"""A minimal DagMan: DAG execution with pre/post scripts.
+
+"A tool called DagMan executes the Euryale prescript and postscript" —
+nodes become runnable when all their parents complete; each node's work
+is a planner process (prescript → submit → postscript).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.euryale.planner import EuryalePlanner, PlannerJob
+from repro.sim.kernel import Event, Simulator
+
+__all__ = ["DagNode", "DagMan"]
+
+
+@dataclass
+class DagNode:
+    """One vertex: a planner job plus its parent names."""
+
+    name: str
+    planner_job: PlannerJob
+    parents: list[str] = field(default_factory=list)
+    state: str = "waiting"  # waiting | running | done | failed
+
+
+class DagMan:
+    """Executes a DAG of planner jobs, honoring dependencies."""
+
+    def __init__(self, sim: Simulator, planner: EuryalePlanner):
+        self.sim = sim
+        self.planner = planner
+        self.nodes: dict[str, DagNode] = {}
+        self._done_event: Optional[Event] = None
+        self._remaining = 0
+        self.failed_nodes: list[str] = []
+
+    # -- construction -------------------------------------------------------
+    def add_node(self, node: DagNode) -> None:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate DAG node {node.name!r}")
+        self.nodes[node.name] = node
+
+    def _validate(self) -> None:
+        for node in self.nodes.values():
+            for p in node.parents:
+                if p not in self.nodes:
+                    raise ValueError(
+                        f"node {node.name!r} depends on unknown node {p!r}")
+        # Cycle detection by Kahn peeling.
+        indeg = {n: len(set(node.parents))
+                 for n, node in self.nodes.items()}
+        queue = [n for n, d in indeg.items() if d == 0]
+        seen = 0
+        children: dict[str, list[str]] = {n: [] for n in self.nodes}
+        for n, node in self.nodes.items():
+            for p in set(node.parents):
+                children[p].append(n)
+        while queue:
+            n = queue.pop()
+            seen += 1
+            for c in children[n]:
+                indeg[c] -= 1
+                if indeg[c] == 0:
+                    queue.append(c)
+        if seen != len(self.nodes):
+            raise ValueError("DAG contains a cycle")
+
+    # -- execution ------------------------------------------------------------
+    def run(self) -> Event:
+        """Start the DAG; returns an event that fires when all nodes end.
+
+        The event succeeds with a summary dict; node failures (planner
+        retries exhausted) mark the node and its descendants failed but
+        do not fail the DAG event — DagMan reports partial completion,
+        like the real tool's rescue-DAG behaviour.
+        """
+        if self._done_event is not None:
+            raise RuntimeError("DAG already running")
+        self._validate()
+        self._done_event = self.sim.event(name="dagman:done")
+        self._remaining = len(self.nodes)
+        if self._remaining == 0:
+            self._done_event.succeed({"done": 0, "failed": 0})
+            return self._done_event
+        for node in list(self.nodes.values()):
+            if not node.parents:
+                self._launch(node)
+        return self._done_event
+
+    def _launch(self, node: DagNode) -> None:
+        node.state = "running"
+        proc = self.sim.process(self.planner.run_job(node.planner_job),
+                                name=f"dag:{node.name}")
+        proc.add_callback(lambda ev, n=node: self._on_node_end(n, ev.ok))
+
+    def _on_node_end(self, node: DagNode, ok: bool) -> None:
+        node.state = "done" if ok else "failed"
+        self._remaining -= 1
+        if ok:
+            for child in self.nodes.values():
+                if (child.state == "waiting"
+                        and node.name in child.parents
+                        and all(self.nodes[p].state == "done"
+                                for p in child.parents)):
+                    self._launch(child)
+        else:
+            self.failed_nodes.append(node.name)
+            self._cascade_failure(node.name)
+        if self._remaining == 0 and not self._done_event.triggered:
+            done = sum(1 for n in self.nodes.values() if n.state == "done")
+            failed = sum(1 for n in self.nodes.values() if n.state == "failed")
+            self._done_event.succeed({"done": done, "failed": failed})
+
+    def _cascade_failure(self, failed_name: str) -> None:
+        """Mark descendants of a failed node as failed (never runnable)."""
+        for child in self.nodes.values():
+            if child.state == "waiting" and failed_name in child.parents:
+                child.state = "failed"
+                self._remaining -= 1
+                self.failed_nodes.append(child.name)
+                self._cascade_failure(child.name)
+
+    # -- introspection ---------------------------------------------------------
+    def states(self) -> dict[str, str]:
+        return {n: node.state for n, node in self.nodes.items()}

@@ -1,0 +1,54 @@
+"""Replica catalog: logical file → physical locations, with popularity.
+
+Stands in for the RLS-style "replica mechanism" Euryale registers
+transferred and produced files with; popularity counts are what the
+postscript updates ("updates file popularity").
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReplicaCatalog"]
+
+
+class ReplicaCatalog:
+    """Maps logical file names (LFNs) to the sites holding a copy."""
+
+    def __init__(self) -> None:
+        self._locations: dict[str, set[str]] = {}
+        self._popularity: dict[str, int] = {}
+
+    def register(self, lfn: str, site: str) -> None:
+        """Record that ``site`` now holds a replica of ``lfn``."""
+        if not lfn or not site:
+            raise ValueError("lfn and site must be non-empty")
+        self._locations.setdefault(lfn, set()).add(site)
+
+    def unregister(self, lfn: str, site: str) -> None:
+        sites = self._locations.get(lfn)
+        if sites:
+            sites.discard(site)
+            if not sites:
+                del self._locations[lfn]
+
+    def locations(self, lfn: str) -> set[str]:
+        return set(self._locations.get(lfn, set()))
+
+    def has_replica(self, lfn: str, site: str) -> bool:
+        return site in self._locations.get(lfn, set())
+
+    def touch(self, lfn: str) -> int:
+        """Bump and return the file's popularity count."""
+        self._popularity[lfn] = self._popularity.get(lfn, 0) + 1
+        return self._popularity[lfn]
+
+    def popularity(self, lfn: str) -> int:
+        return self._popularity.get(lfn, 0)
+
+    def most_popular(self, n: int = 10) -> list[tuple[str, int]]:
+        return sorted(self._popularity.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def __contains__(self, lfn: str) -> bool:
+        return lfn in self._locations

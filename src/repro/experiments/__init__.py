@@ -1,0 +1,37 @@
+"""Canonical experiment configurations and runners.
+
+Everything the benchmarks and examples execute lives here so that
+"regenerate Table 1" is one function call.  See DESIGN.md §4 for the
+experiment index.
+"""
+
+from repro.experiments.configs import (
+    CANONICAL_SYNC_INTERVAL_S,
+    CANONICAL_TIMEOUT_S,
+    ExperimentConfig,
+    canonical_gt3,
+    canonical_gt4,
+    smoke_config,
+)
+from repro.experiments.figures import (
+    run_accuracy_sweep,
+    run_fig1_service_creation,
+    run_scalability_sweep,
+    table_overall_performance,
+)
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+__all__ = [
+    "CANONICAL_SYNC_INTERVAL_S",
+    "CANONICAL_TIMEOUT_S",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "canonical_gt3",
+    "canonical_gt4",
+    "run_accuracy_sweep",
+    "run_experiment",
+    "run_fig1_service_creation",
+    "run_scalability_sweep",
+    "smoke_config",
+    "table_overall_performance",
+]

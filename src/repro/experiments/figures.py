@@ -1,0 +1,127 @@
+"""Per-figure / per-table regeneration functions.
+
+Each function runs the experiment(s) behind one paper artifact and
+returns plain data (plus a formatted text rendering) — the benchmark
+harness calls these and prints the paper-shaped output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.decision_point import DecisionPoint
+from repro.diperf.collector import DiPerfResult
+from repro.diperf.tester import run_instance_creation_test
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.grid.builder import GridBuilder
+from repro.metrics.report import format_table
+from repro.net.container import ContainerProfile, GT3_PROFILE
+from repro.net.latency import PairwiseWanLatency
+from repro.net.transport import Network
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "run_fig1_service_creation",
+    "run_scalability_sweep",
+    "run_accuracy_sweep",
+    "table_overall_performance",
+]
+
+
+def run_fig1_service_creation(n_clients: int = 300,
+                              duration_s: float = 1800.0,
+                              profile: ContainerProfile = GT3_PROFILE,
+                              seed: int = 7,
+                              window_s: float = 60.0) -> DiPerfResult:
+    """Fig 1: GT3 service instance creation under a DiPerF client ramp.
+
+    Response time, throughput, and load vs time for the bare
+    instance-creation operation against one container.
+    """
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    network = Network(sim, PairwiseWanLatency(rng.stream("wan")),
+                      kb_transfer_s=0.0)
+    grid = GridBuilder(sim, rng.stream("grid")).uniform(n_sites=4,
+                                                        cpus_per_site=16)
+    dp = DecisionPoint(sim, network, "svc", grid, profile, rng.stream("dp"),
+                       monitor_interval_s=600.0)
+    dp.start(neighbors=[])
+    trace, testers = run_instance_creation_test(
+        sim, network, "svc", profile, rng, n_clients=n_clients,
+        ramp_span_s=duration_s * 0.6, duration_s=duration_s)
+    sim.run(until=duration_s)
+    return DiPerfResult(
+        name=f"fig1-{profile.name}-instance-creation", trace=trace,
+        t_start=0.0, t_end=duration_s,
+        client_starts=np.array([t.start_at for t in testers]),
+        client_ends=np.array([duration_s] * len(testers)),
+        window_s=window_s)
+
+
+def run_scalability_sweep(base: ExperimentConfig,
+                          dp_counts: Sequence[int] = (1, 3, 10)
+                          ) -> dict[int, ExperimentResult]:
+    """Figs 5-7 (GT3) / 9-11 (GT4): one run per decision-point count."""
+    import re
+    root = re.sub(r"-\d+dp$", "", base.name)
+    results = {}
+    for k in dp_counts:
+        cfg = base.with_(decision_points=k, name=f"{root}-{k}dp")
+        results[k] = run_experiment(cfg)
+    return results
+
+
+def run_accuracy_sweep(base: ExperimentConfig,
+                       intervals_min: Sequence[float] = (1.0, 3.0, 10.0, 30.0),
+                       decision_points: int = 3) -> dict[float, ExperimentResult]:
+    """Figs 8 / 12: scheduling accuracy vs sync exchange interval."""
+    results = {}
+    for minutes in intervals_min:
+        cfg = base.with_(decision_points=decision_points,
+                         sync_interval_s=minutes * 60.0,
+                         name=f"{base.name}-sync{minutes:g}min")
+        results[minutes] = run_experiment(cfg)
+    return results
+
+
+_TABLE_HEADERS = ["DPs", "Category", "% of Req", "# of Req",
+                  "QTime (s)", "Norm QTime", "Util %", "Accuracy %"]
+
+
+def table_overall_performance(results: dict[int, ExperimentResult]) -> str:
+    """Tables 1-2: QTime / Norm QTime / Util / Accuracy by category.
+
+    ``results`` maps decision-point count to the finished run (reuse
+    the scalability sweep's runs — the paper derives the tables from
+    the same executions as the figures).
+    """
+    rows = []
+    for category, label in (("handled", "Handled"),
+                            ("not_handled", "NOT handled"),
+                            ("all", "All req")):
+        for k in sorted(results):
+            r = results[k].table_row(category)
+            rows.append([
+                k, label,
+                round(r["pct_req"], 1), r["n_req"],
+                round(r["qtime_s"], 1), f"{r['norm_qtime']:.5f}",
+                round(r["util_pct"], 1),
+                (round(r["accuracy_pct"], 1)
+                 if r["accuracy_pct"] == r["accuracy_pct"] else float("nan")),
+            ])
+    return format_table(_TABLE_HEADERS, rows,
+                        title="Overall DI-GRUBER Performance", col_width=12)
+
+
+def accuracy_vs_interval_table(results: dict[float, ExperimentResult]) -> str:
+    """Render the Figs 8/12 series as a table (interval -> accuracy)."""
+    rows = [[f"{m:g} min", round(100.0 * results[m].accuracy("handled"), 1)]
+            for m in sorted(results)]
+    return format_table(["Exchange Interval", "Accuracy %"], rows,
+                        title="Scheduling Accuracy vs Exchange Interval",
+                        col_width=18)

@@ -1,0 +1,164 @@
+"""Parallel experiment execution.
+
+Parameter sweeps (scalability, accuracy-vs-interval, ablations) are
+embarrassingly parallel: every run is an independent, deterministic
+simulation.  This module fans a list of configurations out over worker
+processes and returns compact, picklable :class:`RunSummary` objects —
+the full :class:`~repro.experiments.runner.ExperimentResult` holds live
+simulator state and never crosses process boundaries.
+
+    from repro.experiments.parallel import run_parallel
+    summaries = run_parallel([canonical_gt3(k) for k in (1, 3, 10)])
+
+Summaries carry everything the figures/tables need (series, summary
+stats, category rows) plus the raw query rows, so GRUB-SIM can replay
+them (``summary.to_trace()``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.metrics.report import SummaryStats
+from repro.workloads.trace import TraceRecorder
+
+__all__ = ["RunSummary", "summarize", "run_parallel"]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Picklable digest of one finished experiment."""
+
+    config: ExperimentConfig
+    n_jobs: int
+    table_rows: dict                      # category -> table_row dict
+    response_stats: SummaryStats
+    throughput_stats: SummaryStats
+    load_series: tuple                    # (times, values) as ndarrays
+    response_series: tuple
+    throughput_series: tuple
+    fallbacks: dict
+    query_rows: list = field(repr=False)  # raw trace rows for replay
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def peak_throughput(self) -> float:
+        return self.throughput_stats.peak
+
+    @property
+    def avg_response(self) -> float:
+        return self.response_stats.average
+
+    def accuracy(self, category: str = "handled") -> float:
+        return self.table_rows[category]["accuracy_pct"] / 100.0
+
+    def utilization(self, category: str = "all") -> float:
+        return self.table_rows[category]["util_pct"] / 100.0
+
+    def table_row(self, category: str) -> dict:
+        """Duck-compatible with ExperimentResult for the table renderers."""
+        return self.table_rows[category]
+
+    def to_trace(self) -> TraceRecorder:
+        """Rebuild the query trace (GRUB-SIM input) from raw rows."""
+        rec = TraceRecorder()
+        rec._queries = list(self.query_rows)
+        return rec
+
+    def figure_view(self) -> "_FigureView":
+        """Duck-compatible with DiPerfResult for the figure renderers."""
+        return _FigureView(self)
+
+
+class _FigureView:
+    """Adapter exposing the DiPerfResult plotting surface of a summary."""
+
+    def __init__(self, summary: RunSummary):
+        self._s = summary
+        self.name = summary.config.name
+        self.t_start = 0.0
+        self.t_end = summary.config.duration_s
+        times = summary.load_series[0]
+        self.window_s = float(times[1] - times[0]) if len(times) > 1 else 60.0
+
+    def load_series(self):
+        return self._s.load_series
+
+    def response_series(self):
+        return self._s.response_series
+
+    def throughput_series(self):
+        return self._s.throughput_series
+
+    def response_stats(self):
+        return self._s.response_stats
+
+    def throughput_stats(self):
+        return self._s.throughput_stats
+
+    def summary(self) -> str:
+        from repro.metrics.report import SummaryStats, format_table
+        rows = [
+            ["Response Time (s)"] + [round(v, 2)
+                                     for v in self._s.response_stats.row()],
+            ["Throughput (q/s)"] + [round(v, 2)
+                                    for v in self._s.throughput_stats.row()],
+        ]
+        body = format_table(["Series", *SummaryStats.HEADER], rows,
+                            title=f"DiPerF: {self.name}", col_width=11)
+        q = self._s.query_rows
+        answered = sum(1 for row in q if row[1] == row[1])  # non-NaN
+        timed_out = sum(1 for row in q if row[3])
+        _, load = self._s.load_series
+        peak_load = int(load.max()) if len(load) else 0
+        return body + (f"\nqueries={len(q)} answered={answered} "
+                       f"timed_out={timed_out} peak_load={peak_load}")
+
+
+def summarize(result: ExperimentResult, window_s: float = 60.0) -> RunSummary:
+    """Digest an in-process result into its picklable summary."""
+    d = result.diperf(window_s=window_s)
+    return RunSummary(
+        config=result.config,
+        n_jobs=result.n_jobs,
+        table_rows={cat: result.table_row(cat)
+                    for cat in ("handled", "not_handled", "all")},
+        response_stats=d.response_stats(),
+        throughput_stats=d.throughput_stats(),
+        load_series=d.load_series(),
+        response_series=d.response_series(),
+        throughput_series=d.throughput_series(),
+        fallbacks=result.client_fallbacks(),
+        query_rows=list(result.trace._queries),
+    )
+
+
+def _worker(config: ExperimentConfig) -> RunSummary:
+    return summarize(run_experiment(config))
+
+
+def run_parallel(configs: Sequence[ExperimentConfig],
+                 max_workers: Optional[int] = None) -> list[RunSummary]:
+    """Run every configuration, fanning out across processes.
+
+    Results come back in input order.  ``max_workers`` defaults to
+    ``min(len(configs), cpu_count)``; with one config (or one worker)
+    everything runs in-process, which keeps small sweeps cheap and
+    makes the parallel path a pure optimization (results are identical
+    either way — the simulations are deterministic).
+    """
+    if not configs:
+        return []
+    workers = max_workers if max_workers is not None else \
+        min(len(configs), os.cpu_count() or 1)
+    if workers <= 1 or len(configs) == 1:
+        return [_worker(cfg) for cfg in configs]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_worker, configs))

@@ -1,0 +1,172 @@
+"""Full-reproduction report generator.
+
+``python -m repro.experiments.report [--duration 1800] [--out FILE]``
+runs every paper artifact end to end and emits a markdown report of
+paper-shape vs measured values — the executable companion to
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import TextIO
+
+from repro.experiments.configs import canonical_gt3, canonical_gt4
+from repro.experiments.figures import (
+    accuracy_vs_interval_table,
+    run_accuracy_sweep,
+    run_fig1_service_creation,
+    run_scalability_sweep,
+    table_overall_performance,
+)
+from repro.grubsim import DPPerformanceModel, GrubSim
+from repro.metrics.ascii_plot import render_diperf_figure
+from repro.net.container import GT3_PROFILE, GT4_PROFILE
+
+__all__ = ["generate_report", "main"]
+
+
+def _fig_block(title: str, body: str) -> str:
+    return f"\n## {title}\n\n```\n{body}\n```\n"
+
+
+def generate_report(duration_s: float = 1800.0, out: TextIO = sys.stdout,
+                    intervals_min=(1.0, 3.0, 10.0, 30.0),
+                    parallel: bool = False,
+                    max_workers=None) -> dict:
+    """Run everything; write markdown to ``out``; return raw results.
+
+    ``parallel=True`` fans the 14 experiment runs out over worker
+    processes (the simulations are deterministic, so the report is
+    byte-identical either way).
+    """
+    results: dict = {}
+    write = out.write
+
+    write("# DI-GRUBER reproduction report\n")
+    write(f"\n(simulated duration per run: {duration_s:.0f} s)\n")
+
+    # Fig 1 (always in-process: it is not an ExperimentConfig run).
+    fig1 = run_fig1_service_creation(duration_s=duration_s)
+    results["fig1"] = fig1
+    write(_fig_block("Fig 1 — GT3 service instance creation",
+                     render_diperf_figure(fig1) + "\n" + fig1.summary()))
+
+    dp_counts = (1, 3, 10)
+    if parallel:
+        from repro.experiments.parallel import run_parallel
+        configs = (
+            [canonical_gt3(k, duration_s=duration_s) for k in dp_counts]
+            + [canonical_gt3(3, duration_s=duration_s,
+                             sync_interval_s=m * 60.0,
+                             name=f"gt3-sync{m:g}min") for m in intervals_min]
+            + [canonical_gt4(k, duration_s=duration_s) for k in dp_counts]
+            + [canonical_gt4(3, duration_s=duration_s,
+                             sync_interval_s=m * 60.0,
+                             name=f"gt4-sync{m:g}min") for m in intervals_min]
+        )
+        summaries = run_parallel(configs, max_workers=max_workers)
+        n, m = len(dp_counts), len(intervals_min)
+        gt3 = dict(zip(dp_counts, summaries[:n]))
+        fig8 = dict(zip(intervals_min, summaries[n:n + m]))
+        gt4 = dict(zip(dp_counts, summaries[n + m:2 * n + m]))
+        fig12 = dict(zip(intervals_min, summaries[2 * n + m:]))
+
+        def figview(r):
+            return r.figure_view()
+
+        def trace_of(r):
+            return r.to_trace()
+    else:
+        gt3 = run_scalability_sweep(canonical_gt3(duration_s=duration_s),
+                                    dp_counts=dp_counts)
+        fig8 = run_accuracy_sweep(canonical_gt3(duration_s=duration_s),
+                                  intervals_min=intervals_min,
+                                  decision_points=3)
+        gt4 = run_scalability_sweep(canonical_gt4(duration_s=duration_s),
+                                    dp_counts=dp_counts)
+        fig12 = run_accuracy_sweep(canonical_gt4(duration_s=duration_s),
+                                   intervals_min=intervals_min,
+                                   decision_points=3)
+
+        def figview(r):
+            return r.diperf()
+
+        def trace_of(r):
+            return r.trace
+
+    results.update(gt3=gt3, fig8=fig8, gt4=gt4, fig12=fig12)
+
+    for i, k in enumerate(sorted(gt3)):
+        d = figview(gt3[k])
+        write(_fig_block(f"Fig {5 + i} — GT3 DI-GRUBER, {k} decision point(s)",
+                         render_diperf_figure(d) + "\n" + d.summary()))
+    write(_fig_block("Table 1 — GT3 overall performance",
+                     table_overall_performance(gt3)))
+    write(_fig_block("Fig 8 — GT3 accuracy vs exchange interval",
+                     accuracy_vs_interval_table(fig8)))
+    for i, k in enumerate(sorted(gt4)):
+        d = figview(gt4[k])
+        write(_fig_block(f"Fig {9 + i} — GT4 DI-GRUBER, {k} decision point(s)",
+                         render_diperf_figure(d) + "\n" + d.summary()))
+    write(_fig_block("Table 2 — GT4 overall performance",
+                     table_overall_performance(gt4)))
+    write(_fig_block("Fig 12 — GT4 accuracy vs exchange interval",
+                     accuracy_vs_interval_table(fig12)))
+
+    # Table 3.
+    gt3_sized = GrubSim(DPPerformanceModel.from_profile(GT3_PROFILE)).replay(
+        trace_of(gt3[1]), initial_dps=1, name="GT3-based")
+    gt4_sized = GrubSim(DPPerformanceModel.from_profile(GT4_PROFILE)).replay(
+        trace_of(gt4[1]), initial_dps=1, name="GT4-based")
+    results["table3"] = (gt3_sized, gt4_sized)
+    write(_fig_block("Table 3 — GRUB-SIM: required decision points",
+                     gt3_sized.summary() + "\n" + gt4_sized.summary()))
+
+    # Headline comparison.
+    p3 = {k: figview(gt3[k]).throughput_stats().peak for k in gt3}
+    p4 = {k: figview(gt4[k]).throughput_stats().peak for k in gt4}
+    write("\n## Headline shapes\n\n")
+    write("| claim (paper prose) | measured |\n|---|---|\n")
+    write(f"| GT3 1 DP plateaus just under ~2 q/s | {p3[1]:.2f} q/s |\n")
+    write(f"| GT3 3 DPs: 'two to three times' | {p3[3] / p3[1]:.1f}x |\n")
+    write(f"| GT3 10 DPs: 'almost five times' | {p3[10] / p3[1]:.1f}x |\n")
+    write(f"| GT4 1 DP plateaus just above ~1 q/s | {p4[1]:.2f} q/s |\n")
+    write(f"| GT4 slower than GT3 | "
+          f"{'yes' if all(p4[k] < p3[k] for k in p3) else 'NO'} |\n")
+    sync_key = 3.0 if 3.0 in fig8 else sorted(fig8)[0]
+    write(f"| {sync_key:g}-minute sync suffices (GT3) | "
+          f"{fig8[sync_key].accuracy('handled'):.1%} accuracy |\n")
+    write(f"| '4 or 5 decision points are enough' | GT3: "
+          f"{gt3_sized.final_dps}, GT4: {gt4_sized.final_dps} |\n")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="regenerate the DI-GRUBER reproduction report")
+    parser.add_argument("--duration", type=float, default=1800.0,
+                        help="simulated seconds per run (paper: 3600)")
+    parser.add_argument("--out", type=str, default="-",
+                        help="output file ('-' = stdout)")
+    parser.add_argument("--parallel", "-j", nargs="?", type=int,
+                        const=0, default=None, metavar="WORKERS",
+                        help="fan runs out over worker processes "
+                             "(default workers: cpu count)")
+    args = parser.parse_args(argv)
+    parallel = args.parallel is not None
+    workers = args.parallel or None
+    if args.out == "-":
+        generate_report(duration_s=args.duration, parallel=parallel,
+                        max_workers=workers)
+    else:
+        with open(args.out, "w") as fh:
+            generate_report(duration_s=args.duration, out=fh,
+                            parallel=parallel, max_workers=workers)
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,242 @@
+"""End-to-end experiment execution.
+
+``run_experiment`` builds the whole stack — WAN, grid, DI-GRUBER
+deployment, ramped client fleet — runs one simulated experiment, and
+returns an :class:`ExperimentResult` from which every figure series and
+table row derives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.broker import DIGruberDeployment
+from repro.core.client import GruberClient
+from repro.core.selectors import make_selector
+from repro.diperf.collector import DiPerfResult
+from repro.diperf.ramp import RampSchedule
+from repro.experiments.configs import ExperimentConfig
+from repro.grid.builder import Grid, GridBuilder
+from repro.metrics import defs as metric_defs
+from repro.net.latency import LanLatency, PairwiseWanLatency
+from repro.net.topology import assign_clients, assign_clients_nearest
+from repro.net.transport import Network
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.trace import TraceRecorder
+
+__all__ = ["ExperimentResult", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one run produced, with metric/table accessors."""
+
+    config: ExperimentConfig
+    trace: TraceRecorder
+    client_starts: np.ndarray
+    client_ends: np.ndarray
+    grid: Grid
+    deployment: DIGruberDeployment = field(repr=False)
+    clients: list[GruberClient] = field(repr=False, default_factory=list)
+    _jobs: dict = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        self._jobs = self.trace.job_arrays()
+
+    # -- DiPerF view ----------------------------------------------------------
+    def diperf(self, window_s: float = 60.0) -> DiPerfResult:
+        return DiPerfResult(
+            name=self.config.name, trace=self.trace,
+            t_start=0.0, t_end=self.config.duration_s,
+            client_starts=self.client_starts, client_ends=self.client_ends,
+            window_s=window_s)
+
+    # -- job categories (Tables 1-2 rows) ----------------------------------------
+    def _mask(self, category: str) -> np.ndarray:
+        """Job-category masks over *dispatched* jobs.
+
+        "Requests" in Tables 1-2 are brokering operations the clients
+        actually issued; jobs still waiting in host backlogs at the end
+        of the run (or whose query was still in flight) never became
+        requests and are excluded from every category.
+        """
+        handled = self._jobs["handled"]
+        dispatched = ~np.isnan(self._jobs["dispatched_at"])
+        if category == "handled":
+            return handled & dispatched
+        if category == "not_handled":
+            return ~handled & dispatched
+        if category == "all":
+            return dispatched
+        raise ValueError(f"unknown category {category!r}")
+
+    @property
+    def n_jobs(self) -> int:
+        """Dispatched jobs (the paper's request population)."""
+        return int(self._mask("all").sum())
+
+    def n_requests(self, category: str = "all") -> int:
+        return int(self._mask(category).sum())
+
+    def qtime(self, category: str = "all") -> float:
+        return metric_defs.qtime(self._jobs["queue_time_s"],
+                                 self._mask(category))
+
+    def normalized_qtime(self, category: str = "all") -> float:
+        return metric_defs.normalized_qtime(
+            self._jobs["queue_time_s"], self.n_requests(category),
+            self._mask(category))
+
+    def utilization(self, category: str = "all") -> float:
+        return metric_defs.utilization(
+            self._jobs["started_at"], self._jobs["completed_at"],
+            self._jobs["cpus"], total_cpus=self.grid.total_cpus,
+            t_end=self.config.duration_s, mask=self._mask(category))
+
+    def accuracy(self, category: str = "handled") -> float:
+        return metric_defs.accuracy(self._jobs["accuracy"],
+                                    self._mask(category))
+
+    def table_row(self, category: str) -> dict:
+        """One Tables-1/2 row for a job category."""
+        n = self.n_requests(category)
+        row = {
+            "category": category,
+            "pct_req": 100.0 * n / self.n_jobs if self.n_jobs else 0.0,
+            "n_req": n,
+            "qtime_s": self.qtime(category),
+            "norm_qtime": self.normalized_qtime(category),
+            "util_pct": 100.0 * self.utilization(category),
+            "accuracy_pct": (100.0 * self.accuracy(category)
+                             if category != "not_handled" else float("nan")),
+        }
+        return row
+
+    # -- broker-side stats -----------------------------------------------------
+    def dp_ops(self) -> dict[str, int]:
+        return {dp_id: dp.container.completed_ops
+                for dp_id, dp in self.deployment.decision_points.items()}
+
+    def client_fallbacks(self) -> dict[str, int]:
+        return {
+            "handled": sum(c.n_handled for c in self.clients),
+            "timeout": sum(c.n_fallback_timeout for c in self.clients),
+            "backlogged": sum(c.backlog_len for c in self.clients),
+        }
+
+    def summary(self) -> str:
+        d = self.diperf()
+        fb = self.client_fallbacks()
+        lines = [
+            f"== {self.config.name}: {self.config.decision_points} decision "
+            f"point(s), {self.config.n_clients} clients, "
+            f"{self.config.duration_s:.0f} s ==",
+            d.summary(),
+            f"requests={self.n_jobs} handled={fb['handled']} "
+            f"timeout-fallback={fb['timeout']} backlogged={fb['backlogged']}",
+            f"util(all)={self.utilization('all'):.1%} "
+            f"accuracy(handled)={self.accuracy('handled'):.1%} "
+            f"qtime(all)={self.qtime('all'):.1f}s",
+        ]
+        return "\n".join(lines)
+
+
+def run_experiment(config: ExperimentConfig,
+                   deployment_hook=None) -> ExperimentResult:
+    """Build and run one experiment to completion.
+
+    ``deployment_hook(sim, deployment, detector_args...)`` — optional
+    callable invoked after deployment construction and before the run;
+    the dynamic-reconfiguration benches attach observers through it.
+    """
+    sim = Simulator()
+    rng = RngRegistry(config.seed)
+
+    loss_kw = ({"loss_rate": config.wan_loss_rate,
+                "loss_rng": rng.stream("loss")}
+               if config.wan_loss_rate > 0 else {})
+    if config.lan:
+        latency = LanLatency()
+        network = Network(sim, latency, kb_transfer_s=0.0, **loss_kw)
+    else:
+        latency = PairwiseWanLatency(rng.stream("wan"),
+                                     median_ms=config.wan_median_ms,
+                                     sigma=config.wan_sigma)
+        network = Network(sim, latency, kb_transfer_s=config.kb_transfer_s,
+                          **loss_kw)
+
+    grid = GridBuilder(sim, rng.stream("grid")).build(
+        n_sites=config.n_sites, total_cpus=config.total_cpus,
+        n_vos=config.n_vos, groups_per_vo=config.groups_per_vo,
+        users_per_group=config.users_per_group, name=config.name,
+        backfill=config.backfill)
+
+    deployment = DIGruberDeployment(
+        sim=sim, network=network, grid=grid, profile=config.profile,
+        rng=rng, n_decision_points=config.decision_points,
+        topology_kind=config.topology,
+        sync_interval_s=config.sync_interval_s,
+        monitor_interval_s=config.monitor_interval_s,
+        strategy=config.strategy, usla_aware=config.usla_aware,
+        site_state_kb=config.site_state_kb,
+        assumed_job_lifetime_s=config.job_model.duration_mean_s)
+
+    hosts = [f"host{i:03d}" for i in range(config.n_clients)]
+    ramp = RampSchedule(n_clients=config.n_clients, span_s=config.ramp_span_s)
+    offsets = ramp.offsets(hosts)
+    if config.client_assignment == "nearest":
+        assignment = assign_clients_nearest(hosts, deployment.dp_ids, latency)
+    else:
+        assignment = assign_clients(hosts, deployment.dp_ids,
+                                    rng.stream("assignment"))
+
+    generator = WorkloadGenerator(grid.vos, config.job_model,
+                                  rng.stream("workload"))
+    trace = TraceRecorder()
+    state_kb = config.n_sites * config.site_state_kb
+
+    clients = []
+    for host in hosts:
+        workload = generator.host_workload(
+            host, duration_s=config.duration_s - offsets[host],
+            interarrival_s=config.interarrival_s, start_s=offsets[host])
+        client = GruberClient(
+            sim=sim, network=network, host_id=host,
+            decision_point=assignment[host], grid=grid, workload=workload,
+            selector=make_selector(config.selector,
+                                   rng.stream(f"selector:{host}"),
+                                   spread=config.selector_spread),
+            profile=config.profile, rng=rng.stream(f"client:{host}"),
+            trace=trace, timeout_s=config.timeout_s,
+            state_response_kb=state_kb, one_phase=config.one_phase)
+        deployment.attach_client(client)
+        clients.append(client)
+
+    deployment.start()
+    for client in clients:
+        client.start()
+    if deployment_hook is not None:
+        deployment_hook(sim=sim, deployment=deployment, network=network,
+                        grid=grid, rng=rng)
+
+    sim.run(until=config.duration_s)
+
+    # Finalize: record every job's terminal (or end-of-run) state.
+    for client in clients:
+        for job in client.jobs:
+            trace.record_job(job)
+
+    client_starts = np.array([offsets[h] for h in hosts])
+    client_ends = np.array([
+        c.active_until if c.active_until is not None else config.duration_s
+        for c in clients])
+
+    return ExperimentResult(config=config, trace=trace,
+                            client_starts=client_starts,
+                            client_ends=client_ends, grid=grid,
+                            deployment=deployment, clients=clients)

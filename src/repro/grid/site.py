@@ -1,0 +1,182 @@
+"""Sites: clusters of CPUs with a FIFO local scheduler.
+
+Per the paper's experimental setup, site policy enforcement points
+(S-PEPs) are out of scope — "the decision points have total control
+over scheduling decisions" — so a site simply runs whatever it is sent,
+FIFO, as CPUs free up.  Sites track per-VO usage and busy-CPU
+integrals, which feed the Util metric and the decision points' monitor
+views.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+from repro.grid.job import Job, JobState
+from repro.sim.kernel import Simulator
+
+__all__ = ["Cluster", "Site"]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A homogeneous pool of CPUs within a site."""
+
+    name: str
+    cpus: int
+
+    def __post_init__(self):
+        if self.cpus < 1:
+            raise ValueError(f"cluster {self.name!r} needs >= 1 CPU")
+
+
+class Site:
+    """One resource-provider site.
+
+    The default scheduler is strict FIFO with head-of-line blocking: a
+    queued job that does not fit keeps later jobs waiting (matching
+    simple space-shared cluster schedulers of the Grid3 era, where this
+    is the conservative default).  ``backfill=True`` switches to an
+    aggressive backfill discipline: any queued job that fits may start,
+    in queue order (EASY-style without reservations — small jobs slip
+    past a stuck wide job).
+    """
+
+    def __init__(self, sim: Simulator, name: str, clusters: list[Cluster],
+                 backfill: bool = False):
+        if not clusters:
+            raise ValueError(f"site {name!r} needs at least one cluster")
+        self.sim = sim
+        self.name = name
+        self.backfill = backfill
+        self.clusters = list(clusters)
+        self.total_cpus = sum(c.cpus for c in clusters)
+        self.busy_cpus = 0
+        self._queue: Deque[Job] = deque()
+        self._running: dict[int, Job] = {}
+        # Observers: called with the job on each transition.
+        self.on_job_started: list[Callable[[Job], None]] = []
+        self.on_job_completed: list[Callable[[Job], None]] = []
+        # CPU-seconds integral for Util computations.
+        self._busy_integral = 0.0
+        self._last_change = 0.0
+        # Cumulative per-VO CPU-seconds delivered (USLA verification input).
+        self.vo_cpu_seconds: dict[str, float] = {}
+        self.jobs_dispatched = 0
+        self.jobs_completed = 0
+
+    # -- public API --------------------------------------------------------
+    @property
+    def free_cpus(self) -> int:
+        return self.total_cpus - self.busy_cpus
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def running_jobs(self) -> int:
+        return len(self._running)
+
+    def submit(self, job: Job) -> None:
+        """Receive a dispatched job; start it now or queue it FIFO."""
+        if job.cpus > self.total_cpus:
+            job.mark_dispatched(self.sim.now, self.name)
+            self._fail(job)
+            return
+        job.mark_dispatched(self.sim.now, self.name)
+        self.jobs_dispatched += 1
+        self._queue.append(job)
+        self._drain()
+
+    def utilization(self, until: Optional[float] = None) -> float:
+        """Time-averaged CPU utilization over ``[0, until]`` (default: now)."""
+        until = self.sim.now if until is None else until
+        if until <= 0.0:
+            return 0.0
+        integral = self._busy_integral + self.busy_cpus * (self.sim.now - self._last_change)
+        return integral / (self.total_cpus * until)
+
+    def snapshot(self) -> dict:
+        """Monitoring view of this site (what a site monitor reports)."""
+        return {
+            "name": self.name,
+            "total_cpus": self.total_cpus,
+            "free_cpus": self.free_cpus,
+            "queue_length": self.queue_length,
+            "running_jobs": self.running_jobs,
+        }
+
+    # -- internals ------------------------------------------------------------
+    def _advance_integral(self) -> None:
+        now = self.sim.now
+        self._busy_integral += self.busy_cpus * (now - self._last_change)
+        self._last_change = now
+
+    def _drain(self) -> None:
+        if not self.backfill:
+            while self._queue and self._queue[0].cpus <= self.free_cpus:
+                job = self._queue.popleft()
+                self._start(job)
+            return
+        # Backfill: one pass in queue order, starting whatever fits.
+        # (One pass suffices: starting jobs only reduces free CPUs.)
+        kept = deque()
+        while self._queue:
+            if self.free_cpus <= 0:
+                kept.extend(self._queue)
+                self._queue.clear()
+                break
+            job = self._queue.popleft()
+            if job.cpus <= self.free_cpus:
+                self._start(job)
+            else:
+                kept.append(job)
+        self._queue.extend(kept)
+
+    def _start(self, job: Job) -> None:
+        self._advance_integral()
+        self.busy_cpus += job.cpus
+        job.mark_running(self.sim.now)
+        self._running[job.jid] = job
+        for cb in self.on_job_started:
+            cb(job)
+        self.sim.schedule(job.duration_s, lambda: self._complete(job))
+
+    def _complete(self, job: Job) -> None:
+        if job.jid not in self._running:  # pragma: no cover - guard
+            return
+        del self._running[job.jid]
+        self._advance_integral()
+        self.busy_cpus -= job.cpus
+        job.mark_completed(self.sim.now)
+        self.jobs_completed += 1
+        self.vo_cpu_seconds[job.vo] = (self.vo_cpu_seconds.get(job.vo, 0.0)
+                                       + job.cpu_seconds)
+        for cb in self.on_job_completed:
+            cb(job)
+        self._drain()
+
+    def _fail(self, job: Job) -> None:
+        job.mark_failed(self.sim.now)
+        for cb in self.on_job_completed:
+            cb(job)
+
+    def fail_running_job(self, jid: int) -> Job:
+        """Fault injection: kill a running job (Euryale replanning tests)."""
+        job = self._running.pop(jid, None)
+        if job is None:
+            raise KeyError(f"job {jid} is not running at site {self.name!r}")
+        self._advance_integral()
+        self.busy_cpus -= job.cpus
+        job.mark_failed(self.sim.now)
+        for cb in self.on_job_completed:
+            cb(job)
+        self._drain()
+        return job
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Site {self.name} cpus={self.busy_cpus}/{self.total_cpus} "
+                f"queue={self.queue_length}>")

@@ -1,0 +1,150 @@
+"""Site policy enforcement points (S-PEPs).
+
+"Site policy enforcement points (S-PEPs) reside at all sites and
+enforce site-specific policies."  The paper's experiments excluded them
+("we did not take S-PEPs into consideration as they were outside our
+scope, and assumed the decision points have total control"), but they
+are part of the GRUBER model — so they are implemented here and
+exercised by the enforcement and fairness benches: with an S-PEP
+attached, a site holds jobs of consumers (VOs, and recursively
+VO groups) that are over their *site-level* USLA share and releases
+them as the share frees up.
+
+An S-PEP wraps a site's scheduler decision: before a queued job is
+started, the S-PEP checks the owning consumers' current shares of the
+site's CPUs against the site's policy engine.  Held jobs do not block
+later jobs of compliant consumers (the S-PEP inspects the whole queue,
+relaxing the plain site's FIFO head-of-line discipline — enforcement
+requires reordering by definition).
+
+Implementation notes: enforcement sits on the hot path of every job
+completion, so the S-PEP keeps incremental per-consumer busy counters
+(updated via the site's start/complete callbacks) and caches each
+consumer's effective cap from the (static) policy — one drain pass is
+O(queue) with O(1) per-job checks.  A single pass suffices because
+starting a job only *tightens* both constraints (free CPUs and shares),
+so no job skipped earlier in the pass can become eligible later in it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.grid.job import Job
+from repro.grid.site import Site
+from repro.usla.policy import PolicyEngine
+
+__all__ = ["SitePolicyEnforcementPoint"]
+
+
+def _consumers(job: Job) -> tuple[str, ...]:
+    if job.group:
+        return (job.vo, f"{job.vo}.{job.group}")
+    return (job.vo,)
+
+
+class SitePolicyEnforcementPoint:
+    """USLA enforcement at one site.
+
+    Parameters
+    ----------
+    site:
+        The site to govern; the S-PEP interposes on the site's
+        ``_drain`` step (composition by interception — the site itself
+        stays policy-free, as in the paper's layering).
+    policy:
+        Site-local policy engine; rules with ``provider == site.name``
+        govern admission, both for VOs and for ``vo.group`` consumers.
+        Consumers without rules run opportunistically.
+    """
+
+    def __init__(self, site: Site, policy: PolicyEngine):
+        self.site = site
+        self.policy = policy
+        self.holds = 0          # start attempts vetoed
+        self.releases = 0       # jobs started after having been held
+        self._held_jids: set[int] = set()
+        # Incremental busy CPUs per consumer (vo and vo.group).
+        self._busy: dict[str, int] = {}
+        # Effective cap fraction per consumer, resolved from the policy
+        # once (None = no applicable rule = opportunistic).
+        self._cap_cache: dict[str, Optional[float]] = {}
+        self._original_drain = site._drain
+        site._drain = self._enforcing_drain  # type: ignore[method-assign]
+        site.on_job_started.append(self._on_started)
+        site.on_job_completed.append(self._on_ended)
+
+    # -- incremental accounting ---------------------------------------------
+    def _on_started(self, job: Job) -> None:
+        for c in _consumers(job):
+            self._busy[c] = self._busy.get(c, 0) + job.cpus
+
+    def _on_ended(self, job: Job) -> None:
+        if job.started_at is None:
+            return  # dispatch-time rejection: never consumed CPUs
+        for c in _consumers(job):
+            self._busy[c] = self._busy.get(c, 0) - job.cpus
+
+    def _cap(self, consumer: str) -> Optional[float]:
+        if consumer not in self._cap_cache:
+            decision = self.policy.check_admission(
+                self.site.name, consumer, usage_fraction=0.0)
+            rule = decision.binding_rule
+            self._cap_cache[consumer] = rule.fraction if rule else None
+        return self._cap_cache[consumer]
+
+    # -- policy check ------------------------------------------------------------
+    def vo_share(self, vo: str, group: str = "") -> float:
+        """A consumer's current share of this site's CPUs (running jobs)."""
+        consumer = f"{vo}.{group}" if group else vo
+        return self._busy.get(consumer, 0) / self.site.total_cpus
+
+    def admits(self, job: Job) -> bool:
+        """Check the job against VO-level and group-level site rules."""
+        total = self.site.total_cpus
+        for consumer in _consumers(job):
+            cap = self._cap(consumer)
+            if cap is None:
+                continue
+            if self._busy.get(consumer, 0) + job.cpus > cap * total + 1e-9:
+                return False
+        return True
+
+    # -- enforcing scheduler --------------------------------------------------------
+    def _enforcing_drain(self) -> None:
+        """Start every queued job that fits *and* is within its shares."""
+        site = self.site
+        queue = site._queue
+        if not queue:
+            return
+        kept: Deque[Job] = deque()
+        while queue:
+            if site.free_cpus <= 0:
+                kept.extend(queue)
+                queue.clear()
+                break
+            job = queue.popleft()
+            if job.cpus <= site.free_cpus and self.admits(job):
+                if job.jid in self._held_jids:
+                    self._held_jids.discard(job.jid)
+                    self.releases += 1
+                site._start(job)
+            else:
+                if not self.admits(job) and job.jid not in self._held_jids:
+                    self._held_jids.add(job.jid)
+                    self.holds += 1
+                kept.append(job)
+        queue.extend(kept)
+
+    def detach(self) -> None:
+        """Remove enforcement, restoring the site's plain FIFO drain."""
+        self.site._drain = self._original_drain  # type: ignore[method-assign]
+        self.site.on_job_started.remove(self._on_started)
+        self.site.on_job_completed.remove(self._on_ended)
+
+    @property
+    def held_jobs(self) -> int:
+        """Queued jobs currently vetoed by policy."""
+        return sum(1 for job in self.site._queue
+                   if job.jid in self._held_jids)

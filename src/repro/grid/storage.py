@@ -1,0 +1,131 @@
+"""Site storage: the second resource class USLAs allocate.
+
+"Allocations are made for processor time, permanent storage, or network
+bandwidth resources" (§3.3).  A :class:`StorageManager` tracks the
+permanent-storage pool of one site, with per-VO accounting so storage
+USLAs (``storage|site:vo=25%+``) can be enforced and verified exactly
+like CPU shares.  The Euryale planner charges staged input files and
+registered outputs against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.usla.fairshare import ResourceType
+from repro.usla.policy import PolicyEngine
+
+__all__ = ["StorageAllocation", "StorageManager"]
+
+
+@dataclass(frozen=True)
+class StorageAllocation:
+    """One accepted reservation of site storage."""
+
+    site: str
+    vo: str
+    lfn: str
+    size_gb: float
+
+
+@dataclass
+class StorageManager:
+    """Permanent-storage pool of one site with per-VO accounting."""
+
+    site: str
+    capacity_gb: float
+    policy: Optional[PolicyEngine] = None
+    _used_gb: float = 0.0
+    _by_vo: dict = field(default_factory=dict)
+    _allocations: dict = field(default_factory=dict)  # lfn -> allocation
+    denials: int = 0
+
+    def __post_init__(self):
+        if self.capacity_gb <= 0:
+            raise ValueError("capacity_gb must be > 0")
+
+    # -- queries --------------------------------------------------------
+    @property
+    def used_gb(self) -> float:
+        return self._used_gb
+
+    @property
+    def free_gb(self) -> float:
+        return self.capacity_gb - self._used_gb
+
+    def vo_used_gb(self, vo: str) -> float:
+        return self._by_vo.get(vo, 0.0)
+
+    def vo_fraction(self, vo: str) -> float:
+        return self.vo_used_gb(vo) / self.capacity_gb
+
+    def holds(self, lfn: str) -> bool:
+        return lfn in self._allocations
+
+    # -- allocation ------------------------------------------------------
+    def can_allocate(self, vo: str, size_gb: float) -> bool:
+        """Capacity + storage-USLA admission check."""
+        if size_gb < 0:
+            raise ValueError("size_gb must be >= 0")
+        if size_gb > self.free_gb:
+            return False
+        if self.policy is None:
+            return True
+        decision = self.policy.check_admission(
+            self.site, vo,
+            usage_fraction=self.vo_fraction(vo),
+            request_fraction=size_gb / self.capacity_gb,
+            resource=ResourceType.STORAGE)
+        return decision.allowed
+
+    def allocate(self, vo: str, lfn: str, size_gb: float
+                 ) -> Optional[StorageAllocation]:
+        """Reserve space for a file; returns None (and counts a denial)
+        when capacity or the VO's storage share forbids it.
+
+        Allocating an lfn already held at this site is a no-op returning
+        the existing allocation (replicas are stored once per site).
+        """
+        existing = self._allocations.get(lfn)
+        if existing is not None:
+            return existing
+        if not self.can_allocate(vo, size_gb):
+            self.denials += 1
+            return None
+        alloc = StorageAllocation(site=self.site, vo=vo, lfn=lfn,
+                                  size_gb=size_gb)
+        self._allocations[lfn] = alloc
+        self._used_gb += size_gb
+        self._by_vo[vo] = self._by_vo.get(vo, 0.0) + size_gb
+        return alloc
+
+    def release(self, lfn: str) -> None:
+        """Free a file's space (replica deletion / cleanup)."""
+        alloc = self._allocations.pop(lfn, None)
+        if alloc is None:
+            return
+        self._used_gb -= alloc.size_gb
+        self._by_vo[alloc.vo] = self._by_vo.get(alloc.vo, 0.0) - alloc.size_gb
+
+    def usage_snapshot(self) -> dict[str, float]:
+        """Per-VO used fractions (USLA verification input)."""
+        return {vo: used / self.capacity_gb
+                for vo, used in self._by_vo.items() if used > 0}
+
+
+def build_storage(grid, gb_per_cpu: float = 2.0,
+                  policy: Optional[PolicyEngine] = None
+                  ) -> dict[str, StorageManager]:
+    """Storage pools for every site of a grid, sized by CPU count.
+
+    Grid3-era sites provisioned disk roughly proportionally to compute;
+    ``gb_per_cpu`` sets that ratio.  A shared ``policy`` carries the
+    storage USLAs (rules with ``resource == STORAGE``).
+    """
+    if gb_per_cpu <= 0:
+        raise ValueError("gb_per_cpu must be > 0")
+    return {site.name: StorageManager(site=site.name,
+                                      capacity_gb=site.total_cpus * gb_per_cpu,
+                                      policy=policy)
+            for site in grid.sites.values()}

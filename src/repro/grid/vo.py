@@ -1,0 +1,96 @@
+"""Virtual organizations, groups, and users.
+
+The USLA model assigns resources at two levels: "to a VO, by a resource
+owner, and to a VO user or group, by a VO" — so the entity hierarchy is
+provider → VO → group → user, and it is recursive by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["User", "Group", "VirtualOrganization", "VORegistry"]
+
+
+@dataclass(frozen=True)
+class User:
+    """An individual investigator submitting work under a group."""
+
+    name: str
+    group: str
+    vo: str
+
+
+@dataclass
+class Group:
+    """A VO group (e.g. a physics analysis team within an experiment)."""
+
+    name: str
+    vo: str
+    users: list[User] = field(default_factory=list)
+
+    def add_user(self, name: str) -> User:
+        user = User(name=name, group=self.name, vo=self.vo)
+        self.users.append(user)
+        return user
+
+
+@dataclass
+class VirtualOrganization:
+    """A VO: a collaboration spanning institutions, owning USLA shares."""
+
+    name: str
+    groups: dict[str, Group] = field(default_factory=dict)
+
+    def add_group(self, name: str) -> Group:
+        if name in self.groups:
+            raise ValueError(f"group {name!r} already exists in VO {self.name!r}")
+        group = Group(name=name, vo=self.name)
+        self.groups[name] = group
+        return group
+
+    @property
+    def users(self) -> list[User]:
+        return [u for g in self.groups.values() for u in g.users]
+
+
+class VORegistry:
+    """All VOs participating in a grid, with lookup helpers."""
+
+    def __init__(self) -> None:
+        self._vos: dict[str, VirtualOrganization] = {}
+
+    def add(self, vo: VirtualOrganization) -> VirtualOrganization:
+        if vo.name in self._vos:
+            raise ValueError(f"VO {vo.name!r} already registered")
+        self._vos[vo.name] = vo
+        return vo
+
+    def create(self, name: str, n_groups: int = 0, users_per_group: int = 0
+               ) -> VirtualOrganization:
+        """Create and register a VO with ``n_groups`` uniform groups."""
+        vo = self.add(VirtualOrganization(name=name))
+        for g in range(n_groups):
+            group = vo.add_group(f"{name}-g{g}")
+            for u in range(users_per_group):
+                group.add_user(f"{name}-g{g}-u{u}")
+        return vo
+
+    def get(self, name: str) -> VirtualOrganization:
+        try:
+            return self._vos[name]
+        except KeyError:
+            raise KeyError(f"unknown VO {name!r}") from None
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._vos)
+
+    def __len__(self) -> int:
+        return len(self._vos)
+
+    def __iter__(self):
+        return iter(self._vos.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._vos

@@ -1,0 +1,13 @@
+"""GRUB-SIM: trace-driven decision-point sizing (paper §5).
+
+"GRUB-SIM took the traces from the tests presented in the previous
+section, and attempted to identify the saturation points and the
+optimum number of decision points needed. ... GRUB-SIM automatically
+traces the Response metric and all overload events, and simulates new
+decision points on the fly."
+"""
+
+from repro.grubsim.model import DPPerformanceModel
+from repro.grubsim.simulator import GrubSim, GrubSimResult, OverloadEvent
+
+__all__ = ["DPPerformanceModel", "GrubSim", "GrubSimResult", "OverloadEvent"]

@@ -1,0 +1,137 @@
+"""The GRUB-SIM replay engine.
+
+Replays a recorded query trace window by window: reconstructs the
+active-client curve, converts it into query demand via the calibrated
+per-decision-point model, flags every window whose demand exceeds the
+deployed capacity (an *overload event*), and adds decision points on
+the fly until the demand is served at the target response — producing
+the Table 3 answer: how many decision points this grid actually needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grubsim.model import DPPerformanceModel
+from repro.metrics.report import format_table
+from repro.workloads.trace import TraceRecorder
+
+__all__ = ["OverloadEvent", "GrubSimResult", "GrubSim"]
+
+
+@dataclass(frozen=True)
+class OverloadEvent:
+    """One window in which the deployed decision points were saturated."""
+
+    time: float
+    active_clients: int
+    demand_qps: float
+    deployed_dps: int
+    required_dps: int
+
+
+@dataclass
+class GrubSimResult:
+    """Outcome of one replay."""
+
+    name: str
+    initial_dps: int
+    final_dps: int
+    overloads: list[OverloadEvent] = field(default_factory=list)
+    required_series: list[tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def additional_dps(self) -> int:
+        return self.final_dps - self.initial_dps
+
+    @property
+    def peak_required(self) -> int:
+        return max((k for _, k in self.required_series), default=self.initial_dps)
+
+    def summary(self) -> str:
+        rows = [[self.name, self.initial_dps, self.additional_dps,
+                 self.final_dps, len(self.overloads)]]
+        return format_table(
+            ["Trace", "Initial DPs", "Additional DPs", "Total DPs",
+             "Overload Events"],
+            rows, title="GRUB-SIM: required decision points", col_width=16)
+
+
+class GrubSim:
+    """Window-by-window trace replay with on-the-fly DP provisioning."""
+
+    def __init__(self, model: DPPerformanceModel, window_s: float = 60.0,
+                 grow_only: bool = True):
+        if window_s <= 0:
+            raise ValueError("window_s must be > 0")
+        self.model = model
+        self.window_s = window_s
+        self.grow_only = grow_only
+
+    # -- input shaping -----------------------------------------------------
+    @staticmethod
+    def active_clients_per_window(trace: TraceRecorder, edges: np.ndarray
+                                  ) -> np.ndarray:
+        """Reconstruct the DiPerF load curve from the query trace.
+
+        A client is considered active from its first query to its last
+        activity (response or send) — the controller's view of tester
+        lifetimes when only the log survives.
+        """
+        q = trace.query_arrays()
+        if len(q["sent_at"]) == 0:
+            return np.zeros(len(edges) - 1, dtype=np.int64)
+        clients = q["client"]
+        spans: dict[str, list[float]] = {}
+        last_seen = np.where(np.isnan(q["responded_at"]), q["sent_at"],
+                             q["responded_at"])
+        for c, s, e in zip(clients, q["sent_at"], last_seen):
+            span = spans.get(c)
+            if span is None:
+                spans[c] = [s, e]
+            else:
+                span[0] = min(span[0], s)
+                span[1] = max(span[1], e)
+        starts = np.array([s for s, _ in spans.values()])
+        ends = np.array([e for _, e in spans.values()])
+        lo = edges[:-1][:, None]
+        hi = edges[1:][:, None]
+        active = (starts[None, :] < hi) & (ends[None, :] > lo)
+        return active.sum(axis=1)
+
+    # -- replay ------------------------------------------------------------------
+    def replay(self, trace: TraceRecorder, initial_dps: int = 1,
+               name: str = "trace") -> GrubSimResult:
+        """Size the decision-point set against a recorded trace."""
+        if initial_dps < 1:
+            raise ValueError("initial_dps must be >= 1")
+        q = trace.query_arrays()
+        if len(q["sent_at"]) == 0:
+            return GrubSimResult(name=name, initial_dps=initial_dps,
+                                 final_dps=initial_dps)
+        t_end = float(np.nanmax(
+            np.where(np.isnan(q["responded_at"]), q["sent_at"],
+                     q["responded_at"])))
+        n_windows = max(1, int(np.ceil(t_end / self.window_s)))
+        edges = np.arange(n_windows + 1) * self.window_s
+        active = self.active_clients_per_window(trace, edges)
+
+        result = GrubSimResult(name=name, initial_dps=initial_dps,
+                               final_dps=initial_dps)
+        deployed = initial_dps
+        for w in range(n_windows):
+            n_clients = int(active[w])
+            required = self.model.required_dps(n_clients)
+            result.required_series.append((float(edges[w]), required))
+            if required > deployed:
+                result.overloads.append(OverloadEvent(
+                    time=float(edges[w]), active_clients=n_clients,
+                    demand_qps=self.model.demand_qps(n_clients),
+                    deployed_dps=deployed, required_dps=required))
+                deployed = required  # "simulates new decision points on the fly"
+            elif not self.grow_only and required < deployed:
+                deployed = required
+        result.final_dps = deployed
+        return result

@@ -1,0 +1,35 @@
+"""The paper's evaluation metrics.
+
+Section 4.2 defines five metrics: Average Response Time, Throughput,
+Queue Time (plus the Normalized QTime used in Tables 1-2), Average
+Resource Utilization, and Average Scheduling Accuracy.  All are numpy
+reductions over the columnar traces of
+:class:`~repro.workloads.trace.TraceRecorder`.
+"""
+
+from repro.metrics.ascii_plot import render_diperf_figure, render_series, sparkline
+from repro.metrics.defs import (
+    accuracy,
+    normalized_qtime,
+    qtime,
+    throughput,
+    utilization,
+)
+from repro.metrics.report import SummaryStats, format_table
+from repro.metrics.timeseries import concurrency_series, windowed_mean, windowed_rate
+
+__all__ = [
+    "SummaryStats",
+    "accuracy",
+    "concurrency_series",
+    "format_table",
+    "normalized_qtime",
+    "qtime",
+    "render_diperf_figure",
+    "render_series",
+    "sparkline",
+    "throughput",
+    "utilization",
+    "windowed_mean",
+    "windowed_rate",
+]

@@ -1,0 +1,69 @@
+"""ASCII rendering of the paper's figure layout.
+
+Each DiPerF figure plots three series against experiment time — load
+(concurrent clients), service response time, and throughput.  These
+helpers render them as aligned sparkline rows plus a compact multi-row
+chart, so the benchmark harness can print something figure-shaped next
+to the summary tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sparkline", "render_series", "render_diperf_figure"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 60) -> str:
+    """One-row unicode sparkline, NaN-safe, resampled to ``width``."""
+    v = np.asarray(values, dtype=np.float64)
+    if len(v) == 0:
+        return ""
+    if len(v) > width:
+        # Bin-mean resample to the target width.
+        edges = np.linspace(0, len(v), width + 1).astype(int)
+        v = np.array([np.nanmean(v[a:b]) if b > a else np.nan
+                      for a, b in zip(edges[:-1], edges[1:])])
+    finite = v[~np.isnan(v)]
+    if len(finite) == 0:
+        return " " * len(v)
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    chars = []
+    for x in v:
+        if np.isnan(x):
+            chars.append(" ")
+        elif span == 0:
+            chars.append(_BLOCKS[4])
+        else:
+            idx = int((x - lo) / span * (len(_BLOCKS) - 2)) + 1
+            chars.append(_BLOCKS[idx])
+    return "".join(chars)
+
+
+def render_series(label: str, times, values, unit: str = "",
+                  width: int = 60) -> str:
+    """One labelled sparkline row with its min/max annotations."""
+    v = np.asarray(values, dtype=np.float64)
+    finite = v[~np.isnan(v)]
+    lo = float(finite.min()) if len(finite) else 0.0
+    hi = float(finite.max()) if len(finite) else 0.0
+    return (f"{label:<18} |{sparkline(v, width)}| "
+            f"min={lo:.2f} max={hi:.2f} {unit}")
+
+
+def render_diperf_figure(result, width: int = 60) -> str:
+    """Render a DiPerfResult as the paper's three stacked series."""
+    t1, load = result.load_series()
+    t2, resp = result.response_series()
+    t3, thr = result.throughput_series()
+    lines = [
+        f"[{result.name}]  t = 0 .. {result.t_end:.0f} s "
+        f"({len(t1)} windows of {result.window_s:.0f} s)",
+        render_series("load (clients)", t1, load, width=width),
+        render_series("response (s)", t2, resp, width=width),
+        render_series("throughput (q/s)", t3, thr, width=width),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Summary statistics and text tables in the paper's reporting format."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["SummaryStats", "format_table"]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """DiPerF's per-series summary: min / median / average / max / stdev.
+
+    ``peak`` is the best windowed value (highest throughput window, or
+    highest mean-response window), matching the "Peak" rows under the
+    paper's figures.
+    """
+
+    minimum: float
+    median: float
+    average: float
+    maximum: float
+    stdev: float
+    peak: float
+
+    @staticmethod
+    def from_array(values: np.ndarray, peak: float | None = None
+                   ) -> "SummaryStats":
+        v = np.asarray(values, dtype=np.float64)
+        v = v[~np.isnan(v)]
+        if len(v) == 0:
+            return SummaryStats(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return SummaryStats(
+            minimum=float(v.min()),
+            median=float(np.median(v)),
+            average=float(v.mean()),
+            maximum=float(v.max()),
+            stdev=float(v.std()),
+            peak=float(peak) if peak is not None else float(v.max()),
+        )
+
+    def row(self) -> list[float]:
+        return [self.minimum, self.median, self.average, self.maximum,
+                self.stdev, self.peak]
+
+    HEADER = ("Minimum", "Median", "Average", "Maximum", "StdDev", "Peak")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "", col_width: int = 12) -> str:
+    """Fixed-width text table (the benches print paper tables with this)."""
+    if any(len(r) != len(headers) for r in rows):
+        raise ValueError("row length does not match header length")
+
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            if cell != cell:  # NaN
+                return "-"
+            if abs(cell) >= 1000:
+                return f"{cell:,.0f}"
+            return f"{cell:.2f}"
+        return str(cell)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("".join(f"{h:>{col_width}}" for h in headers))
+    lines.append("-" * (col_width * len(headers)))
+    for r in rows:
+        lines.append("".join(f"{fmt(c):>{col_width}}" for c in r))
+    return "\n".join(lines)

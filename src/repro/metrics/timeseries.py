@@ -1,0 +1,77 @@
+"""Windowed time series for the DiPerF-style figures.
+
+The paper's figures plot three series against experiment time: number
+of concurrent clients (load), service response time, and throughput.
+These helpers bin event streams into fixed windows, vectorized with
+``numpy.histogram``-style binning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["windowed_rate", "windowed_mean", "concurrency_series"]
+
+
+def _edges(t_start: float, t_end: float, window_s: float) -> np.ndarray:
+    if window_s <= 0:
+        raise ValueError("window_s must be > 0")
+    if t_end <= t_start:
+        raise ValueError(f"empty window [{t_start}, {t_end}]")
+    n = int(np.ceil((t_end - t_start) / window_s))
+    return t_start + np.arange(n + 1) * window_s
+
+
+def windowed_rate(event_times: np.ndarray, t_start: float, t_end: float,
+                  window_s: float) -> tuple[np.ndarray, np.ndarray]:
+    """Events per second in each window.
+
+    Returns ``(centers, rates)``; NaN event times are ignored.  This is
+    the throughput series of Figs 1 and 5-11.
+    """
+    edges = _edges(t_start, t_end, window_s)
+    t = np.asarray(event_times, dtype=np.float64)
+    t = t[~np.isnan(t)]
+    counts, _ = np.histogram(t, bins=edges)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, counts / window_s
+
+
+def windowed_mean(event_times: np.ndarray, values: np.ndarray,
+                  t_start: float, t_end: float, window_s: float
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Mean of ``values`` grouped by event window (NaN where empty).
+
+    This is the response-time series: events are query completions,
+    values are their response times.
+    """
+    edges = _edges(t_start, t_end, window_s)
+    t = np.asarray(event_times, dtype=np.float64)
+    v = np.asarray(values, dtype=np.float64)
+    keep = ~(np.isnan(t) | np.isnan(v))
+    t, v = t[keep], v[keep]
+    counts, _ = np.histogram(t, bins=edges)
+    sums, _ = np.histogram(t, bins=edges, weights=v)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    with np.errstate(invalid="ignore"):
+        means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    return centers, means
+
+
+def concurrency_series(start_times: np.ndarray, end_times: np.ndarray,
+                       t_start: float, t_end: float, window_s: float
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """How many clients are active in each window (the "load" series).
+
+    A client is active in a window if its ``[start, end]`` interval
+    overlaps the window.  NaN end times mean active through ``t_end``.
+    """
+    edges = _edges(t_start, t_end, window_s)
+    s = np.asarray(start_times, dtype=np.float64)
+    e = np.asarray(end_times, dtype=np.float64)
+    e = np.where(np.isnan(e), t_end, e)
+    lo = edges[:-1][:, None]   # (windows, 1)
+    hi = edges[1:][:, None]
+    active = (s[None, :] < hi) & (e[None, :] > lo)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, active.sum(axis=1)

@@ -1,0 +1,171 @@
+"""Network bandwidth as an allocatable, USLA-governed resource.
+
+"Allocations are made for processor time, permanent storage, or network
+bandwidth resources" (§3.3).  A :class:`BandwidthPool` models a site's
+WAN uplink as a fair-shared channel: concurrent transfers split the
+capacity evenly (processor-sharing), per-VO USLAs cap how much of the
+link a VO may hold, and completed transfers report their effective
+rates for verification.
+
+Transfer times under processor sharing are computed event-exactly: when
+a transfer starts or ends, the remaining bytes of every active transfer
+are re-scheduled at the new per-transfer rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.kernel import Event, ScheduledCall, Simulator
+from repro.usla.fairshare import ResourceType
+from repro.usla.policy import PolicyEngine
+
+__all__ = ["BandwidthPool", "TransferRecord"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed transfer (verification input)."""
+
+    vo: str
+    size_mb: float
+    started_at: float
+    completed_at: float
+
+    @property
+    def effective_mb_s(self) -> float:
+        dt = self.completed_at - self.started_at
+        return self.size_mb / dt if dt > 0 else float("inf")
+
+
+@dataclass
+class _ActiveTransfer:
+    vo: str
+    size_mb: float
+    remaining_mb: float
+    started_at: float
+    done: Event
+    completion: Optional[ScheduledCall] = None
+    last_update: float = 0.0
+
+
+class BandwidthPool:
+    """Processor-shared link with per-VO USLA admission.
+
+    Parameters
+    ----------
+    capacity_mb_s:
+        Aggregate link capacity.
+    policy:
+        Optional policy engine; rules like ``network|site:vo=25%+`` cap
+        the *number share* of concurrent transfers a VO may hold (the
+        natural processor-sharing reading of a bandwidth share).
+    """
+
+    def __init__(self, sim: Simulator, site: str, capacity_mb_s: float,
+                 policy: Optional[PolicyEngine] = None):
+        if capacity_mb_s <= 0:
+            raise ValueError("capacity_mb_s must be > 0")
+        self.sim = sim
+        self.site = site
+        self.capacity_mb_s = capacity_mb_s
+        self.policy = policy
+        self._active: list[_ActiveTransfer] = []
+        self.records: list[TransferRecord] = []
+        self.denials = 0
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def active_transfers(self) -> int:
+        return len(self._active)
+
+    def vo_active(self, vo: str) -> int:
+        return sum(1 for t in self._active if t.vo == vo)
+
+    def current_rate_mb_s(self) -> float:
+        """Per-transfer rate right now (processor sharing)."""
+        n = len(self._active)
+        return self.capacity_mb_s / n if n else self.capacity_mb_s
+
+    # -- admission ------------------------------------------------------------
+    def _admits(self, vo: str) -> bool:
+        if self.policy is None:
+            return True
+        decision = self.policy.check_admission(
+            self.site, vo, usage_fraction=0.0,
+            request_fraction=0.0, resource=ResourceType.NETWORK)
+        if decision.binding_rule is None:
+            return True
+        total_after = len(self._active) + 1
+        held_after = self.vo_active(vo) + 1
+        # A share of concurrent transfers, with a floor of one slot —
+        # otherwise a capped VO could never transfer on an idle link.
+        allowed = max(1, int(decision.binding_rule.fraction * total_after
+                             + 1e-12))
+        return held_after <= allowed
+
+    # -- transfers ---------------------------------------------------------------
+    def transfer(self, vo: str, size_mb: float) -> Event:
+        """Start a transfer; the event succeeds at completion.
+
+        Fails immediately (event failure) when the VO's network USLA
+        forbids another concurrent transfer on this link.
+        """
+        if size_mb <= 0:
+            raise ValueError("size_mb must be > 0")
+        done = self.sim.event(name=f"xfer:{self.site}:{vo}")
+        if not self._admits(vo):
+            self.denials += 1
+            done.fail(PermissionError(
+                f"network USLA denies {vo!r} another transfer at {self.site!r}"))
+            return done
+        self._progress_all()
+        t = _ActiveTransfer(vo=vo, size_mb=size_mb, remaining_mb=size_mb,
+                            started_at=self.sim.now, done=done,
+                            last_update=self.sim.now)
+        self._active.append(t)
+        self._reschedule_all()
+        return done
+
+    # -- processor-sharing mechanics ------------------------------------------------
+    def _progress_all(self) -> None:
+        """Advance every active transfer's remaining bytes to `now`."""
+        now = self.sim.now
+        rate = self.current_rate_mb_s()
+        for t in self._active:
+            elapsed = now - t.last_update
+            t.remaining_mb = max(t.remaining_mb - elapsed * rate, 0.0)
+            t.last_update = now
+
+    def _reschedule_all(self) -> None:
+        rate = self.current_rate_mb_s()
+        for t in self._active:
+            if t.completion is not None:
+                t.completion.cancel()
+            eta = t.remaining_mb / rate
+            t.completion = self.sim.schedule(eta, lambda t=t: self._complete(t))
+
+    def _complete(self, t: _ActiveTransfer) -> None:
+        self._progress_all()
+        self._active.remove(t)
+        self.records.append(TransferRecord(
+            vo=t.vo, size_mb=t.size_mb, started_at=t.started_at,
+            completed_at=self.sim.now))
+        t.done.succeed(self.sim.now - t.started_at)
+        self._reschedule_all()
+
+    # -- verification -----------------------------------------------------------
+    def vo_mb_transferred(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for rec in self.records:
+            out[rec.vo] = out.get(rec.vo, 0.0) + rec.size_mb
+        return out
+
+    def usage_snapshot(self) -> dict[str, float]:
+        """Per-VO fraction of total bytes moved (verification input)."""
+        totals = self.vo_mb_transferred()
+        total = sum(totals.values())
+        if total == 0:
+            return {}
+        return {vo: mb / total for vo, mb in totals.items()}

@@ -1,0 +1,118 @@
+"""One-way message latency models.
+
+The paper deployed DI-GRUBER on PlanetLab, where node-to-node message
+latencies are "in the 100s of milliseconds" once SOAP payloads are
+involved.  :class:`PairwiseWanLatency` models that regime: each ordered
+node pair gets a stable base latency drawn once from a lognormal
+distribution (geography does not change during a run), and every
+message adds lognormal jitter (cross traffic).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable
+
+import numpy as np
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LanLatency",
+    "PairwiseWanLatency",
+]
+
+
+class LatencyModel(ABC):
+    """Maps an ordered endpoint pair to a one-way delay in seconds."""
+
+    @abstractmethod
+    def sample(self, src: Hashable, dst: Hashable) -> float:
+        """One-way latency for one message from ``src`` to ``dst``."""
+
+    def rtt(self, a: Hashable, b: Hashable) -> float:
+        """One sampled round trip (two independent one-way draws)."""
+        return self.sample(a, b) + self.sample(b, a)
+
+
+class ConstantLatency(LatencyModel):
+    """Fixed one-way delay; useful for tests and analytic validation."""
+
+    def __init__(self, value: float):
+        if value < 0:
+            raise ValueError(f"latency must be >= 0, got {value}")
+        self.value = value
+
+    def sample(self, src: Hashable, dst: Hashable) -> float:
+        return self.value
+
+
+class UniformLatency(LatencyModel):
+    """Uniform jitter in ``[lo, hi]``, independent per message."""
+
+    def __init__(self, lo: float, hi: float, rng: np.random.Generator):
+        if not 0 <= lo <= hi:
+            raise ValueError(f"need 0 <= lo <= hi, got [{lo}, {hi}]")
+        self.lo, self.hi, self.rng = lo, hi, rng
+
+    def sample(self, src: Hashable, dst: Hashable) -> float:
+        return float(self.rng.uniform(self.lo, self.hi))
+
+
+class LanLatency(ConstantLatency):
+    """Sub-millisecond LAN delay (the paper's suggested tighter coupling)."""
+
+    def __init__(self, value: float = 0.0002):
+        super().__init__(value)
+
+
+class PairwiseWanLatency(LatencyModel):
+    """PlanetLab-like WAN latency.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness (a named stream from ``RngRegistry``).
+    median_ms:
+        Median *base* one-way latency between two nodes.  PlanetLab
+        pings cluster around 40-80 ms; SOAP-payload-bearing messages
+        are effectively slower, so experiment configs use a higher
+        value (see ``repro.experiments.configs``).
+    sigma:
+        Lognormal shape for the base latency draw (pair diversity).
+    jitter_frac:
+        Per-message multiplicative jitter: each message's latency is
+        ``base * (1 + Lognormal(0, jitter_sigma) * jitter_frac)``-like;
+        implemented as base times a lognormal with unit median.
+    """
+
+    def __init__(self, rng: np.random.Generator, median_ms: float = 60.0,
+                 sigma: float = 0.6, jitter_sigma: float = 0.15):
+        if median_ms <= 0:
+            raise ValueError(f"median_ms must be > 0, got {median_ms}")
+        if sigma < 0 or jitter_sigma < 0:
+            raise ValueError("sigma parameters must be >= 0")
+        self.rng = rng
+        self.median_s = median_ms / 1000.0
+        self.sigma = sigma
+        self.jitter_sigma = jitter_sigma
+        self._base: dict[tuple[Hashable, Hashable], float] = {}
+
+    def base_latency(self, src: Hashable, dst: Hashable) -> float:
+        """The stable component for this ordered pair (drawn once)."""
+        if src == dst:
+            return 0.0
+        key = (src, dst) if repr(src) <= repr(dst) else (dst, src)
+        base = self._base.get(key)
+        if base is None:
+            base = self.median_s * float(np.exp(self.rng.normal(0.0, self.sigma)))
+            self._base[key] = base
+        return base
+
+    def sample(self, src: Hashable, dst: Hashable) -> float:
+        base = self.base_latency(src, dst)
+        if base == 0.0:
+            return 0.0
+        jitter = float(np.exp(self.rng.normal(0.0, self.jitter_sigma)))
+        return base * jitter

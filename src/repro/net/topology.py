@@ -1,0 +1,125 @@
+"""Decision-point overlay topologies and client assignment.
+
+The paper connects decision points "in a mesh, a simple configuration
+adopted to simplify analysis"; the ablation benches also exercise ring
+and star overlays.  Clients (submission hosts) are assigned to exactly
+one decision point, "selected randomly in the beginning", i.e. a static
+random assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["BrokerTopology", "assign_clients", "assign_clients_nearest"]
+
+_KINDS = ("mesh", "ring", "star", "line")
+
+
+class BrokerTopology:
+    """Overlay graph among decision points.
+
+    Parameters
+    ----------
+    nodes:
+        Decision-point identifiers (order defines ring/star/line layout).
+    kind:
+        ``"mesh"`` (complete graph — the paper's configuration),
+        ``"ring"``, ``"star"`` (first node is the hub), or ``"line"``.
+    """
+
+    def __init__(self, nodes: Sequence[Hashable], kind: str = "mesh"):
+        if kind not in _KINDS:
+            raise ValueError(f"unknown topology kind {kind!r}; expected one of {_KINDS}")
+        nodes = list(nodes)
+        if len(nodes) != len(set(nodes)):
+            raise ValueError("duplicate node identifiers in topology")
+        if not nodes:
+            raise ValueError("topology requires at least one node")
+        self.kind = kind
+        self.nodes = nodes
+        self.graph = self._build(nodes, kind)
+
+    @staticmethod
+    def _build(nodes: Sequence[Hashable], kind: str) -> nx.Graph:
+        g = nx.Graph()
+        g.add_nodes_from(nodes)
+        n = len(nodes)
+        if n == 1:
+            return g
+        if kind == "mesh":
+            g.add_edges_from((nodes[i], nodes[j])
+                             for i in range(n) for j in range(i + 1, n))
+        elif kind == "ring":
+            g.add_edges_from((nodes[i], nodes[(i + 1) % n]) for i in range(n))
+        elif kind == "star":
+            hub = nodes[0]
+            g.add_edges_from((hub, other) for other in nodes[1:])
+        elif kind == "line":
+            g.add_edges_from((nodes[i], nodes[i + 1]) for i in range(n - 1))
+        return g
+
+    def neighbors(self, node: Hashable) -> list[Hashable]:
+        """Peers this decision point exchanges state with directly."""
+        return list(self.graph.neighbors(node))
+
+    def diameter(self) -> int:
+        """Hops for information to reach every decision point (flooding depth)."""
+        if len(self.nodes) == 1:
+            return 0
+        return nx.diameter(self.graph)
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self.graph)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def assign_clients(clients: Sequence[Hashable], decision_points: Sequence[Hashable],
+                   rng: np.random.Generator) -> dict[Hashable, Hashable]:
+    """Static random client → decision-point assignment (paper §4.3).
+
+    Each submission host picks one decision point uniformly at random at
+    the start of the run and keeps it; the returned dict maps client id
+    to decision-point id.
+    """
+    if not decision_points:
+        raise ValueError("need at least one decision point")
+    dps = list(decision_points)
+    picks = rng.integers(0, len(dps), size=len(clients))
+    return {c: dps[int(i)] for c, i in zip(clients, picks)}
+
+
+def assign_clients_nearest(clients: Sequence[Hashable],
+                           decision_points: Sequence[Hashable],
+                           latency, max_skew: int = 2
+                           ) -> dict[Hashable, Hashable]:
+    """Latency-aware assignment: each host binds to its nearest broker.
+
+    An alternative to the paper's random static assignment — hosts sort
+    decision points by measured base latency and take the closest one
+    whose load does not exceed the current minimum by more than
+    ``max_skew`` clients (so a popular corner of the WAN cannot starve
+    a broker of clients entirely).  ``latency`` is any
+    :class:`~repro.net.latency.LatencyModel` with stable per-pair bases.
+    """
+    if not decision_points:
+        raise ValueError("need at least one decision point")
+    if max_skew < 1:
+        raise ValueError("max_skew must be >= 1")
+    dps = list(decision_points)
+    loads = {d: 0 for d in dps}
+    base = getattr(latency, "base_latency", latency.sample)
+    out: dict[Hashable, Hashable] = {}
+    for c in clients:
+        ranked = sorted(dps, key=lambda d: base(c, d))
+        floor = min(loads.values())
+        chosen = next((d for d in ranked if loads[d] - floor < max_skew),
+                      ranked[0])
+        out[c] = chosen
+        loads[chosen] += 1
+    return out

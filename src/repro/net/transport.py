@@ -1,0 +1,264 @@
+"""Simulated message passing and RPC.
+
+Endpoints register named operation handlers; a handler may return a
+plain value (instant work) or a generator (a process that consumes
+simulated time — e.g. acquiring the service container and spending the
+request's service time).  The RPC result event fires when the response
+message arrives back at the caller — so one RPC costs one full round
+trip plus server-side time, and the multi-round-trip brokering protocol
+of the paper is composed from several RPCs.
+
+A caller-side ``timeout`` only abandons *waiting*: the server still
+completes the request (and the response is discarded on arrival).  This
+matches the paper's client behaviour — on a 15 s timeout the site
+selector falls back to a random site while the original query keeps
+running to completion inside the decision point.
+"""
+
+from __future__ import annotations
+
+import types
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Optional
+
+from repro.sim.kernel import Event, Simulator
+
+from repro.net.latency import LatencyModel
+
+__all__ = ["Message", "Endpoint", "Network", "RpcError", "RpcTimeout"]
+
+
+class RpcError(Exception):
+    """The remote handler raised; carries the remote exception string."""
+
+
+class RpcTimeout(RpcError):
+    """The caller stopped waiting before the response arrived."""
+
+
+@dataclass
+class Message:
+    """One simulated network message."""
+
+    src: Hashable
+    dst: Hashable
+    kind: str                    # "request" | "response" | "oneway"
+    op: str
+    payload: Any
+    size_kb: float = 0.0
+    sent_at: float = 0.0
+    rpc_id: int = 0
+    ok: bool = True              # for responses: handler succeeded?
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate transport counters, for reporting and saturation checks."""
+
+    messages: int = 0
+    kb: float = 0.0
+    dropped: int = 0
+    rpcs_started: int = 0
+    rpcs_completed: int = 0
+    rpcs_failed: int = 0
+    per_op: dict = field(default_factory=dict)
+
+    def count(self, op: str) -> None:
+        self.per_op[op] = self.per_op.get(op, 0) + 1
+
+
+class Endpoint:
+    """A named node attached to the network.
+
+    Handlers receive ``(payload, src)`` and either return a result
+    directly or return a generator which the transport runs as a
+    process; the generator's return value becomes the RPC result.
+    """
+
+    def __init__(self, network: "Network", node_id: Hashable):
+        self.network = network
+        self.node_id = node_id
+        self.handlers: dict[str, Callable[[Any, Hashable], Any]] = {}
+        #: A downed endpoint swallows traffic: requests get no response
+        #: (callers see their own timeouts — exactly how a crashed WAN
+        #: service fails), one-way messages vanish.
+        self.online = True
+        network._register(self)
+
+    def register_handler(self, op: str, fn: Callable[[Any, Hashable], Any]) -> None:
+        if op in self.handlers:
+            raise ValueError(f"handler for op {op!r} already registered on {self.node_id!r}")
+        self.handlers[op] = fn
+
+    # Subclasses may override for non-RPC one-way messages.
+    def on_oneway(self, msg: Message) -> None:  # pragma: no cover - default
+        raise NotImplementedError(
+            f"endpoint {self.node_id!r} received one-way {msg.op!r} "
+            "but does not override on_oneway()")
+
+
+class Network:
+    """The WAN: delivers messages after sampled latency plus transfer time.
+
+    ``kb_transfer_s`` models effective serialization/transfer cost per
+    KB of payload — SOAP-encoded state over PlanetLab paths is slow,
+    and the paper notes the brokering protocol moves "significant
+    state"; this constant is a calibration input (see configs).
+    """
+
+    def __init__(self, sim: Simulator, latency: LatencyModel,
+                 kb_transfer_s: float = 0.0,
+                 loss_rate: float = 0.0, loss_rng=None):
+        if kb_transfer_s < 0:
+            raise ValueError("kb_transfer_s must be >= 0")
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError("loss_rate must be in [0, 1)")
+        if loss_rate > 0.0 and loss_rng is None:
+            raise ValueError("loss_rate > 0 requires loss_rng")
+        self.sim = sim
+        self.latency = latency
+        self.kb_transfer_s = kb_transfer_s
+        #: Independent per-message drop probability (lossy WAN).  A
+        #: dropped request or response simply never arrives; callers
+        #: see their own timeouts, exactly as with a crashed peer.
+        self.loss_rate = loss_rate
+        self._loss_rng = loss_rng
+        self.stats = NetworkStats()
+        self._endpoints: dict[Hashable, Endpoint] = {}
+        self._rpc_seq = 0
+        self._pending_rpcs: dict[int, Event] = {}
+
+    def _lost(self) -> bool:
+        if self.loss_rate == 0.0:
+            return False
+        lost = bool(self._loss_rng.random() < self.loss_rate)
+        if lost:
+            self.stats.dropped += 1
+        return lost
+
+    # -- registry -------------------------------------------------------
+    def _register(self, ep: Endpoint) -> None:
+        if ep.node_id in self._endpoints:
+            raise ValueError(f"endpoint id {ep.node_id!r} already registered")
+        self._endpoints[ep.node_id] = ep
+
+    def endpoint(self, node_id: Hashable) -> Endpoint:
+        return self._endpoints[node_id]
+
+    def __contains__(self, node_id: Hashable) -> bool:
+        return node_id in self._endpoints
+
+    # -- message delivery -------------------------------------------------
+    def _delivery_delay(self, msg: Message) -> float:
+        return self.latency.sample(msg.src, msg.dst) + msg.size_kb * self.kb_transfer_s
+
+    def send_oneway(self, src: Hashable, dst: Hashable, op: str, payload: Any,
+                    size_kb: float = 0.0) -> None:
+        """Fire-and-forget message (used by the sync flooding protocol)."""
+        if dst not in self._endpoints:
+            raise KeyError(f"unknown destination endpoint {dst!r}")
+        msg = Message(src=src, dst=dst, kind="oneway", op=op, payload=payload,
+                      size_kb=size_kb, sent_at=self.sim.now)
+        self.stats.messages += 1
+        self.stats.kb += size_kb
+        if self._lost():
+            return
+
+        def deliver() -> None:
+            ep = self._endpoints[dst]
+            if ep.online:
+                ep.on_oneway(msg)
+
+        self.sim.schedule(self._delivery_delay(msg), deliver)
+
+    def rpc(self, src: Hashable, dst: Hashable, op: str, payload: Any = None,
+            size_kb: float = 0.0, response_size_kb: float = 0.0,
+            timeout: Optional[float] = None) -> Event:
+        """Invoke ``op`` on ``dst``; event fires when the response returns.
+
+        The event succeeds with the handler's return value or fails with
+        :class:`RpcError` (remote exception) / :class:`RpcTimeout`
+        (caller stopped waiting; the server-side work still completes).
+        """
+        if dst not in self._endpoints:
+            raise KeyError(f"unknown destination endpoint {dst!r}")
+        self._rpc_seq += 1
+        rpc_id = self._rpc_seq
+        result = self.sim.event(name=f"rpc:{op}:{rpc_id}")
+        self._pending_rpcs[rpc_id] = result
+        self.stats.rpcs_started += 1
+        self.stats.count(op)
+
+        msg = Message(src=src, dst=dst, kind="request", op=op, payload=payload,
+                      size_kb=size_kb, sent_at=self.sim.now, rpc_id=rpc_id)
+        self.stats.messages += 1
+        self.stats.kb += size_kb
+        if not self._lost():
+            self.sim.schedule(
+                self._delivery_delay(msg),
+                lambda: self._handle_request(msg, response_size_kb))
+
+        if timeout is not None:
+            def expire() -> None:
+                pending = self._pending_rpcs.pop(rpc_id, None)
+                if pending is not None and not pending.triggered:
+                    pending.fail(RpcTimeout(f"rpc {op!r} to {dst!r} after {timeout}s"))
+            self.sim.schedule(timeout, expire)
+        return result
+
+    # -- server side --------------------------------------------------------
+    def _handle_request(self, msg: Message, response_size_kb: float) -> None:
+        ep = self._endpoints[msg.dst]
+        if not ep.online:
+            # Crashed service: the request is simply never answered;
+            # the caller's timeout (if any) is its only signal.
+            return
+        handler = ep.handlers.get(msg.op)
+        if handler is None:
+            self._send_response(msg, RpcError(f"no handler for {msg.op!r} on {msg.dst!r}"),
+                                ok=False, size_kb=0.0)
+            return
+        try:
+            outcome = handler(msg.payload, msg.src)
+        except Exception as err:
+            self._send_response(msg, RpcError(f"{type(err).__name__}: {err}"),
+                                ok=False, size_kb=0.0)
+            return
+        if isinstance(outcome, types.GeneratorType):
+            proc = self.sim.process(outcome, name=f"handler:{msg.op}")
+
+            def finished(ev: Event) -> None:
+                if ev.ok:
+                    self._send_response(msg, ev.value, ok=True, size_kb=response_size_kb)
+                else:
+                    self._send_response(
+                        msg, RpcError(f"{type(ev.value).__name__}: {ev.value}"),
+                        ok=False, size_kb=0.0)
+
+            proc.add_callback(finished)
+        else:
+            self._send_response(msg, outcome, ok=True, size_kb=response_size_kb)
+
+    def _send_response(self, request: Message, value: Any, ok: bool,
+                       size_kb: float) -> None:
+        resp = Message(src=request.dst, dst=request.src, kind="response",
+                       op=request.op, payload=value, size_kb=size_kb,
+                       sent_at=self.sim.now, rpc_id=request.rpc_id, ok=ok)
+        self.stats.messages += 1
+        self.stats.kb += size_kb
+        if not self._lost():
+            self.sim.schedule(self._delivery_delay(resp),
+                              lambda: self._complete_rpc(resp))
+
+    def _complete_rpc(self, resp: Message) -> None:
+        result = self._pending_rpcs.pop(resp.rpc_id, None)
+        if result is None or result.triggered:
+            # Caller timed out and went on; response discarded (paper §4.3).
+            return
+        if resp.ok:
+            self.stats.rpcs_completed += 1
+            result.succeed(resp.payload)
+        else:
+            self.stats.rpcs_failed += 1
+            result.fail(resp.payload if isinstance(resp.payload, BaseException)
+                        else RpcError(str(resp.payload)))

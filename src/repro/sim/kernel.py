@@ -1,0 +1,409 @@
+"""Event loop, events, and generator-based processes.
+
+Design notes
+------------
+The simulator keeps a single binary heap of ``(time, seq, callback)``
+entries.  ``seq`` is a monotonically increasing tie-breaker so that two
+events scheduled for the same instant fire in scheduling order — this
+makes every run bit-for-bit deterministic, which the reproduction
+relies on (see DESIGN.md §6).
+
+Processes are plain Python generators.  A process may ``yield``:
+
+* a ``float``/``int`` — sleep for that many simulated seconds;
+* an :class:`Event` — suspend until the event succeeds or fails;
+* another :class:`Process` — suspend until that process terminates.
+
+Failures propagate: waiting on an event that *fails* raises the failure
+exception inside the generator, so brokering code can use ordinary
+``try/except`` around RPC calls.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "Process",
+    "ProcessKilled",
+    "ScheduledCall",
+    "Simulator",
+]
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    The interrupting party supplies a ``cause`` which is available as
+    ``exc.cause``; the paper's client timeout logic, for example,
+    interrupts an in-flight RPC process with the elapsed deadline.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessKilled(Exception):
+    """Failure value given to the termination event of a killed process."""
+
+
+class Event:
+    """A one-shot occurrence with a value or an exception.
+
+    Callbacks receive the event itself.  An event may *succeed* (carry a
+    value) or *fail* (carry an exception); both trigger the callbacks,
+    which inspect :attr:`ok`.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "ok", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self.ok: Optional[bool] = None
+        self.name = name
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise RuntimeError(f"event {self.name!r} has not fired yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise RuntimeError(f"event {self.name!r} already triggered")
+        self._value = value
+        self.ok = True
+        self.sim._schedule_now(self._dispatch)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self.triggered:
+            raise RuntimeError(f"event {self.name!r} already triggered")
+        self._value = exc
+        self.ok = False
+        self.sim._schedule_now(self._dispatch)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already dispatched: run at the current instant, preserving
+            # the invariant that callbacks never run synchronously from
+            # within add_callback.
+            self.sim._schedule_now(lambda: fn(self))
+        else:
+            self.callbacks.append(fn)
+
+    def _dispatch(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending" if not self.triggered else ("ok" if self.ok else "failed")
+        return f"<Event {self.name!r} {state}>"
+
+
+class AnyOf(Event):
+    """Succeeds as soon as any of the given events triggers.
+
+    The value is a dict mapping the triggered events (so far) to their
+    values; a failed child event fails the condition with its exception.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="any_of")
+        self.events = list(events)
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev.ok:
+            self.succeed({e: e.value for e in self.events if e.triggered and e.ok})
+        else:
+            self.fail(ev.value)
+
+
+class AllOf(Event):
+    """Succeeds once every given event has succeeded."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="all_of")
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({e: e.value for e in self.events})
+
+
+class ScheduledCall:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "fn", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[[], None]):
+        self.time = time
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Process(Event):
+    """A running generator; doubles as its own termination event.
+
+    The termination event succeeds with the generator's return value
+    (``StopIteration.value``) or fails with the exception that escaped
+    the generator.
+    """
+
+    __slots__ = ("gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self.gen = gen
+        self._waiting_on: Optional[Event] = None
+        sim._schedule_now(lambda: self._resume(None, None))
+
+    # -- driving ------------------------------------------------------
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                target = self.gen.throw(exc)
+            else:
+                target = self.gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as unhandled:
+            self.fail(unhandled)
+            return
+        except ProcessKilled as killed:
+            self.fail(killed)
+            return
+        except Exception as err:
+            self.fail(err)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, Event):
+            ev = target
+        elif isinstance(target, (int, float)):
+            ev = self.sim.timeout(float(target))
+        else:
+            self._resume(
+                None,
+                TypeError(f"process {self.name!r} yielded {target!r}; "
+                          "expected Event, Process, or a numeric delay"),
+            )
+            return
+        self._waiting_on = ev
+        ev.add_callback(self._on_event)
+
+    def _on_event(self, ev: Event) -> None:
+        if self.triggered or self._waiting_on is not ev:
+            return
+        if ev.ok:
+            self._resume(ev.value, None)
+        else:
+            self._resume(None, ev.value)
+
+    # -- external control ---------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the generator at this instant."""
+        if self.triggered:
+            return
+        self._waiting_on = None
+        self.sim._schedule_now(lambda: self._resume(None, Interrupt(cause)))
+
+    def kill(self) -> None:
+        """Terminate the process without giving it a chance to clean up."""
+        if self.triggered:
+            return
+        self._waiting_on = None
+        self.gen.close()
+        self.fail(ProcessKilled(self.name))
+
+
+class Simulator:
+    """The discrete-event loop: a clock plus a heap of pending callbacks."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, ScheduledCall]] = []
+        self._seq: int = 0
+        self._event_count: int = 0
+
+    # -- scheduling -----------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[], None]) -> ScheduledCall:
+        """Run ``fn()`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn)
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> ScheduledCall:
+        """Run ``fn()`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past (t={time} < now={self.now})")
+        call = ScheduledCall(time, fn)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, call))
+        return call
+
+    def _schedule_now(self, fn: Callable[[], None]) -> ScheduledCall:
+        return self.schedule_at(self.now, fn)
+
+    # -- events & processes ----------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that succeeds ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative timeout {delay}")
+        ev = Event(self, name=f"timeout({delay:g})")
+
+        # Succeed directly at fire time; bypass the extra _schedule_now hop.
+        def fire() -> None:
+            if not ev.triggered:
+                ev._value = value
+                ev.ok = True
+                ev._dispatch()
+
+        self.schedule(delay, fire)
+        return ev
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def every(self, interval: float, fn: Callable[[], None],
+              start: Optional[float] = None, jitter: float = 0.0,
+              rng=None) -> ScheduledCall:
+        """Call ``fn()`` periodically.
+
+        Returns the handle of the *next* scheduled call; cancelling it
+        stops the periodic chain.  ``jitter`` (uniform in ``[0, jitter]``,
+        drawn from ``rng``) desynchronizes repeated timers, which the
+        decision-point sync protocol uses so that all brokers do not
+        flood the mesh at the same instant.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        state: dict[str, Any] = {"stopped": False}
+
+        def tick() -> None:
+            if state["stopped"]:
+                return
+            fn()
+            delay = interval
+            if jitter and rng is not None:
+                delay += float(rng.uniform(0.0, jitter))
+            state["next"] = self.schedule(delay, tick)
+
+        first_delay = interval if start is None else start
+        if jitter and rng is not None:
+            first_delay += float(rng.uniform(0.0, jitter))
+        state["next"] = self.schedule(first_delay, tick)
+
+        class _PeriodicHandle:
+            def cancel(self_inner) -> None:
+                state["stopped"] = True
+                state["next"].cancel()
+
+        return _PeriodicHandle()  # type: ignore[return-value]
+
+    # -- running ----------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending callback; return False if none left."""
+        while self._heap:
+            time, _seq, call = heapq.heappop(self._heap)
+            if call.cancelled:
+                continue
+            if time < self.now:  # pragma: no cover - heap invariant guard
+                raise RuntimeError("event heap produced a past timestamp")
+            self.now = time
+            self._event_count += 1
+            call.fn()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap empties or the clock would pass ``until``.
+
+        When ``until`` is given the clock is left exactly at ``until``,
+        matching the fixed one-hour windows of the paper's experiments.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return
+        if until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        while self._heap:
+            time, _seq, call = self._heap[0]
+            if time > until:
+                break
+            heapq.heappop(self._heap)
+            if call.cancelled:
+                continue
+            self.now = time
+            self._event_count += 1
+            call.fn()
+        self.now = until
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled heap entries (upper bound)."""
+        return sum(1 for _, _, c in self._heap if not c.cancelled)
+
+    @property
+    def events_executed(self) -> int:
+        return self._event_count

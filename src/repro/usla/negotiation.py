@@ -1,0 +1,187 @@
+"""Automated USLA negotiation.
+
+"USLA specification, enforcement, negotiation, and verification
+mechanisms arise at multiple levels within VO-based environments" (§2.3)
+— and the paper contrasts DI-GRUBER with Cremona, IBM's WS-Agreement
+implementation focused on "advance reservations, automated SLA
+negotiation and verification".  This module provides the negotiation
+mechanism for our WS-Agreement documents, used when a VO asks a
+provider for a share before jobs flow:
+
+* the **provider** evaluates an offered agreement against what it has
+  already committed: full headroom → *accept*; partial → *counter* with
+  the grantable shares; below its floor → *reject*;
+* the **consumer** accepts a counter when it preserves at least
+  ``min_fraction`` of every asked share, otherwise walks away.
+
+Accepted agreements are published into the provider's USLA store (and
+returned to the consumer for its own records), versioned per round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.net.transport import Endpoint, Network, RpcError
+from repro.sim.kernel import Simulator
+from repro.usla.agreement import Agreement, ServiceTerm
+from repro.usla.fairshare import FairShareRule, ShareKind
+from repro.usla.store import UslaStore
+
+__all__ = ["NegotiationOutcome", "ProviderNegotiator", "ConsumerNegotiator"]
+
+#: Server-side processing time per negotiation round, seconds.
+NEGOTIATION_SERVICE_S = 0.2
+
+
+@dataclass(frozen=True)
+class NegotiationOutcome:
+    """Result of one negotiation attempt, consumer side."""
+
+    status: str                      # "accepted" | "countered" | "rejected" | "failed"
+    agreement: Optional[Agreement]   # final document when accepted
+    rounds: int
+
+
+class ProviderNegotiator(Endpoint):
+    """Provider-side evaluation of offered agreements.
+
+    Parameters
+    ----------
+    store:
+        The provider's USLA store (accepted agreements are published
+        here — e.g. a decision point's store, making the share
+        immediately enforceable).
+    max_commit_fraction:
+        Total share of each resource the provider will commit across
+        all consumers (overbooking guard).
+    min_grant_fraction:
+        Offers whose grantable share falls below this floor are
+        rejected outright rather than countered.
+    """
+
+    def __init__(self, network: Network, node_id, store: UslaStore,
+                 max_commit_fraction: float = 1.0,
+                 min_grant_fraction: float = 0.01):
+        super().__init__(network, node_id)
+        if not (0.0 < max_commit_fraction <= 1.0):
+            raise ValueError("max_commit_fraction must be in (0, 1]")
+        self.store = store
+        self.max_commit_fraction = max_commit_fraction
+        self.min_grant_fraction = min_grant_fraction
+        self.offers_seen = 0
+        self.accepted = 0
+        self.countered = 0
+        self.rejected = 0
+        self.register_handler("negotiate", self._handle_offer)
+        self.register_handler("confirm", self._handle_confirm)
+
+    # -- committed-share accounting -----------------------------------------
+    def committed_fraction(self, provider: str, resource) -> float:
+        total = 0.0
+        for ag in self.store:
+            for rule in ag.all_rules():
+                if (rule.provider == provider and rule.resource == resource
+                        and rule.kind in (ShareKind.TARGET,
+                                          ShareKind.UPPER_LIMIT,
+                                          ShareKind.LOWER_LIMIT)):
+                    total += rule.fraction
+        return total
+
+    def _grantable(self, rule: FairShareRule) -> float:
+        headroom = (self.max_commit_fraction
+                    - self.committed_fraction(rule.provider, rule.resource))
+        return max(min(rule.fraction, headroom), 0.0)
+
+    # -- the handler -------------------------------------------------------------
+    def _handle_offer(self, payload, src):
+        yield NEGOTIATION_SERVICE_S
+        self.offers_seen += 1
+        offer = Agreement.from_dict(payload)
+        grants: list[ServiceTerm] = []
+        full = True
+        for term in offer.terms:
+            grantable = self._grantable(term.rule)
+            if grantable < self.min_grant_fraction:
+                self.rejected += 1
+                return {"status": "rejected", "agreement": None}
+            if grantable < term.rule.fraction - 1e-12:
+                full = False
+            grants.append(ServiceTerm(
+                term.name, replace(term.rule, percent=grantable * 100.0)))
+        granted = Agreement(name=offer.name, context=offer.context,
+                            terms=grants, goals=list(offer.goals),
+                            version=offer.version)
+        if full:
+            self._publish(granted)
+            self.accepted += 1
+            return {"status": "accepted", "agreement": granted.to_dict()}
+        self.countered += 1
+        return {"status": "countered", "agreement": granted.to_dict()}
+
+    def _handle_confirm(self, payload, src):
+        """Consumer confirms a counter-offer: publish it."""
+        agreement = Agreement.from_dict(payload)
+        self._publish(agreement)
+        self.accepted += 1
+        return {"status": "accepted", "agreement": agreement.to_dict()}
+
+    def _publish(self, agreement: Agreement) -> None:
+        if agreement.name in self.store:
+            agreement.version = self.store.get(agreement.name).version + 1
+        self.store.publish(agreement)
+
+
+class ConsumerNegotiator(Endpoint):
+    """Consumer-side driver: propose, evaluate counters, confirm."""
+
+    def __init__(self, network: Network, node_id, sim: Simulator):
+        super().__init__(network, node_id)
+        self.sim = sim
+        self.outcomes: list[NegotiationOutcome] = []
+
+    def negotiate(self, provider_id, offer: Agreement,
+                  min_fraction: float = 0.5):
+        """Process generator: returns a :class:`NegotiationOutcome`.
+
+        ``min_fraction``: the smallest acceptable ratio of granted to
+        asked share, per term.
+        """
+        if not (0.0 < min_fraction <= 1.0):
+            raise ValueError("min_fraction must be in (0, 1]")
+        rounds = 1
+        try:
+            reply = yield self.network.rpc(self.node_id, provider_id,
+                                           "negotiate", offer.to_dict(),
+                                           size_kb=0.5, response_size_kb=0.5)
+        except RpcError:
+            outcome = NegotiationOutcome("failed", None, rounds)
+            self.outcomes.append(outcome)
+            return outcome
+
+        if reply["status"] == "accepted":
+            outcome = NegotiationOutcome(
+                "accepted", Agreement.from_dict(reply["agreement"]), rounds)
+        elif reply["status"] == "rejected":
+            outcome = NegotiationOutcome("rejected", None, rounds)
+        else:  # countered
+            counter = Agreement.from_dict(reply["agreement"])
+            acceptable = all(
+                granted.rule.fraction >= asked.rule.fraction * min_fraction
+                for granted, asked in zip(counter.terms, offer.terms))
+            if acceptable:
+                rounds += 1
+                try:
+                    confirm = yield self.network.rpc(
+                        self.node_id, provider_id, "confirm",
+                        counter.to_dict(), size_kb=0.5)
+                    outcome = NegotiationOutcome(
+                        "accepted", Agreement.from_dict(confirm["agreement"]),
+                        rounds)
+                except RpcError:
+                    outcome = NegotiationOutcome("failed", None, rounds)
+            else:
+                outcome = NegotiationOutcome("countered", counter, rounds)
+        self.outcomes.append(outcome)
+        return outcome

@@ -1,0 +1,84 @@
+"""Textual USLA rule syntax.
+
+Grammar (one rule per line; ``#`` starts a comment)::
+
+    rule     := [resource "|"] provider ":" consumer "=" percent "%" [sign]
+    resource := "cpu" | "storage" | "network"
+    sign     := "+" | "-"
+
+Examples::
+
+    grid:atlas=40%          # target: steer atlas toward 40% of the grid
+    grid:cms=30%+           # upper limit
+    atlas:atlas.higgs=50%   # VO sub-allocates to a group (recursive)
+    storage|site003:atlas=25%+
+
+This is the Maui-notation-with-provider/consumer extension described in
+the paper; the WS-Agreement-shaped document structure lives in
+:mod:`repro.usla.agreement` and embeds these rules as service terms.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.usla.fairshare import FairShareRule, ResourceType, ShareKind
+
+__all__ = ["UslaParseError", "parse_rule", "parse_policy", "format_rule"]
+
+
+class UslaParseError(ValueError):
+    """A rule line did not match the grammar."""
+
+
+_RULE_RE = re.compile(
+    r"""^\s*
+        (?:(?P<resource>cpu|storage|network)\s*\|\s*)?
+        (?P<provider>[A-Za-z0-9_.\-]+)\s*:\s*
+        (?P<consumer>[A-Za-z0-9_.\-]+)\s*=\s*
+        (?P<percent>\d+(?:\.\d+)?)\s*%\s*
+        (?P<sign>[+-]?)\s*$""",
+    re.VERBOSE,
+)
+
+_SIGN_TO_KIND = {"": ShareKind.TARGET, "+": ShareKind.UPPER_LIMIT,
+                 "-": ShareKind.LOWER_LIMIT}
+
+
+def parse_rule(text: str) -> FairShareRule:
+    """Parse one rule line into a :class:`FairShareRule`."""
+    m = _RULE_RE.match(text)
+    if m is None:
+        raise UslaParseError(f"cannot parse USLA rule: {text!r}")
+    try:
+        return FairShareRule(
+            provider=m.group("provider"),
+            consumer=m.group("consumer"),
+            percent=float(m.group("percent")),
+            kind=_SIGN_TO_KIND[m.group("sign")],
+            resource=(ResourceType(m.group("resource"))
+                      if m.group("resource") else ResourceType.CPU),
+        )
+    except ValueError as err:
+        raise UslaParseError(f"invalid rule {text!r}: {err}") from err
+
+
+def parse_policy(text: str) -> list[FairShareRule]:
+    """Parse a multi-line policy document; blank/comment lines ignored."""
+    rules = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            rules.append(parse_rule(line))
+        except UslaParseError as err:
+            raise UslaParseError(f"line {lineno}: {err}") from err
+    return rules
+
+
+def format_rule(rule: FairShareRule) -> str:
+    """Serialize a rule back to the textual syntax (parse round-trips)."""
+    prefix = "" if rule.resource is ResourceType.CPU else f"{rule.resource.value}|"
+    pct = repr(float(rule.percent))  # repr round-trips exactly through parse
+    return f"{prefix}{rule.provider}:{rule.consumer}={pct}%{rule.kind.value}"

@@ -1,0 +1,150 @@
+"""Post-hoc USLA compliance verification.
+
+"Both providers and consumers want to verify that USLAs are applied
+correctly" — this module checks delivered CPU shares (from site
+accounting) against the fair-share rules and produces a per-consumer
+compliance report, used in integration tests and the fair-share
+example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.usla.fairshare import FairShareRule, ShareKind
+
+__all__ = ["ComplianceReport", "verify_usage", "verify_goals"]
+
+
+@dataclass
+class ConsumerCompliance:
+    """Observed vs entitled share for one consumer under one provider."""
+
+    provider: str
+    consumer: str
+    observed_fraction: float
+    target_fraction: float | None = None
+    upper_fraction: float | None = None
+    lower_fraction: float | None = None
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def compliant(self) -> bool:
+        return not self.violations
+
+    @property
+    def target_error(self) -> float | None:
+        """Signed deviation from the target share (None without a target)."""
+        if self.target_fraction is None:
+            return None
+        return self.observed_fraction - self.target_fraction
+
+
+@dataclass
+class ComplianceReport:
+    """Verification result over a full usage snapshot."""
+
+    entries: list[ConsumerCompliance] = field(default_factory=list)
+
+    @property
+    def compliant(self) -> bool:
+        return all(e.compliant for e in self.entries)
+
+    @property
+    def violations(self) -> list[str]:
+        return [v for e in self.entries for v in e.violations]
+
+    def entry(self, provider: str, consumer: str) -> ConsumerCompliance:
+        for e in self.entries:
+            if e.provider == provider and e.consumer == consumer:
+                return e
+        raise KeyError(f"no compliance entry for ({provider!r}, {consumer!r})")
+
+    def summary(self) -> str:
+        lines = [f"{'provider':<14}{'consumer':<18}{'observed':>9}"
+                 f"{'target':>8}{'status':>12}"]
+        for e in self.entries:
+            target = f"{e.target_fraction:.0%}" if e.target_fraction is not None else "-"
+            status = "OK" if e.compliant else "VIOLATED"
+            lines.append(f"{e.provider:<14}{e.consumer:<18}"
+                         f"{e.observed_fraction:>8.1%}{target:>8}{status:>12}")
+        return "\n".join(lines)
+
+
+def verify_usage(rules: list[FairShareRule],
+                 usage: dict[tuple[str, str], float],
+                 tolerance: float = 0.02) -> ComplianceReport:
+    """Check observed usage fractions against fair-share rules.
+
+    Parameters
+    ----------
+    rules:
+        The governing fair-share rules.
+    usage:
+        Observed usage as ``{(provider, consumer): fraction}`` — e.g.
+        the share of grid CPU-seconds each VO received during a run.
+        Pairs governed by rules but absent from ``usage`` are treated
+        as zero usage (relevant for lower limits).
+    tolerance:
+        Slack applied to limit checks (delivered shares are noisy).
+    """
+    by_pair: dict[tuple[str, str], list[FairShareRule]] = {}
+    for r in rules:
+        by_pair.setdefault((r.provider, r.consumer), []).append(r)
+    return _build_report(by_pair, usage, tolerance)
+
+
+def _build_report(by_pair, usage, tolerance) -> ComplianceReport:
+
+    report = ComplianceReport()
+    pairs = sorted(set(by_pair) | set(usage))
+    for provider, consumer in pairs:
+        observed = usage.get((provider, consumer), 0.0)
+        entry = ConsumerCompliance(provider=provider, consumer=consumer,
+                                   observed_fraction=observed)
+        for rule in by_pair.get((provider, consumer), []):
+            if rule.kind is ShareKind.TARGET:
+                entry.target_fraction = rule.fraction
+            elif rule.kind is ShareKind.UPPER_LIMIT:
+                entry.upper_fraction = rule.fraction
+            elif rule.kind is ShareKind.LOWER_LIMIT:
+                entry.lower_fraction = rule.fraction
+            if rule.violated_by(observed, tolerance=tolerance):
+                entry.violations.append(
+                    f"{provider}:{consumer} observed {observed:.1%} violates "
+                    f"{rule.kind.name.lower()} {rule.percent:g}%")
+        report.entries.append(entry)
+    return report
+
+
+def verify_goals(agreement, result) -> dict[str, bool]:
+    """Check an agreement's monitoring goals against a finished run.
+
+    The paper "express[es] allocations as WS-Agreement goals allowing
+    the specification of rules with a finer granularity" over "a simple
+    schema that allows for monitoring resources and goal
+    specifications".  This helper evaluates those goals against the
+    metrics an :class:`~repro.experiments.runner.ExperimentResult` (or
+    anything exposing the same accessors) actually delivered:
+
+    ======================  =======================================
+    goal metric             measured as
+    ======================  =======================================
+    ``utilization``         ``result.utilization("all")``
+    ``accuracy``            ``result.accuracy("handled")``
+    ``qtime_s``             ``result.qtime("all")``
+    ``throughput_qps``      peak windowed throughput
+    ``response_s``          mean query response
+    ======================  =======================================
+    """
+    d = result.diperf() if hasattr(result, "diperf") else None
+    observations = {
+        "utilization": result.utilization("all"),
+        "accuracy": result.accuracy("handled"),
+        "qtime_s": result.qtime("all") if hasattr(result, "qtime") else None,
+    }
+    if d is not None:
+        observations["throughput_qps"] = d.throughput_stats().peak
+        observations["response_s"] = d.response_stats().average
+    observations = {k: v for k, v in observations.items() if v is not None}
+    return agreement.check_goals(observations)

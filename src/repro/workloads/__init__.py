@@ -1,0 +1,32 @@
+"""Synthetic composite workloads and execution traces.
+
+The paper "used composite workloads that overlay work for [10] VOs and
+[10] groups per VO", with jobs "submitted every second from a
+submission host" by ~120 hosts over one hour.  Since we have no access
+to the original Grid3 traces, :mod:`repro.workloads.models` provides
+Grid3-era-shaped synthetic job attribute distributions (heavy-tailed
+durations, mostly single-CPU jobs), and
+:mod:`repro.workloads.generator` pre-generates deterministic per-host
+job streams with vectorized numpy draws.
+
+:mod:`repro.workloads.trace` records query/job events into columnar
+tables — the input format shared by the metrics module and GRUB-SIM.
+"""
+
+from repro.workloads.generator import (
+    HostWorkload,
+    WorkloadGenerator,
+    workload_from_job_trace,
+)
+from repro.workloads.models import JobModel
+from repro.workloads.trace import QUERY_FIELDS, JOB_FIELDS, TraceRecorder
+
+__all__ = [
+    "HostWorkload",
+    "JOB_FIELDS",
+    "JobModel",
+    "QUERY_FIELDS",
+    "TraceRecorder",
+    "WorkloadGenerator",
+    "workload_from_job_trace",
+]

@@ -1,0 +1,63 @@
+"""Tests for the ``digruber`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quickstart(self):
+        args = build_parser().parse_args(["quickstart"])
+        assert args.command == "quickstart"
+
+    def test_scalability_defaults(self):
+        args = build_parser().parse_args(["scalability"])
+        assert args.profile == "gt3"
+        assert args.dps == [1, 3, 10]
+
+    def test_scalability_overrides(self):
+        args = build_parser().parse_args(
+            ["scalability", "--profile", "gt4", "--dps", "1", "5",
+             "--duration", "600"])
+        assert args.profile == "gt4" and args.dps == [1, 5]
+        assert args.duration == 600.0
+
+    def test_accuracy_intervals(self):
+        args = build_parser().parse_args(
+            ["accuracy", "--intervals", "2", "8"])
+        assert args.intervals == [2.0, 8.0]
+
+    def test_bad_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--profile", "gt5"])
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "--dps", "4", "--clients", "10", "--topology", "ring",
+             "--selector", "random"])
+        assert (args.dps, args.clients, args.topology, args.selector) == \
+            (4, 10, "ring", "random")
+
+    def test_report_options(self):
+        args = build_parser().parse_args(
+            ["report", "--duration", "600", "--out", "r.md"])
+        assert args.duration == 600.0 and args.out == "r.md"
+
+
+class TestExecution:
+    def test_run_command_executes(self, capsys):
+        rc = main(["run", "--dps", "1", "--clients", "4", "--sites", "10",
+                   "--cpus", "500", "--duration", "120"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "DiPerF" in out and "requests=" in out
+
+    def test_grubsim_command_executes(self, capsys):
+        rc = main(["grubsim", "--duration", "120"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "GRUB-SIM" in out

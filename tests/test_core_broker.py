@@ -1,0 +1,245 @@
+"""Tests for the deployment facade, queue manager, saturation, rebalance."""
+
+import pytest
+
+from repro.core import (
+    DIGruberDeployment,
+    QueueManager,
+    ReconfigurationObserver,
+    SaturationDetector,
+)
+from repro.grid import GridBuilder, Job
+from repro.net import ConstantLatency, GT3_PROFILE, Network
+from repro.sim import RngRegistry, Simulator
+from repro.usla import Agreement, AgreementContext, PolicyEngine, parse_policy
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    rng = RngRegistry(3)
+    net = Network(sim, ConstantLatency(0.05))
+    grid = GridBuilder(sim, rng.stream("grid")).uniform(n_sites=5,
+                                                        cpus_per_site=20)
+    return sim, rng, net, grid
+
+
+def make_deployment(env, k=3, **kw):
+    sim, rng, net, grid = env
+    return DIGruberDeployment(sim, net, grid, GT3_PROFILE, rng,
+                              n_decision_points=k, **kw)
+
+
+class TestDeployment:
+    def test_dp_creation_and_mesh(self, env):
+        dep = make_deployment(env, k=3)
+        assert dep.dp_ids == ["dp0", "dp1", "dp2"]
+        assert set(dep.dp("dp0").neighbors) == {"dp1", "dp2"}
+
+    def test_start_stop(self, env):
+        sim, *_ = env
+        dep = make_deployment(env, k=2)
+        dep.start()
+        assert all(dp.started for dp in dep.decision_points.values())
+        with pytest.raises(RuntimeError):
+            dep.start()
+        dep.stop()
+        assert not any(dp.started for dp in dep.decision_points.values())
+
+    def test_add_decision_point_rewires(self, env):
+        dep = make_deployment(env, k=2)
+        dep.start()
+        new = dep.add_decision_point()
+        assert new.node_id == "dp2"
+        assert new.started
+        assert set(dep.dp("dp0").neighbors) == {"dp1", "dp2"}
+
+    def test_publish_usla_everywhere(self, env):
+        dep = make_deployment(env, k=2)
+        ag = Agreement("a", AgreementContext("grid", "atlas"))
+        dep.publish_usla(ag)
+        assert all("a" in dp.engine.usla_store
+                   for dp in dep.decision_points.values())
+
+    def test_publish_usla_single_dp(self, env):
+        dep = make_deployment(env, k=2)
+        ag = Agreement("a", AgreementContext("grid", "atlas"))
+        dep.publish_usla(ag, dp_id="dp1")
+        assert "a" not in dep.dp("dp0").engine.usla_store
+        assert "a" in dep.dp("dp1").engine.usla_store
+
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            make_deployment(env, k=0)
+
+
+class _FakeClient:
+    """Minimal stand-in with the rebind interface."""
+
+    def __init__(self, dp):
+        self.decision_point = dp
+
+    def rebind(self, dp):
+        self.decision_point = dp
+
+
+class TestRebalancing:
+    def test_moves_fraction(self, env):
+        dep = make_deployment(env, k=2)
+        for _ in range(10):
+            dep.attach_client(_FakeClient("dp0"))
+        moved = dep.rebalance_clients("dp0", "dp1", fraction=0.5)
+        assert moved == 5
+        assert len(dep.clients_of("dp0")) == 5
+        assert len(dep.clients_of("dp1")) == 5
+
+    def test_unknown_target_rejected(self, env):
+        dep = make_deployment(env, k=1)
+        with pytest.raises(KeyError):
+            dep.rebalance_clients("dp0", "ghost")
+
+    def test_bad_fraction_rejected(self, env):
+        dep = make_deployment(env, k=2)
+        with pytest.raises(ValueError):
+            dep.rebalance_clients("dp0", "dp1", fraction=0.0)
+
+
+class TestQueueManager:
+    def _setup(self, env, usage=0.1):
+        sim, rng, net, grid = env
+        policy = PolicyEngine(parse_policy("grid:vo0=30%+"))
+        released = []
+        state = {"usage": usage}
+        qm = QueueManager(sim, "vo0", policy,
+                          usage_probe=lambda: state["usage"],
+                          release=released.append,
+                          interval_s=10.0, batch_size=2)
+        return sim, qm, released, state
+
+    def _job(self):
+        return Job(vo="vo0", group="g", user="u")
+
+    def test_releases_within_share(self, env):
+        sim, qm, released, _ = self._setup(env, usage=0.1)
+        for _ in range(5):
+            qm.enqueue(self._job())
+        qm.start()
+        sim.run(until=35.0)
+        assert len(released) == 5  # 2+2+1 over three ticks
+        assert qm.released == 5 and qm.queued == 0
+
+    def test_holds_when_over_share(self, env):
+        sim, qm, released, state = self._setup(env, usage=0.5)
+        qm.enqueue(self._job())
+        qm.start()
+        sim.run(until=50.0)
+        assert released == []
+        assert qm.held_ticks >= 4
+
+    def test_resumes_when_usage_drops(self, env):
+        sim, qm, released, state = self._setup(env, usage=0.5)
+        qm.enqueue(self._job())
+        qm.start()
+        sim.run(until=25.0)
+        state["usage"] = 0.1
+        sim.run(until=45.0)
+        assert len(released) == 1
+
+    def test_wrong_vo_rejected(self, env):
+        sim, qm, *_ = self._setup(env)
+        with pytest.raises(ValueError):
+            qm.enqueue(Job(vo="other", group="g", user="u"))
+
+    def test_validation(self, env):
+        sim, rng, net, grid = env
+        with pytest.raises(ValueError):
+            QueueManager(sim, "v", PolicyEngine(), lambda: 0.0,
+                         lambda j: None, interval_s=0.0)
+
+
+class TestSaturationAndRebalance:
+    def _saturate_dp(self, env, dep, dp_id="dp0", n=200):
+        """Queue enough requests that the backlog outlives the sampling
+        interval (the container serves ~2 ops/s)."""
+        sim, rng, net, grid = env
+        for i in range(n):
+            net.rpc(f"load{i}", dp_id, "get_state", {})
+
+    def test_detector_raises_signal(self, env):
+        sim, rng, net, grid = env
+        dep = make_deployment(env, k=1)
+        dep.start()
+        det = SaturationDetector(sim, dep.decision_points.values(),
+                                 interval_s=30.0, queue_threshold=5)
+        det.start()
+        self._saturate_dp(env, dep)
+        sim.run(until=35.0)
+        assert det.signals
+        assert det.signals[0].decision_point == "dp0"
+        assert det.signals[0].queue_len >= 5
+
+    def test_no_signal_when_idle(self, env):
+        sim, rng, net, grid = env
+        dep = make_deployment(env, k=1)
+        dep.start()
+        det = SaturationDetector(sim, dep.decision_points.values(),
+                                 interval_s=30.0)
+        det.start()
+        sim.run(until=120.0)
+        assert det.signals == []
+
+    def test_observer_adds_dp_and_moves_clients(self, env):
+        sim, rng, net, grid = env
+        dep = make_deployment(env, k=1)
+        dep.start()
+        for _ in range(8):
+            dep.attach_client(_FakeClient("dp0"))
+        det = SaturationDetector(sim, dep.decision_points.values(),
+                                 interval_s=30.0, queue_threshold=5)
+        det.start()
+        obs = ReconfigurationObserver(sim, dep, det, cooldown_s=60.0,
+                                      max_decision_points=3)
+        self._saturate_dp(env, dep)
+        sim.run(until=35.0)
+        assert obs.dps_added == 1
+        assert "dp1" in dep.decision_points
+        assert len(dep.clients_of("dp1")) == 4
+
+    def test_observer_cooldown_limits_actions(self, env):
+        sim, rng, net, grid = env
+        dep = make_deployment(env, k=1)
+        dep.start()
+        dep.attach_client(_FakeClient("dp0"))
+        det = SaturationDetector(sim, dep.decision_points.values(),
+                                 interval_s=10.0, queue_threshold=2)
+        det.start()
+        obs = ReconfigurationObserver(sim, dep, det, cooldown_s=1e9,
+                                      max_decision_points=10)
+        self._saturate_dp(env, dep)
+        sim.run(until=100.0)
+        # Signals keep firing but the cooldown allows a single action.
+        assert obs.dps_added == 1
+
+    def test_observer_rebalances_at_cap(self, env):
+        sim, rng, net, grid = env
+        dep = make_deployment(env, k=2)
+        dep.start()
+        for _ in range(8):
+            dep.attach_client(_FakeClient("dp0"))
+        det = SaturationDetector(sim, dep.decision_points.values(),
+                                 interval_s=30.0, queue_threshold=5)
+        det.start()
+        obs = ReconfigurationObserver(sim, dep, det, cooldown_s=0.0,
+                                      max_decision_points=2)
+        self._saturate_dp(env, dep)
+        sim.run(until=35.0)
+        assert obs.dps_added == 0
+        assert any(e.action == "rebalance" for e in obs.events)
+        assert len(dep.clients_of("dp1")) > 0
+
+    def test_detector_validation(self, env):
+        sim, *_ = env
+        with pytest.raises(ValueError):
+            SaturationDetector(sim, [], interval_s=0.0)
+        with pytest.raises(ValueError):
+            SaturationDetector(sim, [], rate_threshold=1.5)

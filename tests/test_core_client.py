@@ -1,0 +1,142 @@
+"""Tests for the GRUBER client (timeout fallback, channel serialization)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DecisionPoint, GruberClient, LeastUsedSelector
+from repro.grid import GridBuilder
+from repro.net import ConstantLatency, GT3_PROFILE, ContainerProfile, Network
+from repro.sim import RngRegistry, Simulator
+from repro.workloads import JobModel, TraceRecorder, WorkloadGenerator
+
+FAST_PROFILE = ContainerProfile(
+    name="fast", query_service_s=0.1, report_service_s=0.02,
+    query_concurrency=1, query_rtts=1, client_overhead_s=0.1,
+    instance_service_s=0.05, instance_concurrency=1, instance_rtts=1,
+    instance_client_overhead_s=0.05, sigma=0.0)
+
+SLOW_PROFILE = ContainerProfile(
+    name="slow", query_service_s=30.0, report_service_s=1.0,
+    query_concurrency=1, query_rtts=1, client_overhead_s=0.1,
+    instance_service_s=1.0, instance_concurrency=1, instance_rtts=1,
+    instance_client_overhead_s=0.1, sigma=0.0)
+
+
+def build(profile, n_jobs=5, interarrival=20.0, timeout_s=15.0, seed=0):
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    net = Network(sim, ConstantLatency(0.05))
+    grid = GridBuilder(sim, rng.stream("grid")).uniform(n_sites=4,
+                                                        cpus_per_site=50)
+    dp = DecisionPoint(sim, net, "dp0", grid, profile, rng.stream("dp"),
+                       monitor_interval_s=600.0)
+    dp.start(neighbors=[])
+    gen = WorkloadGenerator(grid.vos, JobModel(duration_mean_s=100.0,
+                                               min_duration_s=10.0,
+                                               cpu_choices=(1,),
+                                               cpu_weights=(1.0,)),
+                            rng.stream("wl"))
+    workload = gen.host_workload("h0", duration_s=n_jobs * interarrival,
+                                 interarrival_s=interarrival)
+    trace = TraceRecorder()
+    client = GruberClient(sim, net, "h0", "dp0", grid, workload,
+                          selector=LeastUsedSelector(rng.stream("sel")),
+                          profile=profile, rng=rng.stream("cl"),
+                          trace=trace, timeout_s=timeout_s,
+                          state_response_kb=0.0)
+    client.start()
+    return sim, client, dp, grid, trace
+
+
+class TestHandledPath:
+    def test_all_jobs_handled_when_fast(self):
+        sim, client, dp, grid, trace = build(FAST_PROFILE)
+        sim.run(until=200.0)
+        assert client.n_handled == 5
+        assert client.n_fallback_timeout == 0
+        assert client.backlog_len == 0
+        assert all(j.handled_by_gruber for j in client.jobs)
+
+    def test_queries_recorded_with_response(self):
+        sim, client, dp, grid, trace = build(FAST_PROFILE)
+        sim.run(until=200.0)
+        q = trace.query_arrays()
+        assert trace.n_queries == 5
+        assert not q["timed_out"].any()
+        assert np.all(q["response_s"] > 0.3)  # overhead + rtt + service
+
+    def test_dispatch_reaches_site_and_runs(self):
+        sim, client, dp, grid, trace = build(FAST_PROFILE)
+        sim.run(until=400.0)
+        assert all(j.completed_at is not None for j in client.jobs)
+
+    def test_dp_view_reflects_reports(self):
+        sim, client, dp, grid, trace = build(FAST_PROFILE)
+        sim.run(until=15.0)  # first job dispatched, none finished
+        busy = sum(dp.engine.view.estimated_busy(s) for s in grid.site_names)
+        assert busy == 1.0
+
+    def test_accuracy_near_perfect_with_fresh_view(self):
+        sim, client, dp, grid, trace = build(FAST_PROFILE)
+        sim.run(until=200.0)
+        accs = [j.scheduling_accuracy for j in client.jobs]
+        assert all(a == pytest.approx(1.0) for a in accs)
+
+
+class TestTimeoutPath:
+    def test_slow_service_triggers_timeout_fallback(self):
+        sim, client, dp, grid, trace = build(SLOW_PROFILE)
+        sim.run(until=300.0)
+        assert client.n_fallback_timeout >= 1
+        first = client.jobs[0]
+        assert not first.handled_by_gruber
+        # Job was dispatched at ~timeout, well before the 30 s service.
+        assert first.dispatched_at < 16.0
+
+    def test_late_response_still_recorded(self):
+        sim, client, dp, grid, trace = build(SLOW_PROFILE, n_jobs=1)
+        sim.run(until=300.0)
+        q = trace.query_arrays()
+        assert q["timed_out"][0]
+        assert q["response_s"][0] > 15.0  # the full (late) response time
+
+    def test_channel_busy_jobs_queue_in_backlog(self):
+        # Jobs every 1 s against a ~31 s brokering op: the channel
+        # serializes, so submissions are delayed (paper §4.4.2).
+        sim, client, dp, grid, trace = build(SLOW_PROFILE, n_jobs=30,
+                                             interarrival=1.0)
+        sim.run(until=100.0)
+        processed = client.n_handled + client.n_fallback_timeout
+        assert processed <= 4  # ~3 queries fit in 100 s
+        assert client.backlog_peak >= 20
+        assert processed + client.backlog_len + (1 if client.busy else 0) == 30
+
+    def test_backlog_drains_in_order(self):
+        sim, client, dp, grid, trace = build(SLOW_PROFILE, n_jobs=10,
+                                             interarrival=1.0)
+        sim.run(until=400.0)
+        created = [j.created_at for j in client.jobs]
+        assert created == sorted(created)
+        # Every job the channel reached was dispatched somewhere.
+        assert all(j.site is not None for j in client.jobs
+                   if j is not client.jobs[-1] or not client.busy)
+
+
+class TestRebind:
+    def test_rebind_changes_target(self):
+        sim, client, dp, grid, trace = build(FAST_PROFILE, n_jobs=5,
+                                             interarrival=20.0)
+        net = client.network
+        dp2 = DecisionPoint(sim, net, "dp1", grid, FAST_PROFILE,
+                            RngRegistry(9).stream("dp1"),
+                            monitor_interval_s=600.0)
+        dp2.start(neighbors=[])
+        sim.run(until=30.0)
+        client.rebind("dp1")
+        sim.run(until=200.0)
+        assert dp2.engine.queries_served > 0
+
+    def test_double_start_rejected(self):
+        sim, client, dp, grid, trace = build(FAST_PROFILE)
+        with pytest.raises(RuntimeError):
+            client.start()

@@ -1,0 +1,143 @@
+"""Tests for the GRUBER engine (availability + USLA filtering)."""
+
+import pytest
+
+from repro.core import GruberEngine
+from repro.usla import Agreement, AgreementContext, FairShareRule, ServiceTerm, ShareKind
+
+
+@pytest.fixture
+def engine():
+    return GruberEngine("dp0", {"s0": 100, "s1": 50})
+
+
+def publish_share(engine, provider, consumer, pct, kind=ShareKind.UPPER_LIMIT):
+    ag = Agreement(
+        name=f"{provider}-{consumer}",
+        context=AgreementContext(provider=provider, consumer=consumer),
+        terms=[ServiceTerm("cpu", FairShareRule(provider, consumer, pct, kind))],
+    )
+    engine.usla_store.publish(ag)
+    engine.invalidate_policy_cache()
+
+
+class TestAvailabilities:
+    def test_initial_full(self, engine):
+        assert engine.availabilities() == {"s0": 100.0, "s1": 50.0}
+        assert engine.queries_served == 1
+
+    def test_reflects_local_dispatches(self, engine):
+        engine.record_local_dispatch("s0", "vo0", cpus=30, now=1.0)
+        assert engine.availabilities()["s0"] == 70.0
+        assert engine.dispatches_recorded == 1
+
+    def test_sequence_numbers_increment(self, engine):
+        r1 = engine.record_local_dispatch("s0", "vo0", 1, now=1.0)
+        r2 = engine.record_local_dispatch("s0", "vo0", 1, now=2.0)
+        assert r2.seq == r1.seq + 1
+        assert r1.origin == "dp0"
+
+    def test_merge_remote_records(self, engine):
+        r = GruberEngine("dp1", {"s0": 100, "s1": 50}) \
+            .record_local_dispatch("s1", "cms", 10, now=5.0)
+        assert engine.merge_remote_records([r]) == 1
+        assert engine.availabilities()["s1"] == 40.0
+        # Merging again is a no-op (dedup).
+        assert engine.merge_remote_records([r]) == 0
+
+    def test_monitor_refresh(self, engine):
+        engine.record_local_dispatch("s0", "vo0", 30, now=1.0)
+        engine.on_monitor_refresh({"s0": 10.0, "s1": 0.0}, now=50.0)
+        assert engine.availabilities()["s0"] == 90.0
+
+
+class TestUslaFiltering:
+    def test_not_filtered_when_disabled(self, engine):
+        publish_share(engine, "s0", "atlas", 20.0)
+        assert engine.availabilities(vo="atlas")["s0"] == 100.0
+
+    def test_filtered_by_entitlement(self):
+        engine = GruberEngine("dp0", {"s0": 100}, usla_aware=True)
+        publish_share(engine, "s0", "atlas", 20.0)
+        # Entitled to 20% of 100 CPUs, none used yet -> 20 visible.
+        assert engine.availabilities(vo="atlas")["s0"] == 20.0
+
+    def test_entitlement_shrinks_with_usage(self):
+        engine = GruberEngine("dp0", {"s0": 100}, usla_aware=True)
+        publish_share(engine, "s0", "atlas", 20.0)
+        engine.record_local_dispatch("s0", "atlas", cpus=15, now=1.0)
+        assert engine.availabilities(vo="atlas")["s0"] == 5.0
+
+    def test_exhausted_entitlement_zero(self):
+        engine = GruberEngine("dp0", {"s0": 100}, usla_aware=True)
+        publish_share(engine, "s0", "atlas", 20.0)
+        engine.record_local_dispatch("s0", "atlas", cpus=25, now=1.0)
+        assert engine.availabilities(vo="atlas")["s0"] == 0.0
+
+    def test_other_vo_unaffected(self):
+        engine = GruberEngine("dp0", {"s0": 100}, usla_aware=True)
+        publish_share(engine, "s0", "atlas", 20.0)
+        assert engine.availabilities(vo="cms")["s0"] == 100.0
+
+    def test_cap_respects_free_cpus_too(self):
+        engine = GruberEngine("dp0", {"s0": 100}, usla_aware=True)
+        publish_share(engine, "s0", "atlas", 90.0)
+        engine.record_local_dispatch("s0", "cms", cpus=95, now=1.0)
+        # Only 5 CPUs free grid-truth-wise, entitlement 90 -> min wins.
+        assert engine.availabilities(vo="atlas")["s0"] == 5.0
+
+    def test_policy_cache_invalidation(self):
+        engine = GruberEngine("dp0", {"s0": 100}, usla_aware=True)
+        assert engine.availabilities(vo="atlas")["s0"] == 100.0
+        publish_share(engine, "s0", "atlas", 10.0)
+        assert engine.availabilities(vo="atlas")["s0"] == 10.0
+
+
+class TestGroupLevelFiltering:
+    """§4.1: fair allocation across groups *within* a VO (recursive USLAs)."""
+
+    def _engine(self):
+        engine = GruberEngine("dp0", {"s0": 100}, usla_aware=True)
+        publish_share(engine, "s0", "atlas", 50.0)          # VO gets 50%
+        publish_share(engine, "atlas", "atlas.higgs", 40.0)  # group: 40% of that
+        return engine
+
+    def test_group_capped_within_vo_share(self):
+        engine = self._engine()
+        # higgs: 40% of the VO's 50-CPU entitlement = 20 CPUs.
+        assert engine.availabilities(vo="atlas", group="higgs")["s0"] == 20.0
+        # The VO as a whole still sees its full 50.
+        assert engine.availabilities(vo="atlas")["s0"] == 50.0
+
+    def test_group_usage_consumes_group_headroom(self):
+        engine = self._engine()
+        engine.record_local_dispatch("s0", "atlas", cpus=15, now=1.0,
+                                     group="higgs")
+        assert engine.availabilities(vo="atlas", group="higgs")["s0"] == 5.0
+        # VO-level headroom also shrank (group usage is VO usage).
+        assert engine.availabilities(vo="atlas")["s0"] == 35.0
+
+    def test_sibling_group_unaffected_by_group_cap(self):
+        engine = self._engine()
+        engine.record_local_dispatch("s0", "atlas", cpus=20, now=1.0,
+                                     group="higgs")
+        # An unlisted sibling group is bounded only by the VO share.
+        assert engine.availabilities(vo="atlas", group="susy")["s0"] == 30.0
+
+    def test_group_records_survive_sync_roundtrip(self):
+        a = self._engine()
+        rec = a.record_local_dispatch("s0", "atlas", cpus=10, now=1.0,
+                                      group="higgs")
+        b = GruberEngine("dp1", {"s0": 100}, usla_aware=True)
+        publish_share(b, "s0", "atlas", 50.0)
+        publish_share(b, "atlas", "atlas.higgs", 40.0)
+        b.merge_remote_records([rec], now=2.0)
+        assert b.availabilities(vo="atlas", group="higgs")["s0"] == 10.0
+
+
+class TestUtilizationView:
+    def test_fractions(self, engine):
+        engine.record_local_dispatch("s1", "vo0", cpus=25, now=1.0)
+        view = engine.utilization_view()
+        assert view["s1"] == pytest.approx(0.5)
+        assert view["s0"] == 0.0

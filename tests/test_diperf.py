@@ -1,0 +1,106 @@
+"""Tests for the DiPerF harness, including the Fig 1 micro-benchmark shape."""
+
+import numpy as np
+import pytest
+
+from repro.diperf import DiPerfResult, RampSchedule, run_instance_creation_test
+from repro.grid import GridBuilder
+from repro.net import ConstantLatency, GT3_PROFILE, Network
+from repro.core import DecisionPoint
+from repro.sim import RngRegistry, Simulator
+from repro.workloads import TraceRecorder
+
+
+class TestRampSchedule:
+    def test_even_spacing(self):
+        ramp = RampSchedule(n_clients=5, span_s=40.0)
+        assert [ramp.join_time(i) for i in range(5)] == [0.0, 10.0, 20.0, 30.0, 40.0]
+
+    def test_single_client(self):
+        assert RampSchedule(1, span_s=100.0, start_s=5.0).join_time(0) == 5.0
+
+    def test_offsets_mapping(self):
+        ramp = RampSchedule(n_clients=2, span_s=10.0)
+        assert ramp.offsets(["a", "b"]) == {"a": 0.0, "b": 10.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RampSchedule(0, span_s=1.0)
+        with pytest.raises(IndexError):
+            RampSchedule(2, span_s=1.0).join_time(5)
+        with pytest.raises(ValueError):
+            RampSchedule(2, span_s=1.0).offsets(["only-one"])
+
+
+def _run_fig1_style(n_clients, duration=300.0):
+    sim = Simulator()
+    rng = RngRegistry(42)
+    net = Network(sim, ConstantLatency(0.06))
+    grid = GridBuilder(sim, rng.stream("grid")).uniform(n_sites=3,
+                                                        cpus_per_site=8)
+    dp = DecisionPoint(sim, net, "svc", grid, GT3_PROFILE, rng.stream("dp"),
+                       monitor_interval_s=600.0)
+    dp.start(neighbors=[])
+    trace, testers = run_instance_creation_test(
+        sim, net, "svc", GT3_PROFILE, rng, n_clients=n_clients,
+        ramp_span_s=duration * 0.5, duration_s=duration)
+    sim.run(until=duration)
+    result = DiPerfResult(
+        name="fig1", trace=trace, t_start=0.0, t_end=duration,
+        client_starts=np.array([t.start_at for t in testers]),
+        client_ends=np.array([duration] * len(testers)),
+        window_s=30.0)
+    return result
+
+
+class TestInstanceCreationTester:
+    def test_unsaturated_throughput_tracks_clients(self):
+        """Few clients: each completes ~1/(overhead+svc+rtt) ops/s."""
+        result = _run_fig1_style(n_clients=4)
+        # Unloaded op ~ 1.3 overhead + 0.13 svc + 0.12 rtt ~ 1.6 s
+        assert 1.5 < result.mean_throughput() < 3.5
+
+    def test_saturation_plateau_at_capacity(self):
+        """Many clients: throughput caps near the container capacity."""
+        result = _run_fig1_style(n_clients=60)
+        cap = GT3_PROFILE.instance_capacity_qps
+        _, rates = result.throughput_series()
+        # Peak window throughput should sit near capacity, not near the
+        # offered load (60 clients could offer ~40 q/s).
+        assert rates.max() == pytest.approx(cap, rel=0.25)
+
+    def test_response_grows_with_load(self):
+        light = _run_fig1_style(n_clients=4)
+        heavy = _run_fig1_style(n_clients=60)
+        assert (heavy.response_stats().maximum
+                > 3 * light.response_stats().average)
+
+    def test_tester_validation(self):
+        sim = Simulator()
+        net = Network(sim, ConstantLatency(0.01))
+        from repro.diperf.tester import InstanceCreationTester
+        with pytest.raises(ValueError):
+            InstanceCreationTester(sim, net, "t", "svc", GT3_PROFILE,
+                                   RngRegistry(0).stream("x"),
+                                   TraceRecorder(), start_at=10.0, end_at=5.0)
+
+
+class TestDiPerfResult:
+    def test_series_shapes_consistent(self):
+        result = _run_fig1_style(n_clients=8, duration=120.0)
+        t1, load = result.load_series()
+        t2, resp = result.response_series()
+        t3, thr = result.throughput_series()
+        assert len(t1) == len(t2) == len(t3) == 4  # 120 s / 30 s windows
+        assert load.max() == 8
+
+    def test_summary_renders(self):
+        result = _run_fig1_style(n_clients=4, duration=120.0)
+        text = result.summary()
+        assert "Response Time" in text and "Throughput" in text
+        assert "peak_load=4" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiPerfResult("x", TraceRecorder(), 10.0, 5.0,
+                         np.array([]), np.array([]))

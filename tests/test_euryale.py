@@ -1,0 +1,249 @@
+"""Tests for the Euryale planner stack (replica, Condor-G, planner, DagMan)."""
+
+import pytest
+
+from repro.core import DecisionPoint, LeastUsedSelector
+from repro.euryale import (
+    CondorGSubmitter,
+    DagMan,
+    DagNode,
+    EuryalePlanner,
+    FileSpec,
+    PlannerJob,
+    ReplicaCatalog,
+)
+from repro.grid import GridBuilder, Job
+from repro.net import ConstantLatency, GT3_PROFILE, Network
+from repro.sim import RngRegistry, Simulator
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    rng = RngRegistry(1)
+    net = Network(sim, ConstantLatency(0.05))
+    grid = GridBuilder(sim, rng.stream("grid")).uniform(n_sites=3,
+                                                        cpus_per_site=8)
+    return sim, rng, net, grid
+
+
+def make_planner(env, with_dp=True, max_retries=3):
+    sim, rng, net, grid = env
+    dp = None
+    if with_dp:
+        dp = DecisionPoint(sim, net, "dp0", grid, GT3_PROFILE,
+                           rng.stream("dp"), monitor_interval_s=600.0)
+        dp.start(neighbors=[])
+    planner = EuryalePlanner(
+        sim, net, grid,
+        submitter=CondorGSubmitter(sim, net, grid),
+        catalog=ReplicaCatalog(),
+        selector=LeastUsedSelector(rng.stream("sel")),
+        rng=rng.stream("fallback"),
+        decision_point="dp0" if with_dp else None,
+        max_retries=max_retries)
+    return planner, dp
+
+
+def make_job(duration=50.0, cpus=1):
+    return Job(vo="vo0", group="g0", user="u0", cpus=cpus, duration_s=duration)
+
+
+class TestReplicaCatalog:
+    def test_register_and_lookup(self):
+        cat = ReplicaCatalog()
+        cat.register("f1", "siteA")
+        cat.register("f1", "siteB")
+        assert cat.locations("f1") == {"siteA", "siteB"}
+        assert cat.has_replica("f1", "siteA")
+        assert not cat.has_replica("f1", "siteC")
+        assert "f1" in cat and len(cat) == 1
+
+    def test_unregister(self):
+        cat = ReplicaCatalog()
+        cat.register("f1", "siteA")
+        cat.unregister("f1", "siteA")
+        assert "f1" not in cat
+        cat.unregister("f1", "siteA")  # idempotent
+
+    def test_popularity(self):
+        cat = ReplicaCatalog()
+        for _ in range(3):
+            cat.touch("hot")
+        cat.touch("cold")
+        assert cat.popularity("hot") == 3
+        assert cat.most_popular(1) == [("hot", 3)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicaCatalog().register("", "site")
+
+
+class TestCondorG:
+    def test_submit_and_complete(self, env):
+        sim, rng, net, grid = env
+        sub = CondorGSubmitter(sim, net, grid)
+        job = make_job(duration=30.0)
+        done = sub.submit(job, grid.site_names[0])
+        sim.run()
+        assert done.ok and done.value is job
+        assert job.completed_at == pytest.approx(30.05, abs=0.01)
+        assert sub.in_flight == 0
+
+    def test_failure_fails_event(self, env):
+        sim, rng, net, grid = env
+        sub = CondorGSubmitter(sim, net, grid)
+        job = make_job(cpus=999)  # cannot fit anywhere
+        done = sub.submit(job, grid.site_names[0])
+        sim.run()
+        assert done.ok is False
+
+    def test_unknown_site_rejected(self, env):
+        sim, rng, net, grid = env
+        sub = CondorGSubmitter(sim, net, grid)
+        with pytest.raises(KeyError):
+            sub.submit(make_job(), "nowhere")
+
+
+class TestEuryalePlanner:
+    def test_end_to_end_with_gruber(self, env):
+        sim, rng, net, grid = env
+        planner, dp = make_planner(env)
+        pj = PlannerJob(job=make_job(duration=40.0),
+                        inputs=[FileSpec("in1", size_mb=8.0)],
+                        outputs=[FileSpec("out1", size_mb=4.0)])
+        proc = sim.process(planner.run_job(pj))
+        sim.run(until=500.0)
+        assert proc.ok and proc.value is pj.job
+        assert pj.job.completed_at is not None
+        # Input staged and registered at the execution site.
+        assert planner.catalog.has_replica("in1", pj.job.site)
+        # Output registered at the collection area.
+        assert planner.catalog.has_replica("out1", "collection-area")
+        assert planner.catalog.popularity("in1") == 1
+
+    def test_input_reuse_skips_transfer(self, env):
+        sim, rng, net, grid = env
+        planner, _ = make_planner(env, with_dp=False)
+        site = grid.site_names[0]
+        planner.catalog.register("cached", site)
+        # Pin the fallback so the job lands on the cached site.
+        planner.fallback.select_any = lambda sites: site
+        pj = PlannerJob(job=make_job(duration=10.0),
+                        inputs=[FileSpec("cached", size_mb=4000.0)])
+        proc = sim.process(planner.run_job(pj))
+        sim.run(until=100.0)
+        # A 4 GB transfer would take 1000 s; reuse means we finish fast.
+        assert proc.ok
+
+    def test_replanning_after_failure(self, env):
+        sim, rng, net, grid = env
+        planner, dp = make_planner(env)
+        job = make_job(duration=1000.0)
+        pj = PlannerJob(job=job)
+        proc = sim.process(planner.run_job(pj))
+        # Let it get placed and started, then kill it once.
+        sim.run(until=60.0)
+        assert job.site is not None
+        grid.site(job.site).fail_running_job(job.jid)
+        sim.run(until=2000.0)
+        assert planner.replans == 1
+        assert job.replans == 1
+        sim.run(until=4000.0)  # bounded: the DP's periodic timers never stop
+        assert proc.ok and job.completed_at is not None
+
+    def test_retries_exhausted(self, env):
+        sim, rng, net, grid = env
+        planner, _ = make_planner(env, with_dp=False, max_retries=0)
+        job = make_job(cpus=999)  # always fails at any site
+        proc = sim.process(planner.run_job(PlannerJob(job=job)))
+        sim.run(until=100.0)
+        assert proc.ok is False
+        assert planner.abandoned == [job]
+
+    def test_without_dp_uses_fallback(self, env):
+        sim, rng, net, grid = env
+        planner, _ = make_planner(env, with_dp=False)
+        proc = sim.process(planner.run_job(PlannerJob(job=make_job(10.0))))
+        sim.run()
+        assert proc.ok
+
+
+class TestDagMan:
+    def _planner_job(self, duration=10.0):
+        return PlannerJob(job=make_job(duration=duration))
+
+    def test_linear_chain_order(self, env):
+        sim, rng, net, grid = env
+        planner, _ = make_planner(env, with_dp=False)
+        dag = DagMan(sim, planner)
+        dag.add_node(DagNode("a", self._planner_job()))
+        dag.add_node(DagNode("b", self._planner_job(), parents=["a"]))
+        dag.add_node(DagNode("c", self._planner_job(), parents=["b"]))
+        done = dag.run()
+        sim.run()
+        assert done.value == {"done": 3, "failed": 0}
+        jobs = {n: dag.nodes[n].planner_job.job for n in "abc"}
+        assert jobs["a"].completed_at <= jobs["b"].started_at
+        assert jobs["b"].completed_at <= jobs["c"].started_at
+
+    def test_diamond_parallelism(self, env):
+        sim, rng, net, grid = env
+        planner, _ = make_planner(env, with_dp=False)
+        dag = DagMan(sim, planner)
+        dag.add_node(DagNode("root", self._planner_job()))
+        dag.add_node(DagNode("l", self._planner_job(30.0), parents=["root"]))
+        dag.add_node(DagNode("r", self._planner_job(30.0), parents=["root"]))
+        dag.add_node(DagNode("sink", self._planner_job(), parents=["l", "r"]))
+        dag.run()
+        sim.run()
+        jobs = {n: dag.nodes[n].planner_job.job for n in ("l", "r")}
+        # Parallel branches overlap in time.
+        assert jobs["l"].started_at < jobs["r"].completed_at
+        assert jobs["r"].started_at < jobs["l"].completed_at
+        assert dag.states()["sink"] == "done"
+
+    def test_failure_cascades_to_descendants(self, env):
+        sim, rng, net, grid = env
+        planner, _ = make_planner(env, with_dp=False, max_retries=0)
+        dag = DagMan(sim, planner)
+        bad = PlannerJob(job=make_job(cpus=999))
+        dag.add_node(DagNode("bad", bad))
+        dag.add_node(DagNode("child", self._planner_job(), parents=["bad"]))
+        dag.add_node(DagNode("ok", self._planner_job()))
+        done = dag.run()
+        sim.run()
+        assert done.value == {"done": 1, "failed": 2}
+        assert dag.states() == {"bad": "failed", "child": "failed",
+                                "ok": "done"}
+
+    def test_cycle_rejected(self, env):
+        sim, rng, net, grid = env
+        planner, _ = make_planner(env, with_dp=False)
+        dag = DagMan(sim, planner)
+        dag.add_node(DagNode("a", self._planner_job(), parents=["b"]))
+        dag.add_node(DagNode("b", self._planner_job(), parents=["a"]))
+        with pytest.raises(ValueError, match="cycle"):
+            dag.run()
+
+    def test_unknown_parent_rejected(self, env):
+        sim, rng, net, grid = env
+        planner, _ = make_planner(env, with_dp=False)
+        dag = DagMan(sim, planner)
+        dag.add_node(DagNode("a", self._planner_job(), parents=["ghost"]))
+        with pytest.raises(ValueError, match="unknown"):
+            dag.run()
+
+    def test_duplicate_node_rejected(self, env):
+        sim, rng, net, grid = env
+        planner, _ = make_planner(env, with_dp=False)
+        dag = DagMan(sim, planner)
+        dag.add_node(DagNode("a", self._planner_job()))
+        with pytest.raises(ValueError, match="duplicate"):
+            dag.add_node(DagNode("a", self._planner_job()))
+
+    def test_empty_dag(self, env):
+        sim, rng, net, grid = env
+        planner, _ = make_planner(env, with_dp=False)
+        done = DagMan(sim, planner).run()
+        assert done.value == {"done": 0, "failed": 0}

@@ -1,0 +1,81 @@
+"""Tests for Euryale staging over modeled bandwidth pools."""
+
+import pytest
+
+from repro.core import LeastUsedSelector
+from repro.euryale import (
+    CondorGSubmitter,
+    EuryalePlanner,
+    FileSpec,
+    PlannerJob,
+    ReplicaCatalog,
+)
+from repro.grid import GridBuilder, Job
+from repro.net import ConstantLatency, Network
+from repro.net.bandwidth import BandwidthPool
+from repro.sim import RngRegistry, Simulator
+from repro.usla import PolicyEngine, parse_policy
+
+
+def make_env(policy_text=None, capacity_mb_s=10.0):
+    sim = Simulator()
+    rng = RngRegistry(6)
+    net = Network(sim, ConstantLatency(0.01))
+    grid = GridBuilder(sim, rng.stream("grid")).uniform(n_sites=1,
+                                                        cpus_per_site=16)
+    site = grid.site_names[0]
+    policy = (PolicyEngine(parse_policy(policy_text.format(site=site)))
+              if policy_text else None)
+    pools = {site: BandwidthPool(sim, site, capacity_mb_s, policy=policy)}
+    planner = EuryalePlanner(
+        sim, net, grid,
+        submitter=CondorGSubmitter(sim, net, grid),
+        catalog=ReplicaCatalog(),
+        selector=LeastUsedSelector(rng.stream("sel")),
+        rng=rng.stream("fb"), bandwidth=pools)
+    return sim, planner, pools, site
+
+
+def make_pj(vo="atlas", in_mb=100.0, duration=10.0):
+    return PlannerJob(job=Job(vo=vo, group=f"{vo}-g", user=f"{vo}-u",
+                              duration_s=duration),
+                      inputs=[FileSpec(f"in-{id(object())}", size_mb=in_mb)])
+
+
+class TestBandwidthStaging:
+    def test_transfer_time_from_pool_rate(self):
+        sim, planner, pools, site = make_env(capacity_mb_s=10.0)
+        pj = make_pj(in_mb=100.0, duration=10.0)
+        proc = sim.process(planner.run_job(pj))
+        sim.run()
+        assert proc.ok
+        # 100 MB at 10 MB/s = 10 s staging + ~10 s run.
+        assert pj.job.started_at == pytest.approx(10.0, abs=0.5)
+
+    def test_concurrent_staging_contends(self):
+        sim, planner, pools, site = make_env(capacity_mb_s=10.0)
+        pjs = [make_pj(in_mb=100.0) for _ in range(2)]
+        procs = [sim.process(planner.run_job(pj)) for pj in pjs]
+        sim.run()
+        assert all(p.ok for p in procs)
+        # Two 100 MB transfers share the link: both staged at t=20.
+        starts = sorted(pj.job.started_at for pj in pjs)
+        assert starts[0] == pytest.approx(20.0, abs=1.0)
+
+    def test_network_usla_delays_capped_vo(self):
+        sim, planner, pools, site = make_env(
+            policy_text="network|{site}:atlas=50%+", capacity_mb_s=10.0)
+        pjs = [make_pj(vo="atlas", in_mb=50.0) for _ in range(3)]
+        procs = [sim.process(planner.run_job(pj)) for pj in pjs]
+        sim.run()
+        assert all(p.ok for p in procs)
+        assert pools[site].denials >= 1  # third transfer had to wait
+        # All jobs still completed (retry loop).
+        assert all(pj.job.completed_at is not None for pj in pjs)
+
+    def test_records_kept_for_verification(self):
+        sim, planner, pools, site = make_env()
+        pj = make_pj(in_mb=40.0)
+        sim.process(planner.run_job(pj))
+        sim.run()
+        assert pools[site].vo_mb_transferred()["atlas"] == pytest.approx(40.0)

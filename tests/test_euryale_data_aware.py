@@ -1,0 +1,128 @@
+"""Tests for data-aware placement in the Euryale planner."""
+
+import pytest
+
+from repro.core import DecisionPoint, LeastUsedSelector
+from repro.euryale import (
+    CondorGSubmitter,
+    EuryalePlanner,
+    FileSpec,
+    PlannerJob,
+    ReplicaCatalog,
+)
+from repro.grid import GridBuilder, Job
+from repro.net import ConstantLatency, Network
+from repro.sim import RngRegistry, Simulator
+
+from tests.test_core_client import FAST_PROFILE
+
+
+def make_env(with_dp=True, data_aware=True):
+    sim = Simulator()
+    rng = RngRegistry(17)
+    net = Network(sim, ConstantLatency(0.02))
+    grid = GridBuilder(sim, rng.stream("grid")).uniform(n_sites=5,
+                                                        cpus_per_site=16)
+    dp_id = None
+    if with_dp:
+        dp = DecisionPoint(sim, net, "dp0", grid, FAST_PROFILE,
+                           rng.stream("dp"), monitor_interval_s=600.0)
+        dp.start(neighbors=[])
+        dp_id = "dp0"
+    planner = EuryalePlanner(
+        sim, net, grid,
+        submitter=CondorGSubmitter(sim, net, grid),
+        catalog=ReplicaCatalog(),
+        selector=LeastUsedSelector(rng.stream("sel")),
+        rng=rng.stream("fb"), decision_point=dp_id,
+        data_aware=data_aware)
+    return sim, planner, grid
+
+
+def pj(lfn="data", size_mb=400.0, duration=20.0):
+    return PlannerJob(job=Job(vo="atlas", group="g", user="u",
+                              duration_s=duration),
+                      inputs=[FileSpec(lfn, size_mb=size_mb)])
+
+
+class TestDataAwarePlacement:
+    def test_job_follows_its_replica(self):
+        sim, planner, grid = make_env()
+        home = grid.site_names[3]
+        planner.catalog.register("data", home)
+        job = pj()
+        proc = sim.process(planner.run_job(job))
+        sim.run(until=500.0)
+        assert proc.ok
+        assert job.job.site == home
+        assert planner.data_aware_hits == 1
+
+    def test_no_replica_falls_back_to_selector(self):
+        sim, planner, grid = make_env()
+        job = pj(lfn="fresh-data")
+        proc = sim.process(planner.run_job(job))
+        sim.run(until=500.0)
+        assert proc.ok
+        assert planner.data_aware_hits == 0
+
+    def test_full_replica_site_skipped(self):
+        sim, planner, grid = make_env()
+        home = grid.site_names[0]
+        planner.catalog.register("data", home)
+        # Saturate the replica site's CPUs and let the decision point's
+        # monitor observe it (otherwise its view is — correctly — stale).
+        grid.site(home).submit(Job(vo="x", group="g", user="u",
+                                   cpus=16, duration_s=10_000.0))
+        planner.network.endpoint("dp0").monitor.sweep()
+        job = pj()
+        proc = sim.process(planner.run_job(job))
+        sim.run(until=500.0)
+        assert proc.ok
+        assert job.job.site != home  # capacity beats locality
+
+    def test_richest_replica_site_wins(self):
+        sim, planner, grid = make_env()
+        a, b = grid.site_names[0], grid.site_names[1]
+        planner.catalog.register("big", a)
+        planner.catalog.register("small", b)
+        job = PlannerJob(job=Job(vo="atlas", group="g", user="u",
+                                 duration_s=20.0),
+                         inputs=[FileSpec("big", 1000.0),
+                                 FileSpec("small", 10.0)])
+        proc = sim.process(planner.run_job(job))
+        sim.run(until=1000.0)
+        assert proc.ok
+        assert job.job.site == a
+
+    def test_second_run_reuses_staged_data(self):
+        """A rerun over the same inputs avoids the transfer entirely."""
+        sim, planner, grid = make_env()
+        first = pj(size_mb=2000.0)  # 500 s staging at 4 MB/s
+        p1 = sim.process(planner.run_job(first))
+        sim.run(until=2000.0)
+        assert p1.ok
+        t0 = sim.now
+        second = pj(size_mb=2000.0, duration=20.0)
+        p2 = sim.process(planner.run_job(second))
+        sim.run(until=t0 + 1500.0)
+        assert p2.ok
+        assert second.job.site == first.job.site
+        # No re-staging: finished in well under the 500 s transfer time.
+        assert second.job.completed_at - t0 < 100.0
+
+    def test_disabled_flag_ignores_replicas(self):
+        sim, planner, grid = make_env(data_aware=False)
+        planner.catalog.register("data", grid.site_names[4])
+        proc = sim.process(planner.run_job(pj()))
+        sim.run(until=500.0)
+        assert proc.ok
+        assert planner.data_aware_hits == 0
+
+    def test_data_aware_without_dp(self):
+        sim, planner, grid = make_env(with_dp=False)
+        home = grid.site_names[2]
+        planner.catalog.register("data", home)
+        job = pj()
+        proc = sim.process(planner.run_job(job))
+        sim.run(until=500.0)
+        assert proc.ok and job.job.site == home

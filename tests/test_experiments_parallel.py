@@ -1,0 +1,70 @@
+"""Tests for parallel sweep execution."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import smoke_config, run_experiment
+from repro.experiments.parallel import RunSummary, run_parallel, summarize
+from repro.grubsim import DPPerformanceModel, GrubSim
+from repro.net import GT3_PROFILE
+
+
+@pytest.fixture(scope="module")
+def configs():
+    base = smoke_config(n_clients=8, duration_s=200.0)
+    return [base.with_(decision_points=k, name=f"par-{k}dp")
+            for k in (1, 2, 3)]
+
+
+class TestSummarize:
+    def test_summary_matches_result(self, configs):
+        result = run_experiment(configs[0])
+        s = summarize(result)
+        assert s.n_jobs == result.n_jobs
+        assert s.peak_throughput == \
+            result.diperf().throughput_stats().peak
+        assert s.accuracy("handled") == pytest.approx(
+            result.accuracy("handled"), abs=0.001)
+        assert s.fallbacks == result.client_fallbacks()
+
+    def test_trace_roundtrip_feeds_grubsim(self, configs):
+        result = run_experiment(configs[0])
+        s = summarize(result)
+        trace = s.to_trace()
+        assert trace.n_queries == result.trace.n_queries
+        sized = GrubSim(DPPerformanceModel.from_profile(GT3_PROFILE)).replay(
+            trace, initial_dps=1)
+        assert sized.final_dps >= 1
+
+    def test_summary_is_picklable(self, configs):
+        import pickle
+        s = summarize(run_experiment(configs[0]))
+        restored = pickle.loads(pickle.dumps(s))
+        assert isinstance(restored, RunSummary)
+        assert restored.n_jobs == s.n_jobs
+
+
+class TestRunParallel:
+    def test_empty(self):
+        assert run_parallel([]) == []
+
+    def test_serial_path(self, configs):
+        out = run_parallel(configs[:1], max_workers=1)
+        assert len(out) == 1 and out[0].config.name == "par-1dp"
+
+    def test_parallel_matches_serial(self, configs):
+        serial = [summarize(run_experiment(c)) for c in configs]
+        parallel = run_parallel(configs, max_workers=2)
+        assert [s.config.name for s in parallel] == \
+            [s.config.name for s in serial]
+        for s, p in zip(serial, parallel):
+            # Deterministic simulations: identical outcomes either way.
+            assert p.n_jobs == s.n_jobs
+            assert p.peak_throughput == pytest.approx(s.peak_throughput)
+            assert np.allclose(p.throughput_series[1],
+                               s.throughput_series[1])
+
+    def test_results_in_input_order(self, configs):
+        out = run_parallel(list(reversed(configs)), max_workers=3)
+        assert [s.config.name for s in out] == \
+            ["par-3dp", "par-2dp", "par-1dp"]

@@ -1,0 +1,51 @@
+"""Theory-vs-simulation validation of the canonical configurations."""
+
+import pytest
+
+from repro.experiments import canonical_gt3, canonical_gt4, run_experiment
+from repro.experiments.validation import predict_equilibrium, validate_result
+
+
+class TestPrediction:
+    def test_saturated_single_dp_throughput_is_capacity(self):
+        cfg = canonical_gt3(1)
+        pred = predict_equilibrium(cfg)
+        # 120 clients on a ~2 q/s station: fully saturated.
+        assert pred.throughput_qps == pytest.approx(
+            cfg.profile.query_capacity_qps, rel=0.01)
+
+    def test_more_dps_predict_more_throughput(self):
+        p1 = predict_equilibrium(canonical_gt3(1))
+        p3 = predict_equilibrium(canonical_gt3(3))
+        p10 = predict_equilibrium(canonical_gt3(10))
+        assert p1.throughput_qps < p3.throughput_qps < p10.throughput_qps
+
+    def test_ten_dps_partially_client_limited(self):
+        """At 10 DPs the fleet can no longer saturate the stations."""
+        p10 = predict_equilibrium(canonical_gt3(10))
+        capacity = 10 * canonical_gt3(10).profile.query_capacity_qps
+        assert p10.throughput_qps < 0.85 * capacity
+
+    def test_lan_prediction_faster(self):
+        wan = predict_equilibrium(canonical_gt3(10))
+        lan = predict_equilibrium(canonical_gt3(10, lan=True))
+        assert lan.response_s < wan.response_s
+        assert lan.throughput_qps > wan.throughput_qps
+
+
+class TestValidationAgainstRuns:
+    @pytest.mark.parametrize("maker,k", [
+        (canonical_gt3, 1),
+        (canonical_gt3, 3),
+        (canonical_gt4, 1),
+    ])
+    def test_measured_tracks_prediction(self, maker, k):
+        result = run_experiment(maker(k, duration_s=1200.0))
+        report = validate_result(result)
+        assert report.throughput_error < 0.35, report.summary()
+        assert report.response_error < 0.35, report.summary()
+
+    def test_summary_renders(self):
+        result = run_experiment(canonical_gt3(1, duration_s=600.0))
+        text = validate_result(result).summary()
+        assert "predicted" in text and "measured" in text

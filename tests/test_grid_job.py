@@ -1,0 +1,110 @@
+"""Tests for the job lifecycle state machine."""
+
+import pytest
+
+from repro.grid import Job, JobState
+
+
+def make_job(**kw):
+    defaults = dict(vo="vo0", group="g0", user="u0")
+    defaults.update(kw)
+    return Job(**defaults)
+
+
+class TestValidation:
+    def test_defaults(self):
+        j = make_job()
+        assert j.state == JobState.CREATED
+        assert j.cpus == 1
+
+    def test_unique_ids(self):
+        assert make_job().jid != make_job().jid
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(ValueError):
+            make_job(cpus=0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            make_job(duration_s=0.0)
+
+
+class TestTransitions:
+    def test_full_lifecycle(self):
+        j = make_job(duration_s=100.0)
+        j.mark_created(0.0)
+        j.mark_dispatched(5.0, "siteA")
+        j.mark_running(7.0)
+        j.mark_completed(107.0)
+        assert j.state == JobState.COMPLETED
+        assert j.site == "siteA"
+        assert j.queue_time_s == 2.0
+        assert j.execution_time_s == 100.0
+        assert j.cpu_seconds == 100.0
+
+    def test_cpu_seconds_scales_with_cpus(self):
+        j = make_job(cpus=4, duration_s=50.0)
+        j.mark_dispatched(0.0, "s")
+        j.mark_running(0.0)
+        j.mark_completed(50.0)
+        assert j.cpu_seconds == 200.0
+
+    def test_skip_state_rejected(self):
+        j = make_job()
+        with pytest.raises(ValueError):
+            j.mark_running(1.0)
+
+    def test_double_dispatch_rejected(self):
+        j = make_job()
+        j.mark_dispatched(1.0, "s")
+        with pytest.raises(ValueError):
+            j.mark_dispatched(2.0, "s2")
+
+    def test_metrics_none_before_reached(self):
+        j = make_job()
+        assert j.queue_time_s is None
+        assert j.execution_time_s is None
+        assert j.cpu_seconds is None
+
+    def test_fail_from_running(self):
+        j = make_job()
+        j.mark_dispatched(0.0, "s")
+        j.mark_running(1.0)
+        j.mark_failed(2.0)
+        assert j.state == JobState.FAILED
+
+    def test_fail_after_completion_rejected(self):
+        j = make_job()
+        j.mark_dispatched(0.0, "s")
+        j.mark_running(0.0)
+        j.mark_completed(1.0)
+        with pytest.raises(ValueError):
+            j.mark_failed(2.0)
+
+
+class TestReplan:
+    def test_replan_resets_to_created(self):
+        j = make_job()
+        j.mark_dispatched(0.0, "s")
+        j.mark_running(1.0)
+        j.mark_failed(2.0)
+        j.reset_for_replan()
+        assert j.state == JobState.CREATED
+        assert j.site is None and j.started_at is None
+        assert j.replans == 1
+
+    def test_replan_only_from_failed(self):
+        j = make_job()
+        with pytest.raises(ValueError):
+            j.reset_for_replan()
+
+    def test_replanned_job_can_complete(self):
+        j = make_job()
+        j.mark_dispatched(0.0, "s1")
+        j.mark_running(1.0)
+        j.mark_failed(2.0)
+        j.reset_for_replan()
+        j.mark_dispatched(3.0, "s2")
+        j.mark_running(4.0)
+        j.mark_completed(5.0)
+        assert j.state == JobState.COMPLETED and j.site == "s2"

@@ -1,0 +1,99 @@
+"""Tests for site policy enforcement points (S-PEPs)."""
+
+import pytest
+
+from repro.grid import Cluster, Job, JobState, Site, SitePolicyEnforcementPoint
+from repro.sim import Simulator
+from repro.usla import PolicyEngine, parse_policy
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def make_governed_site(sim, cpus=10, policy_text="s:atlas=50%+"):
+    site = Site(sim, "s", [Cluster("c", cpus)])
+    spep = SitePolicyEnforcementPoint(site, PolicyEngine(
+        parse_policy(policy_text)))
+    return site, spep
+
+
+def job(vo="atlas", cpus=1, duration=100.0):
+    return Job(vo=vo, group=f"{vo}-g", user=f"{vo}-u", cpus=cpus,
+               duration_s=duration)
+
+
+class TestAdmission:
+    def test_within_share_starts(self, sim):
+        site, spep = make_governed_site(sim)
+        j = job(cpus=4)
+        site.submit(j)
+        assert j.state == JobState.RUNNING
+        assert spep.holds == 0
+
+    def test_over_share_held(self, sim):
+        site, spep = make_governed_site(sim)
+        j1, j2 = job(cpus=5), job(cpus=2)
+        site.submit(j1)   # exactly at the 50% cap
+        site.submit(j2)   # would exceed it
+        assert j1.state == JobState.RUNNING
+        assert j2.state == JobState.DISPATCHED
+        assert spep.holds == 1 and spep.held_jobs == 1
+
+    def test_unknown_vo_opportunistic(self, sim):
+        site, spep = make_governed_site(sim)
+        j = job(vo="newvo", cpus=9)
+        site.submit(j)
+        assert j.state == JobState.RUNNING
+
+    def test_held_job_released_when_share_frees(self, sim):
+        site, spep = make_governed_site(sim)
+        j1 = job(cpus=5, duration=50.0)
+        j2 = job(cpus=3, duration=50.0)
+        site.submit(j1)
+        site.submit(j2)
+        assert j2.state == JobState.DISPATCHED
+        sim.run(until=60.0)   # j1 finished, share freed
+        assert j2.state in (JobState.RUNNING, JobState.COMPLETED)
+        assert spep.releases == 1
+
+    def test_held_job_does_not_block_compliant_vo(self, sim):
+        """Enforcement relaxes FIFO: a held job lets later jobs pass."""
+        site, spep = make_governed_site(sim)
+        blocker = job(vo="atlas", cpus=5, duration=1000.0)
+        held = job(vo="atlas", cpus=3)
+        other = job(vo="cms", cpus=2)
+        site.submit(blocker)
+        site.submit(held)
+        site.submit(other)
+        assert held.state == JobState.DISPATCHED
+        assert other.state == JobState.RUNNING
+
+    def test_vo_share_computation(self, sim):
+        site, spep = make_governed_site(sim)
+        site.submit(job(cpus=3))
+        assert spep.vo_share("atlas") == pytest.approx(0.3)
+        assert spep.vo_share("cms") == 0.0
+
+
+class TestDetach:
+    def test_detach_restores_fifo(self, sim):
+        site, spep = make_governed_site(sim)
+        spep.detach()
+        j1, j2 = job(cpus=5), job(cpus=5)
+        site.submit(j1)
+        site.submit(j2)   # would be held under enforcement
+        assert j2.state == JobState.RUNNING
+
+    def test_enforcement_preserves_capacity_invariant(self, sim):
+        site, spep = make_governed_site(sim, cpus=8,
+                                        policy_text="s:atlas=50%+\n"
+                                                    "s:cms=50%+")
+        for vo in ("atlas", "cms"):
+            for _ in range(6):
+                site.submit(job(vo=vo, cpus=2, duration=30.0))
+        assert site.busy_cpus <= site.total_cpus
+        sim.run(until=500.0)
+        assert site.jobs_completed == 12
+        assert site.busy_cpus == 0

@@ -1,0 +1,146 @@
+"""Tests for site storage pools and storage USLAs."""
+
+import pytest
+
+from repro.core import LeastUsedSelector
+from repro.euryale import (
+    CondorGSubmitter,
+    EuryalePlanner,
+    FileSpec,
+    PlannerJob,
+    ReplicaCatalog,
+)
+from repro.grid import GridBuilder, Job, StorageManager, build_storage
+from repro.net import ConstantLatency, Network
+from repro.sim import RngRegistry, Simulator
+from repro.usla import PolicyEngine, parse_policy, verify_usage
+
+
+@pytest.fixture
+def manager():
+    policy = PolicyEngine(parse_policy("storage|s0:atlas=25%+"))
+    return StorageManager(site="s0", capacity_gb=100.0, policy=policy)
+
+
+class TestStorageManager:
+    def test_capacity_accounting(self, manager):
+        assert manager.allocate("cms", "f1", 30.0) is not None
+        assert manager.used_gb == 30.0 and manager.free_gb == 70.0
+        assert manager.vo_used_gb("cms") == 30.0
+
+    def test_over_capacity_denied(self, manager):
+        manager.allocate("cms", "big", 90.0)
+        assert manager.allocate("cms", "more", 20.0) is None
+        assert manager.denials == 1
+
+    def test_storage_usla_enforced(self, manager):
+        assert manager.allocate("atlas", "a1", 20.0) is not None
+        # atlas is capped at 25% of 100 GB.
+        assert manager.allocate("atlas", "a2", 10.0) is None
+        assert manager.vo_fraction("atlas") == pytest.approx(0.20)
+
+    def test_vo_without_rule_opportunistic(self, manager):
+        assert manager.allocate("cms", "c1", 80.0) is not None
+
+    def test_duplicate_lfn_idempotent(self, manager):
+        a1 = manager.allocate("cms", "f1", 10.0)
+        a2 = manager.allocate("cms", "f1", 10.0)
+        assert a1 is a2
+        assert manager.used_gb == 10.0
+
+    def test_release(self, manager):
+        manager.allocate("cms", "f1", 10.0)
+        manager.release("f1")
+        assert manager.used_gb == 0.0 and not manager.holds("f1")
+        manager.release("f1")  # idempotent
+
+    def test_usage_snapshot_feeds_verification(self, manager):
+        manager.allocate("atlas", "a", 25.0)
+        manager.allocate("cms", "c", 40.0)
+        usage = {("s0", vo): frac
+                 for vo, frac in manager.usage_snapshot().items()}
+        report = verify_usage(parse_policy("storage|s0:atlas=25%+"), usage)
+        assert report.compliant
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StorageManager(site="s", capacity_gb=0.0)
+        m = StorageManager(site="s", capacity_gb=1.0)
+        with pytest.raises(ValueError):
+            m.can_allocate("v", -1.0)
+
+
+class TestBuildStorage:
+    def test_sized_by_cpus(self):
+        sim = Simulator()
+        grid = GridBuilder(sim, RngRegistry(0).stream("g")).uniform(
+            n_sites=3, cpus_per_site=10)
+        pools = build_storage(grid, gb_per_cpu=2.0)
+        assert set(pools) == set(grid.site_names)
+        assert all(p.capacity_gb == 20.0 for p in pools.values())
+
+    def test_validation(self):
+        sim = Simulator()
+        grid = GridBuilder(sim, RngRegistry(0).stream("g")).uniform(
+            n_sites=1, cpus_per_site=1)
+        with pytest.raises(ValueError):
+            build_storage(grid, gb_per_cpu=0.0)
+
+
+class TestPlannerStorageIntegration:
+    def _env(self):
+        sim = Simulator()
+        rng = RngRegistry(4)
+        net = Network(sim, ConstantLatency(0.05))
+        grid = GridBuilder(sim, rng.stream("grid")).uniform(
+            n_sites=3, cpus_per_site=8)
+        return sim, rng, net, grid
+
+    def _planner(self, sim, rng, net, grid, storage):
+        return EuryalePlanner(
+            sim, net, grid,
+            submitter=CondorGSubmitter(sim, net, grid),
+            catalog=ReplicaCatalog(),
+            selector=LeastUsedSelector(rng.stream("sel")),
+            rng=rng.stream("fb"), storage=storage)
+
+    def test_staged_input_reserves_space(self):
+        sim, rng, net, grid = self._env()
+        storage = build_storage(grid, gb_per_cpu=10.0)
+        planner = self._planner(sim, rng, net, grid, storage)
+        pj = PlannerJob(job=Job(vo="atlas", group="g", user="u",
+                                duration_s=10.0),
+                        inputs=[FileSpec("data", size_mb=2048.0)])
+        proc = sim.process(planner.run_job(pj))
+        sim.run()
+        assert proc.ok
+        assert storage[pj.job.site].holds("data")
+        assert storage[pj.job.site].used_gb == pytest.approx(2.0)
+
+    def test_full_site_redirects_job(self):
+        sim, rng, net, grid = self._env()
+        storage = build_storage(grid, gb_per_cpu=1.0)  # 8 GB per site
+        # Fill two of the three sites completely.
+        names = grid.site_names
+        storage[names[0]].allocate("other", "fill0", 8.0)
+        storage[names[1]].allocate("other", "fill1", 8.0)
+        planner = self._planner(sim, rng, net, grid, storage)
+        pj = PlannerJob(job=Job(vo="atlas", group="g", user="u",
+                                duration_s=10.0),
+                        inputs=[FileSpec("data", size_mb=4096.0)])
+        proc = sim.process(planner.run_job(pj))
+        sim.run()
+        assert proc.ok
+        assert pj.job.site == names[2]  # the only site with room
+
+    def test_no_site_with_room_abandons(self):
+        sim, rng, net, grid = self._env()
+        storage = build_storage(grid, gb_per_cpu=0.1)  # 0.8 GB per site
+        planner = self._planner(sim, rng, net, grid, storage)
+        pj = PlannerJob(job=Job(vo="atlas", group="g", user="u",
+                                duration_s=10.0),
+                        inputs=[FileSpec("huge", size_mb=10240.0)])
+        proc = sim.process(planner.run_job(pj))
+        sim.run()
+        assert proc.ok is False
+        assert planner.storage_rejections > 0

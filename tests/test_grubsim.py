@@ -1,0 +1,109 @@
+"""Tests for the GRUB-SIM sizing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.grubsim import DPPerformanceModel, GrubSim, GrubSimResult
+from repro.net import GT3_PROFILE, GT4_PROFILE
+from repro.workloads import TraceRecorder
+
+
+@pytest.fixture
+def model():
+    return DPPerformanceModel(capacity_qps=2.0, unloaded_response_s=10.0,
+                              target_response_s=15.0, headroom=0.85)
+
+
+def make_trace(n_clients, t_end=600.0, queries_per_client=5):
+    """A synthetic trace: each client issues spaced queries."""
+    trace = TraceRecorder()
+    for c in range(n_clients):
+        for i in range(queries_per_client):
+            sent = 1.0 + i * (t_end - 2.0) / queries_per_client + c * 0.01
+            trace.record_query(sent, sent + 5.0, timed_out=False,
+                               client=f"c{c}", decision_point="dp0")
+    return trace
+
+
+class TestModel:
+    def test_demand_scaling(self, model):
+        # 30 clients at 15 s effective response -> 2 q/s.
+        assert model.demand_qps(30) == pytest.approx(2.0)
+
+    def test_unloaded_floor(self):
+        m = DPPerformanceModel(capacity_qps=2.0, unloaded_response_s=20.0,
+                               target_response_s=15.0)
+        # Response can't go below 20 s, so demand is N/20.
+        assert m.demand_qps(40) == pytest.approx(2.0)
+
+    def test_required_dps(self, model):
+        assert model.required_dps(0) == 1
+        # demand 8 q/s / usable 1.7 -> 5 DPs.
+        assert model.required_dps(120) == 5
+
+    def test_from_profile_gt3_vs_gt4(self):
+        m3 = DPPerformanceModel.from_profile(GT3_PROFILE)
+        m4 = DPPerformanceModel.from_profile(GT4_PROFILE)
+        assert m3.capacity_qps > m4.capacity_qps
+        assert m3.unloaded_response_s == pytest.approx(
+            6.0 + 4 * 0.12 + 2.7 + 0.5, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DPPerformanceModel(capacity_qps=0.0, unloaded_response_s=1.0)
+        with pytest.raises(ValueError):
+            DPPerformanceModel(capacity_qps=1.0, unloaded_response_s=1.0,
+                               headroom=0.0)
+        with pytest.raises(ValueError):
+            DPPerformanceModel(1.0, 1.0).demand_qps(-1)
+
+
+class TestGrubSim:
+    def test_empty_trace(self, model):
+        result = GrubSim(model).replay(TraceRecorder(), initial_dps=2)
+        assert result.final_dps == 2 and result.additional_dps == 0
+
+    def test_small_fleet_needs_one_dp(self, model):
+        result = GrubSim(model).replay(make_trace(5))
+        assert result.final_dps == 1
+        assert result.overloads == []
+
+    def test_large_fleet_grows_dps(self, model):
+        result = GrubSim(model).replay(make_trace(120), initial_dps=1,
+                                       name="gt3")
+        assert result.final_dps == 5
+        assert result.additional_dps == 4
+        assert result.overloads  # saturation identified
+        assert result.peak_required == 5
+
+    def test_grow_only_keeps_peak(self, model):
+        """Default mode never scales down after the ramp ends."""
+        trace = make_trace(120, t_end=300.0)
+        # Add a quiet tail: one client active late.
+        trace.record_query(500.0, 505.0, False, "late", "dp0")
+        result = GrubSim(model).replay(trace)
+        assert result.final_dps == 5
+
+    def test_shrink_mode(self, model):
+        trace = make_trace(120, t_end=300.0)
+        trace.record_query(500.0, 505.0, False, "late", "dp0")
+        result = GrubSim(model, grow_only=False).replay(trace)
+        assert result.final_dps == 1
+        assert result.peak_required == 5
+
+    def test_active_clients_reconstruction(self, model):
+        trace = make_trace(10, t_end=600.0)
+        edges = np.arange(0.0, 660.0, 60.0)
+        active = GrubSim.active_clients_per_window(trace, edges)
+        assert active.max() == 10
+
+    def test_summary_renders(self, model):
+        result = GrubSim(model).replay(make_trace(120), name="gt3-1dp")
+        text = result.summary()
+        assert "gt3-1dp" in text and "Additional" in text
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            GrubSim(model, window_s=0.0)
+        with pytest.raises(ValueError):
+            GrubSim(model).replay(TraceRecorder(), initial_dps=0)

@@ -1,0 +1,168 @@
+"""Tests for the five paper metrics and the time-series helpers."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    SummaryStats,
+    accuracy,
+    concurrency_series,
+    format_table,
+    normalized_qtime,
+    qtime,
+    throughput,
+    utilization,
+    windowed_mean,
+    windowed_rate,
+)
+
+NAN = float("nan")
+
+
+class TestThroughput:
+    def test_basic(self):
+        done = np.array([1.0, 2.0, 3.0, 9.0])
+        assert throughput(done, 0.0, 10.0) == pytest.approx(0.4)
+
+    def test_nan_excluded(self):
+        done = np.array([1.0, NAN, 3.0])
+        assert throughput(done, 0.0, 10.0) == pytest.approx(0.2)
+
+    def test_window_filter(self):
+        done = np.array([1.0, 5.0, 20.0])
+        assert throughput(done, 0.0, 10.0) == pytest.approx(0.2)
+
+    def test_empty(self):
+        assert throughput(np.array([]), 0.0, 10.0) == 0.0
+        assert throughput(np.array([NAN]), 0.0, 0.0) == 0.0
+
+
+class TestQTime:
+    def test_mean(self):
+        q = np.array([2.0, 4.0, NAN])
+        assert qtime(q) == pytest.approx(3.0)
+
+    def test_mask(self):
+        q = np.array([2.0, 4.0, 100.0])
+        mask = np.array([True, True, False])
+        assert qtime(q, mask) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert qtime(np.array([NAN, NAN])) == 0.0
+
+    def test_normalized(self):
+        q = np.array([2.0, 4.0])
+        assert normalized_qtime(q, n_requests=10) == pytest.approx(0.3)
+        assert normalized_qtime(q, n_requests=0) == 0.0
+
+
+class TestUtilization:
+    def test_full(self):
+        s, c = np.array([0.0]), np.array([10.0])
+        p = np.array([4])
+        assert utilization(s, c, p, total_cpus=4, t_end=10.0) == pytest.approx(1.0)
+
+    def test_partial(self):
+        s, c, p = np.array([0.0, 5.0]), np.array([5.0, 10.0]), np.array([1, 1])
+        assert utilization(s, c, p, total_cpus=2, t_end=10.0) == pytest.approx(0.5)
+
+    def test_running_job_clipped_to_window(self):
+        s, c, p = np.array([5.0]), np.array([NAN]), np.array([2])
+        # Runs from 5 to window end 10 on 2 cpus => 10 cpu-s of 40.
+        assert utilization(s, c, p, total_cpus=4, t_end=10.0) == pytest.approx(0.25)
+
+    def test_never_started_contributes_zero(self):
+        s, c, p = np.array([NAN]), np.array([NAN]), np.array([4])
+        assert utilization(s, c, p, total_cpus=4, t_end=10.0) == 0.0
+
+    def test_mask(self):
+        s = np.array([0.0, 0.0])
+        c = np.array([10.0, 10.0])
+        p = np.array([2, 2])
+        m = np.array([True, False])
+        assert utilization(s, c, p, 4, 10.0, mask=m) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            utilization(np.array([]), np.array([]), np.array([]), 0, 10.0)
+
+    def test_job_spanning_window_start(self):
+        s, c, p = np.array([-5.0]), np.array([5.0]), np.array([1])
+        got = utilization(s, c, p, total_cpus=1, t_end=10.0, t_start=0.0)
+        assert got == pytest.approx(0.5)
+
+
+class TestAccuracy:
+    def test_mean_ignoring_nan(self):
+        a = np.array([1.0, 0.5, NAN])
+        assert accuracy(a) == pytest.approx(0.75)
+
+    def test_mask(self):
+        a = np.array([1.0, 0.0])
+        assert accuracy(a, np.array([True, False])) == 1.0
+
+    def test_empty(self):
+        assert accuracy(np.array([])) == 0.0
+
+
+class TestTimeseries:
+    def test_windowed_rate(self):
+        t = np.array([0.5, 1.5, 1.7, 9.0])
+        centers, rates = windowed_rate(t, 0.0, 10.0, window_s=1.0)
+        assert len(centers) == 10
+        assert rates[0] == 1.0 and rates[1] == 2.0 and rates[9] == 1.0
+
+    def test_windowed_rate_ignores_nan(self):
+        t = np.array([0.5, NAN])
+        _, rates = windowed_rate(t, 0.0, 1.0, window_s=1.0)
+        assert rates[0] == 1.0
+
+    def test_windowed_mean(self):
+        t = np.array([0.5, 0.6, 1.5])
+        v = np.array([2.0, 4.0, 10.0])
+        _, means = windowed_mean(t, v, 0.0, 2.0, window_s=1.0)
+        assert means[0] == pytest.approx(3.0)
+        assert means[1] == pytest.approx(10.0)
+
+    def test_windowed_mean_empty_window_nan(self):
+        t = np.array([0.5])
+        v = np.array([1.0])
+        _, means = windowed_mean(t, v, 0.0, 2.0, window_s=1.0)
+        assert np.isnan(means[1])
+
+    def test_concurrency(self):
+        starts = np.array([0.0, 2.0])
+        ends = np.array([3.0, NAN])  # second active to the end
+        _, active = concurrency_series(starts, ends, 0.0, 6.0, window_s=1.0)
+        assert active.tolist() == [1, 1, 2, 1, 1, 1]
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            windowed_rate(np.array([]), 0.0, 10.0, window_s=0.0)
+        with pytest.raises(ValueError):
+            windowed_rate(np.array([]), 10.0, 0.0, window_s=1.0)
+
+
+class TestReport:
+    def test_summary_stats(self):
+        stats = SummaryStats.from_array(np.array([1.0, 2.0, 3.0, NAN]))
+        assert stats.minimum == 1.0 and stats.maximum == 3.0
+        assert stats.median == 2.0 and stats.average == 2.0
+        assert stats.peak == 3.0
+
+    def test_summary_stats_custom_peak(self):
+        stats = SummaryStats.from_array(np.array([1.0, 2.0]), peak=7.5)
+        assert stats.peak == 7.5
+
+    def test_summary_stats_empty(self):
+        stats = SummaryStats.from_array(np.array([]))
+        assert stats.row() == [0.0] * 6
+
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1.0, "x"], [float("nan"), 2000.0]])
+        assert "1.00" in text and "x" in text
+        assert "-" in text and "2,000" in text
+
+    def test_format_table_validates(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])

@@ -1,0 +1,54 @@
+"""Tests for the ASCII figure renderer."""
+
+import numpy as np
+
+from repro.experiments import smoke_config, run_experiment
+from repro.metrics import render_diperf_figure, render_series, sparkline
+
+NAN = float("nan")
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_renders_mid_block(self):
+        s = sparkline([5.0, 5.0, 5.0])
+        assert len(s) == 3 and len(set(s)) == 1
+
+    def test_monotone_series_monotone_blocks(self):
+        s = sparkline(list(range(9)))
+        assert list(s) == sorted(s)
+        assert s[0] != s[-1]
+
+    def test_nan_renders_blank(self):
+        s = sparkline([1.0, NAN, 2.0])
+        assert s[1] == " "
+
+    def test_resampling_caps_width(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40
+
+    def test_all_nan(self):
+        s = sparkline([NAN, NAN])
+        assert s == "  "
+
+
+class TestRenderSeries:
+    def test_annotations(self):
+        line = render_series("load", np.arange(5), [1.0, 2.0, 3.0, 4.0, 5.0])
+        assert "load" in line and "min=1.00" in line and "max=5.00" in line
+
+    def test_empty_series(self):
+        line = render_series("x", np.array([]), np.array([]))
+        assert "min=0.00" in line
+
+
+class TestRenderFigure:
+    def test_full_figure(self):
+        result = run_experiment(smoke_config(n_clients=6, duration_s=200.0))
+        text = render_diperf_figure(result.diperf(window_s=50.0))
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "load (clients)" in lines[1]
+        assert "response (s)" in lines[2]
+        assert "throughput (q/s)" in lines[3]

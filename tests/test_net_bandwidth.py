@@ -1,0 +1,100 @@
+"""Tests for the processor-shared bandwidth pool and network USLAs."""
+
+import pytest
+
+from repro.net.bandwidth import BandwidthPool
+from repro.sim import Simulator
+from repro.usla import PolicyEngine, parse_policy
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestProcessorSharing:
+    def test_single_transfer_full_rate(self, sim):
+        pool = BandwidthPool(sim, "s0", capacity_mb_s=10.0)
+        done = pool.transfer("atlas", 100.0)
+        sim.run()
+        assert done.ok and sim.now == pytest.approx(10.0)
+
+    def test_two_transfers_share_evenly(self, sim):
+        pool = BandwidthPool(sim, "s0", capacity_mb_s=10.0)
+        a = pool.transfer("atlas", 100.0)
+        b = pool.transfer("cms", 100.0)
+        sim.run()
+        # Both share 5 MB/s until both finish at t=20.
+        assert a.value == pytest.approx(20.0)
+        assert b.value == pytest.approx(20.0)
+
+    def test_short_transfer_releases_bandwidth(self, sim):
+        pool = BandwidthPool(sim, "s0", capacity_mb_s=10.0)
+        long = pool.transfer("atlas", 150.0)
+        short = pool.transfer("cms", 50.0)
+        sim.run()
+        # Shared 5 MB/s: short done at t=10 (50MB). Long has 100MB left,
+        # then runs at 10 MB/s -> finishes at t=20.
+        assert short.value == pytest.approx(10.0)
+        assert long.value == pytest.approx(20.0)
+
+    def test_staggered_arrival(self, sim):
+        pool = BandwidthPool(sim, "s0", capacity_mb_s=10.0)
+        first = pool.transfer("atlas", 100.0)
+        sim.schedule(5.0, lambda: pool.transfer("cms", 25.0))
+        sim.run()
+        # First runs alone 0-5 (50MB), shares 5-10 (25MB), alone after
+        # cms finishes at t=10; 25MB left at 10MB/s -> t=12.5.
+        assert first.value == pytest.approx(12.5)
+
+    def test_records_effective_rate(self, sim):
+        pool = BandwidthPool(sim, "s0", capacity_mb_s=8.0)
+        pool.transfer("atlas", 80.0)
+        sim.run()
+        rec = pool.records[0]
+        assert rec.effective_mb_s == pytest.approx(8.0)
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            BandwidthPool(sim, "s", capacity_mb_s=0.0)
+        pool = BandwidthPool(sim, "s", capacity_mb_s=1.0)
+        with pytest.raises(ValueError):
+            pool.transfer("v", 0.0)
+
+
+class TestNetworkUsla:
+    @pytest.fixture
+    def pool(self, sim):
+        policy = PolicyEngine(parse_policy("network|s0:atlas=50%+"))
+        return BandwidthPool(sim, "s0", capacity_mb_s=10.0, policy=policy)
+
+    def test_capped_vo_denied_when_over_share(self, sim, pool):
+        assert pool.transfer("atlas", 10.0).ok is not False
+        assert pool.transfer("cms", 10.0).ok is not False
+        # atlas holds 1 of 2 slots; a second atlas transfer would make
+        # it 2 of 3 (67% > 50%): denied.
+        denied = pool.transfer("atlas", 10.0)
+        assert denied.ok is False and isinstance(denied.value, PermissionError)
+        assert pool.denials == 1
+
+    def test_uncapped_vo_unrestricted(self, sim, pool):
+        for _ in range(5):
+            assert pool.transfer("cms", 1.0).ok is not False
+
+    def test_share_frees_after_completion(self, sim, pool):
+        pool.transfer("atlas", 10.0)
+        pool.transfer("cms", 200.0)
+        sim.run(until=50.0)  # atlas transfer long done
+        again = pool.transfer("atlas", 1.0)
+        assert again.ok is not False
+
+    def test_usage_snapshot(self, sim, pool):
+        pool.transfer("atlas", 30.0)
+        pool.transfer("cms", 70.0)
+        sim.run()
+        snap = pool.usage_snapshot()
+        assert snap["atlas"] == pytest.approx(0.3)
+        assert snap["cms"] == pytest.approx(0.7)
+
+    def test_empty_snapshot(self, sim, pool):
+        assert pool.usage_snapshot() == {}

@@ -1,0 +1,82 @@
+"""Tests for latency models."""
+
+import numpy as np
+import pytest
+
+from repro.net import ConstantLatency, LanLatency, PairwiseWanLatency, UniformLatency
+from repro.sim import RngRegistry
+
+
+class TestConstantLatency:
+    def test_sample(self):
+        assert ConstantLatency(0.05).sample("a", "b") == 0.05
+
+    def test_rtt_is_double(self):
+        assert ConstantLatency(0.05).rtt("a", "b") == pytest.approx(0.10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+
+class TestUniformLatency:
+    def test_within_bounds(self):
+        rng = RngRegistry(0).stream("t")
+        model = UniformLatency(0.01, 0.02, rng)
+        samples = [model.sample("a", "b") for _ in range(100)]
+        assert all(0.01 <= s <= 0.02 for s in samples)
+
+    def test_bad_bounds_rejected(self):
+        rng = RngRegistry(0).stream("t")
+        with pytest.raises(ValueError):
+            UniformLatency(0.05, 0.01, rng)
+        with pytest.raises(ValueError):
+            UniformLatency(-0.1, 0.01, rng)
+
+
+class TestLanLatency:
+    def test_sub_millisecond(self):
+        assert LanLatency().sample("a", "b") < 0.001
+
+
+class TestPairwiseWanLatency:
+    def test_base_latency_stable_per_pair(self):
+        model = PairwiseWanLatency(RngRegistry(1).stream("wan"))
+        assert model.base_latency("a", "b") == model.base_latency("a", "b")
+
+    def test_base_latency_symmetric(self):
+        model = PairwiseWanLatency(RngRegistry(1).stream("wan"))
+        assert model.base_latency("a", "b") == model.base_latency("b", "a")
+
+    def test_self_latency_zero(self):
+        model = PairwiseWanLatency(RngRegistry(1).stream("wan"))
+        assert model.sample("a", "a") == 0.0
+
+    def test_pairs_differ(self):
+        model = PairwiseWanLatency(RngRegistry(1).stream("wan"))
+        bases = {model.base_latency("a", f"n{i}") for i in range(20)}
+        assert len(bases) > 10  # lognormal diversity
+
+    def test_jitter_varies_per_message(self):
+        model = PairwiseWanLatency(RngRegistry(1).stream("wan"))
+        samples = {model.sample("a", "b") for _ in range(20)}
+        assert len(samples) > 10
+
+    def test_median_scale(self):
+        """Sampled latencies have roughly the configured median."""
+        model = PairwiseWanLatency(RngRegistry(2).stream("wan"),
+                                   median_ms=60.0, sigma=0.6)
+        samples = np.array([model.sample(f"x{i}", f"y{i}") for i in range(2000)])
+        median = np.median(samples)
+        assert 0.04 < median < 0.09  # ~60 ms within lognormal tolerance
+
+    def test_parameter_validation(self):
+        rng = RngRegistry(0).stream("wan")
+        with pytest.raises(ValueError):
+            PairwiseWanLatency(rng, median_ms=0.0)
+        with pytest.raises(ValueError):
+            PairwiseWanLatency(rng, sigma=-1.0)
+
+    def test_all_samples_positive(self):
+        model = PairwiseWanLatency(RngRegistry(3).stream("wan"))
+        assert all(model.sample("a", f"b{i}") > 0 for i in range(100))

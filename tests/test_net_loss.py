@@ -1,0 +1,88 @@
+"""Tests for lossy-WAN behavior (message drops)."""
+
+import pytest
+
+from repro.experiments import smoke_config, run_experiment
+from repro.net import ConstantLatency, Endpoint, Network
+from repro.sim import RngRegistry, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def lossy_net(sim, rate, seed=0):
+    return Network(sim, ConstantLatency(0.01), loss_rate=rate,
+                   loss_rng=RngRegistry(seed).stream("loss"))
+
+
+class TestLossMechanics:
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            Network(sim, ConstantLatency(0.01), loss_rate=1.0,
+                    loss_rng=RngRegistry(0).stream("l"))
+        with pytest.raises(ValueError):
+            Network(sim, ConstantLatency(0.01), loss_rate=0.5)  # no rng
+
+    def test_zero_loss_never_drops(self, sim):
+        net = Network(sim, ConstantLatency(0.01))
+        Endpoint(net, "c")
+        srv = Endpoint(net, "s")
+        srv.register_handler("e", lambda p, s: p)
+        for i in range(50):
+            net.rpc("c", "s", "e", i)
+        sim.run()
+        assert net.stats.dropped == 0
+        assert net.stats.rpcs_completed == 50
+
+    def test_half_loss_fails_many_rpcs_by_timeout(self, sim):
+        net = lossy_net(sim, rate=0.5)
+        Endpoint(net, "c")
+        srv = Endpoint(net, "s")
+        srv.register_handler("e", lambda p, s: p)
+        results = []
+        for i in range(200):
+            ev = net.rpc("c", "s", "e", i, timeout=5.0)
+            ev.add_callback(lambda e: results.append(e.ok))
+        sim.run()
+        completed = sum(1 for ok in results if ok)
+        # Both legs must survive: P ~ 0.25.
+        assert 0.15 < completed / 200 < 0.40
+        assert net.stats.dropped > 100
+
+    def test_dropped_oneway_vanishes(self, sim):
+        net = lossy_net(sim, rate=0.999999, seed=3)
+        Endpoint(net, "a")
+
+        class Sink(Endpoint):
+            def __init__(self, *a):
+                super().__init__(*a)
+                self.got = 0
+
+            def on_oneway(self, msg):
+                self.got += 1
+
+        sink = Sink(net, "b")
+        for _ in range(20):
+            net.send_oneway("a", "b", "x", None)
+        sim.run()
+        assert sink.got == 0
+
+
+class TestEndToEndUnderLoss:
+    def test_brokering_degrades_gracefully(self):
+        """With a lossy WAN the system keeps placing jobs: lost
+        queries become timeout fallbacks, not stuck clients."""
+        clean = run_experiment(smoke_config(n_clients=10, duration_s=400.0))
+        lossy = run_experiment(smoke_config(n_clients=10, duration_s=400.0,
+                                            wan_loss_rate=0.15))
+        fb_clean = clean.client_fallbacks()
+        fb_lossy = lossy.client_fallbacks()
+        # Loss converts handled operations into timeouts...
+        assert fb_lossy["timeout"] > fb_clean["timeout"]
+        assert fb_lossy["handled"] < fb_clean["handled"]
+        # ...but everything that reached the channel got placed.
+        assert all(j.site is not None
+                   for c in lossy.clients for j in c.jobs[:-1])
+        assert lossy.n_jobs > 0

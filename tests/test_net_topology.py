@@ -1,0 +1,142 @@
+"""Tests for broker overlay topologies and client assignment."""
+
+import pytest
+
+from repro.net import BrokerTopology, assign_clients
+from repro.sim import RngRegistry
+
+
+class TestBrokerTopology:
+    def test_mesh_is_complete(self):
+        topo = BrokerTopology(["a", "b", "c", "d"], kind="mesh")
+        assert all(len(topo.neighbors(n)) == 3 for n in topo.nodes)
+        assert topo.diameter() == 1
+
+    def test_ring(self):
+        topo = BrokerTopology(list(range(5)), kind="ring")
+        assert all(len(topo.neighbors(n)) == 2 for n in topo.nodes)
+        assert topo.diameter() == 2
+
+    def test_star_hub_and_leaves(self):
+        topo = BrokerTopology(["hub", "l1", "l2", "l3"], kind="star")
+        assert len(topo.neighbors("hub")) == 3
+        assert len(topo.neighbors("l1")) == 1
+        assert topo.diameter() == 2
+
+    def test_line(self):
+        topo = BrokerTopology([1, 2, 3, 4], kind="line")
+        assert topo.diameter() == 3
+
+    def test_single_node(self):
+        topo = BrokerTopology(["only"], kind="mesh")
+        assert topo.neighbors("only") == []
+        assert topo.diameter() == 0
+        assert topo.is_connected()
+
+    def test_two_node_ring_no_self_loops(self):
+        topo = BrokerTopology(["a", "b"], kind="ring")
+        assert topo.neighbors("a") == ["b"]
+
+    def test_all_kinds_connected(self):
+        for kind in ("mesh", "ring", "star", "line"):
+            assert BrokerTopology(list(range(6)), kind=kind).is_connected()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            BrokerTopology([1, 2], kind="torus")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            BrokerTopology([1, 1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BrokerTopology([])
+
+    def test_len(self):
+        assert len(BrokerTopology([1, 2, 3])) == 3
+
+
+class TestAssignClients:
+    def test_every_client_assigned(self):
+        rng = RngRegistry(0).stream("assign")
+        mapping = assign_clients([f"c{i}" for i in range(50)], ["d1", "d2", "d3"], rng)
+        assert len(mapping) == 50
+        assert set(mapping.values()) <= {"d1", "d2", "d3"}
+
+    def test_single_dp_gets_everyone(self):
+        rng = RngRegistry(0).stream("assign")
+        mapping = assign_clients(["a", "b"], ["dp"], rng)
+        assert set(mapping.values()) == {"dp"}
+
+    def test_roughly_balanced(self):
+        rng = RngRegistry(1).stream("assign")
+        mapping = assign_clients(list(range(3000)), list(range(3)), rng)
+        counts = [sum(1 for v in mapping.values() if v == d) for d in range(3)]
+        assert all(800 < c < 1200 for c in counts)
+
+    def test_deterministic_given_stream(self):
+        m1 = assign_clients(list(range(20)), ["x", "y"], RngRegistry(5).stream("assign"))
+        m2 = assign_clients(list(range(20)), ["x", "y"], RngRegistry(5).stream("assign"))
+        assert m1 == m2
+
+    def test_no_dps_rejected(self):
+        with pytest.raises(ValueError):
+            assign_clients(["c"], [], RngRegistry(0).stream("assign"))
+
+
+class TestAssignClientsNearest:
+    def _model(self, seed=4):
+        from repro.net import PairwiseWanLatency
+        return PairwiseWanLatency(RngRegistry(seed).stream("wan"))
+
+    def test_every_client_assigned(self):
+        from repro.net import assign_clients_nearest
+        mapping = assign_clients_nearest(
+            [f"c{i}" for i in range(30)], ["d1", "d2", "d3"], self._model())
+        assert len(mapping) == 30
+        assert set(mapping.values()) == {"d1", "d2", "d3"}
+
+    def test_load_skew_bounded(self):
+        from repro.net import assign_clients_nearest
+        mapping = assign_clients_nearest(
+            [f"c{i}" for i in range(31)], ["d1", "d2", "d3"],
+            self._model(), max_skew=2)
+        counts = [sum(1 for v in mapping.values() if v == d)
+                  for d in ("d1", "d2", "d3")]
+        assert max(counts) - min(counts) <= 2
+
+    def test_prefers_nearest_when_unconstrained(self):
+        from repro.net import assign_clients_nearest
+        model = self._model()
+        mapping = assign_clients_nearest(
+            ["lonely"], ["d1", "d2", "d3"], model, max_skew=10)
+        best = min(("d1", "d2", "d3"),
+                   key=lambda d: model.base_latency("lonely", d))
+        assert mapping["lonely"] == best
+
+    def test_deterministic(self):
+        from repro.net import assign_clients_nearest
+        clients = [f"c{i}" for i in range(12)]
+        m1 = assign_clients_nearest(clients, ["a", "b"], self._model(7))
+        m2 = assign_clients_nearest(clients, ["a", "b"], self._model(7))
+        assert m1 == m2
+
+    def test_validation(self):
+        from repro.net import assign_clients_nearest
+        with pytest.raises(ValueError):
+            assign_clients_nearest(["c"], [], self._model())
+        with pytest.raises(ValueError):
+            assign_clients_nearest(["c"], ["d"], self._model(), max_skew=0)
+
+    def test_nearest_config_runs_end_to_end(self):
+        from repro.experiments import smoke_config, run_experiment
+        res = run_experiment(smoke_config(
+            n_clients=8, duration_s=150.0, decision_points=2,
+            client_assignment="nearest"))
+        assert res.n_jobs > 0
+
+    def test_unknown_assignment_rejected(self):
+        from repro.experiments import smoke_config
+        with pytest.raises(ValueError):
+            smoke_config(client_assignment="alphabetical")

@@ -1,0 +1,340 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Interrupt, ProcessKilled, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_schedule_runs_at_time(self, sim):
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_schedule_order_by_time(self, sim):
+        seen = []
+        sim.schedule(3.0, lambda: seen.append("c"))
+        sim.schedule(1.0, lambda: seen.append("a"))
+        sim.schedule(2.0, lambda: seen.append("b"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self, sim):
+        seen = []
+        for tag in range(10):
+            sim.schedule(1.0, lambda t=tag: seen.append(t))
+        sim.run()
+        assert seen == list(range(10))
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: sim.schedule_at(1.0, lambda: None))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_cancel_prevents_execution(self, sim):
+        seen = []
+        call = sim.schedule(1.0, lambda: seen.append(1))
+        call.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_run_until_stops_clock_exactly(self, sim):
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=4.5)
+        assert sim.now == 4.5
+        assert sim.pending == 1
+
+    def test_run_until_executes_boundary_events(self, sim):
+        seen = []
+        sim.schedule(4.5, lambda: seen.append(1))
+        sim.run(until=4.5)
+        assert seen == [1]
+
+    def test_run_until_past_raises(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=5.0)
+        with pytest.raises(ValueError):
+            sim.run(until=1.0)
+
+    def test_nested_scheduling(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [2.0]
+
+    def test_events_executed_counter(self, sim):
+        for _ in range(7):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 7
+
+
+class TestEvents:
+    def test_succeed_carries_value(self, sim):
+        ev = sim.event()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        ev.succeed(42)
+        sim.run()
+        assert got == [42]
+
+    def test_fail_carries_exception(self, sim):
+        ev = sim.event()
+        got = []
+        ev.add_callback(lambda e: got.append((e.ok, type(e.value))))
+        ev.fail(RuntimeError("boom"))
+        sim.run()
+        assert got == [(False, RuntimeError)]
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(RuntimeError):
+            ev.succeed(2)
+        with pytest.raises(RuntimeError):
+            ev.fail(ValueError())
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(RuntimeError):
+            _ = ev.value
+
+    def test_callback_after_dispatch_still_runs(self, sim):
+        ev = sim.event()
+        ev.succeed("x")
+        sim.run()
+        late = []
+        ev.add_callback(lambda e: late.append(e.value))
+        sim.run()
+        assert late == ["x"]
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_timeout_fires_at_delay(self, sim):
+        ev = sim.timeout(3.0, value="done")
+        got = []
+        ev.add_callback(lambda e: got.append((sim.now, e.value)))
+        sim.run()
+        assert got == [(3.0, "done")]
+
+    def test_timeout_negative_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-0.1)
+
+
+class TestConditions:
+    def test_any_of_first_wins(self, sim):
+        a, b = sim.timeout(1.0, "a"), sim.timeout(2.0, "b")
+        cond = sim.any_of([a, b])
+        sim.run()
+        assert cond.ok and a in cond.value and b not in cond.value
+
+    def test_any_of_empty_succeeds_immediately(self, sim):
+        cond = sim.any_of([])
+        assert cond.triggered and cond.value == {}
+
+    def test_any_of_failure_propagates(self, sim):
+        a = sim.event()
+        cond = sim.any_of([a, sim.timeout(10.0)])
+        a.fail(ValueError("x"))
+        sim.run()
+        assert cond.ok is False and isinstance(cond.value, ValueError)
+
+    def test_all_of_waits_for_all(self, sim):
+        evs = [sim.timeout(t) for t in (1.0, 2.0, 3.0)]
+        cond = sim.all_of(evs)
+        done_at = []
+        cond.add_callback(lambda e: done_at.append(sim.now))
+        sim.run()
+        assert done_at == [3.0]
+
+    def test_all_of_failure_short_circuits(self, sim):
+        a = sim.event()
+        cond = sim.all_of([a, sim.timeout(10.0)])
+        a.fail(KeyError("k"))
+        sim.run()
+        assert cond.ok is False
+
+
+class TestProcesses:
+    def test_process_sleeps(self, sim):
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield 5.0
+            trace.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert trace == [0.0, 5.0]
+
+    def test_process_return_value(self, sim):
+        def proc():
+            yield 1.0
+            return "result"
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.ok and p.value == "result"
+
+    def test_process_waits_on_event(self, sim):
+        ev = sim.event()
+        got = []
+
+        def proc():
+            val = yield ev
+            got.append((sim.now, val))
+
+        sim.process(proc())
+        sim.schedule(7.0, lambda: ev.succeed("payload"))
+        sim.run()
+        assert got == [(7.0, "payload")]
+
+    def test_failed_event_raises_in_process(self, sim):
+        ev = sim.event()
+        got = []
+
+        def proc():
+            try:
+                yield ev
+            except ValueError as e:
+                got.append(str(e))
+
+        sim.process(proc())
+        sim.schedule(1.0, lambda: ev.fail(ValueError("rpc failed")))
+        sim.run()
+        assert got == ["rpc failed"]
+
+    def test_process_exception_fails_termination_event(self, sim):
+        def proc():
+            yield 1.0
+            raise RuntimeError("inner")
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.ok is False and isinstance(p.value, RuntimeError)
+
+    def test_process_waits_on_subprocess(self, sim):
+        def child():
+            yield 3.0
+            return 99
+
+        def parent():
+            val = yield sim.process(child())
+            return val + 1
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == 100 and sim.now == 3.0
+
+    def test_interrupt_raises_inside(self, sim):
+        got = []
+
+        def proc():
+            try:
+                yield 100.0
+            except Interrupt as i:
+                got.append((sim.now, i.cause))
+
+        p = sim.process(proc())
+        sim.schedule(2.0, lambda: p.interrupt("deadline"))
+        sim.run()
+        assert got == [(2.0, "deadline")]
+
+    def test_unhandled_interrupt_fails_process(self, sim):
+        def proc():
+            yield 100.0
+
+        p = sim.process(proc())
+        sim.schedule(1.0, lambda: p.interrupt())
+        sim.run()
+        assert p.ok is False and isinstance(p.value, Interrupt)
+
+    def test_interrupt_after_completion_is_noop(self, sim):
+        def proc():
+            yield 1.0
+
+        p = sim.process(proc())
+        sim.run()
+        p.interrupt()
+        sim.run()
+        assert p.ok is True
+
+    def test_kill(self, sim):
+        def proc():
+            yield 100.0
+
+        p = sim.process(proc())
+        sim.schedule(1.0, p.kill)
+        sim.run()
+        assert p.ok is False and isinstance(p.value, ProcessKilled)
+
+    def test_bad_yield_type_fails_process(self, sim):
+        def proc():
+            yield "not an event"
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.ok is False and isinstance(p.value, TypeError)
+
+    def test_stale_event_ignored_after_interrupt(self, sim):
+        """An event the process was waiting on must not resume it after
+        an interrupt redirected control flow."""
+        ev = sim.event()
+        trace = []
+
+        def proc():
+            try:
+                yield ev
+            except Interrupt:
+                trace.append("interrupted")
+                yield 5.0
+                trace.append("slept")
+
+        p = sim.process(proc())
+        sim.schedule(1.0, lambda: p.interrupt())
+        sim.schedule(2.0, lambda: ev.succeed("late"))
+        sim.run()
+        assert trace == ["interrupted", "slept"]
+
+
+class TestPeriodic:
+    def test_every_fires_on_interval(self, sim):
+        ticks = []
+        sim.every(10.0, lambda: ticks.append(sim.now))
+        sim.run(until=35.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_every_start_offset(self, sim):
+        ticks = []
+        sim.every(10.0, lambda: ticks.append(sim.now), start=1.0)
+        sim.run(until=25.0)
+        assert ticks == [1.0, 11.0, 21.0]
+
+    def test_every_cancel_stops_chain(self, sim):
+        ticks = []
+        handle = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.schedule(3.5, handle.cancel)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_every_rejects_nonpositive_interval(self, sim):
+        with pytest.raises(ValueError):
+            sim.every(0.0, lambda: None)

@@ -1,0 +1,101 @@
+"""Property-based tests (hypothesis) for kernel invariants."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Server, Simulator
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=200))
+def test_callbacks_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e3,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=100),
+       cutoff=st.floats(min_value=0.0, max_value=1e3, allow_nan=False))
+def test_run_until_partitions_events_exactly(delays, cutoff):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(d))
+    sim.run(until=cutoff)
+    assert sorted(fired) == sorted(d for d in delays if d <= cutoff)
+    assert sim.now == cutoff
+
+
+@given(service_times=st.lists(st.floats(min_value=0.001, max_value=100.0,
+                                        allow_nan=False, allow_infinity=False),
+                              min_size=1, max_size=50),
+       capacity=st.integers(min_value=1, max_value=8))
+@settings(max_examples=50)
+def test_server_never_exceeds_capacity_and_serves_everyone(service_times, capacity):
+    sim = Simulator()
+    srv = Server(sim, capacity=capacity)
+    max_seen = 0
+    completed = []
+
+    def job(tag, svc):
+        nonlocal max_seen
+        yield srv.acquire()
+        max_seen = max(max_seen, srv.in_service)
+        try:
+            yield svc
+        finally:
+            srv.release()
+        completed.append(tag)
+
+    for i, svc in enumerate(service_times):
+        sim.process(job(i, svc))
+    sim.run()
+    assert max_seen <= capacity
+    assert sorted(completed) == list(range(len(service_times)))
+    assert srv.in_service == 0 and srv.queue_len == 0
+
+
+@given(service_times=st.lists(st.floats(min_value=0.1, max_value=10.0,
+                                        allow_nan=False),
+                              min_size=2, max_size=30))
+@settings(max_examples=50)
+def test_single_server_is_work_conserving(service_times):
+    """With capacity 1 and all arrivals at t=0, makespan == sum of services."""
+    sim = Simulator()
+    srv = Server(sim, capacity=1)
+
+    def job(svc):
+        yield srv.acquire()
+        try:
+            yield svc
+        finally:
+            srv.release()
+
+    for svc in service_times:
+        sim.process(job(svc))
+    sim.run()
+    assert abs(sim.now - sum(service_times)) < 1e-6 * len(service_times)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100, allow_nan=False),
+                          st.integers(min_value=0, max_value=5)),
+                min_size=1, max_size=100))
+def test_heap_determinism_reference_model(entries):
+    """The kernel's (time, seq) ordering matches a reference stable sort."""
+    sim = Simulator()
+    fired = []
+    for t, tag in entries:
+        sim.schedule(t, lambda t=t, g=tag: fired.append((t, g)))
+    sim.run()
+    expected = [e for e in sorted(entries, key=lambda e: e[0])]
+    assert fired == expected

@@ -1,0 +1,126 @@
+"""Tests for automated USLA negotiation."""
+
+import pytest
+
+from repro.net import ConstantLatency, Network
+from repro.sim import Simulator
+from repro.usla import Agreement, AgreementContext, FairShareRule, ServiceTerm, UslaStore
+from repro.usla.negotiation import (
+    ConsumerNegotiator,
+    NegotiationOutcome,
+    ProviderNegotiator,
+)
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    net = Network(sim, ConstantLatency(0.05))
+    store = UslaStore("site0")
+    provider = ProviderNegotiator(net, "site0", store,
+                                  max_commit_fraction=0.8)
+    consumer = ConsumerNegotiator(net, "atlas-vo", sim)
+    return sim, net, store, provider, consumer
+
+
+def make_offer(pct, name="site0-atlas", consumer="atlas"):
+    return Agreement(
+        name=name,
+        context=AgreementContext(provider="site0", consumer=consumer),
+        terms=[ServiceTerm("cpu", FairShareRule("site0", consumer, pct))])
+
+
+def run_negotiation(sim, consumer, provider_id, offer, min_fraction=0.5):
+    proc = sim.process(consumer.negotiate(provider_id, offer,
+                                          min_fraction=min_fraction))
+    sim.run()
+    assert proc.ok, proc.value
+    return proc.value
+
+
+class TestAccept:
+    def test_full_headroom_accepts(self, env):
+        sim, net, store, provider, consumer = env
+        outcome = run_negotiation(sim, consumer, "site0", make_offer(40.0))
+        assert outcome.status == "accepted"
+        assert outcome.rounds == 1
+        assert outcome.agreement.terms[0].rule.percent == 40.0
+        # Published into the provider's store -> enforceable.
+        assert "site0-atlas" in store
+        assert provider.accepted == 1
+
+    def test_sequential_consumers_respect_commit_cap(self, env):
+        sim, net, store, provider, consumer = env
+        run_negotiation(sim, consumer, "site0", make_offer(50.0))
+        # 30% headroom left of the 80% commit cap.
+        outcome = run_negotiation(
+            sim, consumer, "site0",
+            make_offer(50.0, name="site0-cms", consumer="cms"),
+            min_fraction=0.5)
+        assert outcome.status == "accepted"  # countered at 30%, confirmed
+        assert outcome.rounds == 2
+        assert outcome.agreement.terms[0].rule.percent == pytest.approx(30.0)
+        assert provider.countered == 1
+
+
+class TestCounterAndReject:
+    def test_counter_below_min_fraction_walks_away(self, env):
+        sim, net, store, provider, consumer = env
+        run_negotiation(sim, consumer, "site0", make_offer(70.0))
+        # Only 10% headroom; cms insists on >= 80% of its 50% ask.
+        outcome = run_negotiation(
+            sim, consumer, "site0",
+            make_offer(50.0, name="site0-cms", consumer="cms"),
+            min_fraction=0.8)
+        assert outcome.status == "countered"
+        assert outcome.agreement.terms[0].rule.percent == pytest.approx(10.0)
+        assert "site0-cms" not in store  # not published
+
+    def test_no_headroom_rejects(self, env):
+        sim, net, store, provider, consumer = env
+        run_negotiation(sim, consumer, "site0", make_offer(80.0))
+        outcome = run_negotiation(
+            sim, consumer, "site0",
+            make_offer(20.0, name="site0-cms", consumer="cms"))
+        assert outcome.status == "rejected"
+        assert outcome.agreement is None
+        assert provider.rejected == 1
+
+    def test_unknown_provider_fails(self, env):
+        sim, net, store, provider, consumer = env
+        proc = sim.process(consumer.negotiate("ghost", make_offer(10.0)))
+        sim.run()
+        assert proc.ok is False and isinstance(proc.value, KeyError)
+
+
+class TestBookkeeping:
+    def test_committed_fraction_counts_store(self, env):
+        sim, net, store, provider, consumer = env
+        run_negotiation(sim, consumer, "site0", make_offer(25.0))
+        from repro.usla.fairshare import ResourceType
+        assert provider.committed_fraction("site0", ResourceType.CPU) == \
+            pytest.approx(0.25)
+
+    def test_outcomes_recorded(self, env):
+        sim, net, store, provider, consumer = env
+        run_negotiation(sim, consumer, "site0", make_offer(10.0))
+        assert len(consumer.outcomes) == 1
+        assert isinstance(consumer.outcomes[0], NegotiationOutcome)
+
+    def test_min_fraction_validation(self, env):
+        sim, net, store, provider, consumer = env
+        proc = sim.process(consumer.negotiate("site0", make_offer(10.0),
+                                              min_fraction=0.0))
+        sim.run()
+        assert proc.ok is False and isinstance(proc.value, ValueError)
+
+    def test_provider_validation(self, env):
+        sim, net, *_ = env
+        with pytest.raises(ValueError):
+            ProviderNegotiator(net, "p2", UslaStore(),
+                               max_commit_fraction=0.0)
+
+    def test_negotiation_consumes_time(self, env):
+        sim, net, store, provider, consumer = env
+        run_negotiation(sim, consumer, "site0", make_offer(10.0))
+        assert sim.now >= 0.3  # 2 x latency + service time

@@ -1,0 +1,145 @@
+"""Tests for the USLA store, including merge (dissemination) properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.usla import (
+    Agreement,
+    AgreementContext,
+    FairShareRule,
+    ServiceTerm,
+    UslaStore,
+)
+
+
+def make_ag(name, version=1, provider="grid", consumer="atlas", pct=40.0):
+    return Agreement(
+        name=name, version=version,
+        context=AgreementContext(provider=provider, consumer=consumer),
+        terms=[ServiceTerm("cpu", FairShareRule(provider, consumer, pct))],
+    )
+
+
+class TestPublish:
+    def test_publish_and_get(self):
+        store = UslaStore("dp0")
+        store.publish(make_ag("a"))
+        assert store.get("a").name == "a"
+        assert "a" in store and len(store) == 1
+
+    def test_republish_requires_newer_version(self):
+        store = UslaStore()
+        store.publish(make_ag("a", version=2))
+        with pytest.raises(ValueError):
+            store.publish(make_ag("a", version=2))
+        store.publish(make_ag("a", version=3))
+        assert store.get("a").version == 3
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            UslaStore().get("nope")
+
+    def test_remove_idempotent(self):
+        store = UslaStore()
+        store.publish(make_ag("a"))
+        store.remove("a")
+        store.remove("a")
+        assert "a" not in store
+
+
+class TestDiscovery:
+    def test_filter_by_provider(self):
+        store = UslaStore()
+        store.publish(make_ag("a", provider="grid"))
+        store.publish(make_ag("b", provider="site1", consumer="cms"))
+        assert [a.name for a in store.discover(provider="grid")] == ["a"]
+
+    def test_filter_by_consumer(self):
+        store = UslaStore()
+        store.publish(make_ag("a", consumer="atlas"))
+        store.publish(make_ag("b", consumer="cms"))
+        assert [a.name for a in store.discover(consumer="cms")] == ["b"]
+
+    def test_expired_excluded(self):
+        store = UslaStore()
+        ag = Agreement("a", AgreementContext("p", "c", expiration_s=10.0))
+        store.publish(ag)
+        assert store.discover(now=5.0) == [ag]
+        assert store.discover(now=20.0) == []
+
+    def test_policy_engine_flattening(self):
+        store = UslaStore()
+        store.publish(make_ag("a", pct=40.0))
+        engine = store.policy_engine()
+        assert engine.entitled_fraction("grid", "atlas") == 0.40
+
+
+class TestMerge:
+    def test_merge_adopts_newer(self):
+        store = UslaStore()
+        store.publish(make_ag("a", version=1))
+        adopted = store.merge_from([make_ag("a", version=3), make_ag("b")])
+        assert adopted == 2
+        assert store.get("a").version == 3
+
+    def test_merge_ignores_older(self):
+        store = UslaStore()
+        store.publish(make_ag("a", version=5))
+        assert store.merge_from([make_ag("a", version=2)]) == 0
+        assert store.get("a").version == 5
+
+    def test_wire_roundtrip(self):
+        store = UslaStore()
+        store.publish(make_ag("a", version=4))
+        restored = UslaStore.import_wire(store.export())
+        assert len(restored) == 1 and restored[0].version == 4
+
+
+versions = st.dictionaries(
+    keys=st.sampled_from(["a", "b", "c", "d"]),
+    values=st.integers(min_value=1, max_value=9),
+    min_size=0, max_size=4,
+)
+
+
+def store_from(state: dict) -> UslaStore:
+    s = UslaStore()
+    for name, v in state.items():
+        s.publish(make_ag(name, version=v))
+    return s
+
+
+def state_of(s: UslaStore) -> dict:
+    return {ag.name: ag.version for ag in s}
+
+
+@given(versions, versions)
+def test_merge_commutative(sa, sb):
+    """A merged-with-B equals B merged-with-A (by name/version state)."""
+    ab = store_from(sa)
+    ab.merge_from(list(store_from(sb)))
+    ba = store_from(sb)
+    ba.merge_from(list(store_from(sa)))
+    assert state_of(ab) == state_of(ba)
+
+
+@given(versions, versions, versions)
+def test_merge_associative(sa, sb, sc):
+    left = store_from(sa)
+    left.merge_from(list(store_from(sb)))
+    left.merge_from(list(store_from(sc)))
+
+    bc = store_from(sb)
+    bc.merge_from(list(store_from(sc)))
+    right = store_from(sa)
+    right.merge_from(list(bc))
+    assert state_of(left) == state_of(right)
+
+
+@given(versions)
+def test_merge_idempotent(sa):
+    s = store_from(sa)
+    before = state_of(s)
+    assert s.merge_from(list(store_from(sa))) == 0
+    assert state_of(s) == before

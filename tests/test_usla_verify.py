@@ -1,0 +1,91 @@
+"""Tests for post-hoc USLA compliance verification."""
+
+import pytest
+
+from repro.usla import parse_policy, verify_usage
+
+
+@pytest.fixture
+def rules():
+    return parse_policy("""
+        grid:atlas=40%
+        grid:cms=30%+
+        grid:cdf=10%-
+    """)
+
+
+class TestVerifyUsage:
+    def test_compliant_snapshot(self, rules):
+        report = verify_usage(rules, {("grid", "atlas"): 0.38,
+                                      ("grid", "cms"): 0.28,
+                                      ("grid", "cdf"): 0.12})
+        assert report.compliant
+        assert report.violations == []
+
+    def test_upper_violation(self, rules):
+        report = verify_usage(rules, {("grid", "cms"): 0.45})
+        assert not report.compliant
+        assert any("cms" in v for v in report.violations)
+
+    def test_lower_violation_with_missing_usage(self, rules):
+        """A consumer with a floor and zero observed usage is violated."""
+        report = verify_usage(rules, {("grid", "atlas"): 0.4})
+        entry = report.entry("grid", "cdf")
+        assert not entry.compliant
+        assert entry.observed_fraction == 0.0
+
+    def test_target_error_signed(self, rules):
+        report = verify_usage(rules, {("grid", "atlas"): 0.50,
+                                      ("grid", "cdf"): 0.2})
+        assert report.entry("grid", "atlas").target_error == pytest.approx(0.10)
+
+    def test_tolerance_suppresses_marginal_violation(self, rules):
+        report = verify_usage(rules, {("grid", "cms"): 0.31,
+                                      ("grid", "cdf"): 0.10},
+                              tolerance=0.02)
+        assert report.compliant
+
+    def test_usage_without_rules_reported_ok(self, rules):
+        report = verify_usage(rules, {("grid", "newvo"): 0.9,
+                                      ("grid", "cdf"): 0.1})
+        assert report.entry("grid", "newvo").compliant
+
+    def test_entry_lookup_missing(self, rules):
+        report = verify_usage(rules, {})
+        with pytest.raises(KeyError):
+            report.entry("grid", "nothere")
+
+    def test_summary_renders(self, rules):
+        report = verify_usage(rules, {("grid", "cms"): 0.45,
+                                      ("grid", "cdf"): 0.1})
+        text = report.summary()
+        assert "VIOLATED" in text and "OK" in text
+
+
+class TestVerifyGoals:
+    @pytest.fixture(scope="class")
+    def run_result(self):
+        from repro.experiments import smoke_config, run_experiment
+        return run_experiment(smoke_config(n_clients=8, duration_s=200.0))
+
+    def test_goals_checked_against_measured_metrics(self, run_result):
+        from repro.usla import (Agreement, AgreementContext, Goal,
+                                verify_goals)
+        ag = Agreement(
+            "slo", AgreementContext("grid", "ops"),
+            goals=[Goal("utilization", ">=", 0.0),
+                   Goal("accuracy", ">=", 0.5),
+                   Goal("response_s", "<=", 0.001),     # absurd: unmet
+                   Goal("throughput_qps", ">", 0.01)])
+        outcome = verify_goals(ag, run_result)
+        assert outcome["utilization"] is True
+        assert outcome["accuracy"] is True
+        assert outcome["response_s"] is False
+        assert outcome["throughput_qps"] is True
+
+    def test_unknown_metric_is_unmet(self, run_result):
+        from repro.usla import (Agreement, AgreementContext, Goal,
+                                verify_goals)
+        ag = Agreement("slo", AgreementContext("g", "c"),
+                       goals=[Goal("made-up-metric", ">=", 0.0)])
+        assert verify_goals(ag, run_result) == {"made-up-metric": False}

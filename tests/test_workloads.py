@@ -1,0 +1,182 @@
+"""Tests for workload models, generation, and trace recording."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.grid import Job, VORegistry
+from repro.sim import RngRegistry
+from repro.workloads import JobModel, TraceRecorder, WorkloadGenerator
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(0).stream("workload")
+
+
+@pytest.fixture
+def vos():
+    reg = VORegistry()
+    for v in range(3):
+        reg.create(f"vo{v}", n_groups=2, users_per_group=2)
+    return reg
+
+
+class TestJobModel:
+    def test_duration_mean(self, rng):
+        model = JobModel(duration_mean_s=600.0, duration_sigma=0.8,
+                         min_duration_s=1.0)
+        d = model.draw_durations(rng, 20000)
+        assert np.mean(d) == pytest.approx(600.0, rel=0.05)
+
+    def test_duration_floor(self, rng):
+        model = JobModel(duration_mean_s=60.0, duration_sigma=2.0,
+                         min_duration_s=30.0)
+        assert model.draw_durations(rng, 5000).min() >= 30.0
+
+    def test_cpu_distribution(self, rng):
+        model = JobModel()
+        cpus = model.draw_cpus(rng, 10000)
+        assert set(np.unique(cpus)) <= {1, 2, 4, 8, 16}
+        assert np.mean(cpus == 1) == pytest.approx(0.40, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobModel(duration_mean_s=0.0)
+        with pytest.raises(ValueError):
+            JobModel(cpu_choices=(1, 2), cpu_weights=(1.0,))
+        with pytest.raises(ValueError):
+            JobModel(cpu_choices=(1, 2), cpu_weights=(0.4, 0.4))
+        with pytest.raises(ValueError):
+            JobModel(cpu_choices=(0, 2), cpu_weights=(0.5, 0.5))
+
+    def test_scaled(self):
+        small = JobModel(duration_mean_s=900.0).scaled(0.1)
+        assert small.duration_mean_s == 90.0
+
+
+class TestWorkloadGenerator:
+    def test_fixed_cadence(self, vos, rng):
+        gen = WorkloadGenerator(vos, JobModel(), rng)
+        wl = gen.host_workload("h0", duration_s=10.0, interarrival_s=1.0)
+        assert len(wl) == 10
+        assert wl.arrivals.tolist() == list(np.arange(0.0, 10.0, 1.0))
+
+    def test_start_offset(self, vos, rng):
+        gen = WorkloadGenerator(vos, JobModel(), rng)
+        wl = gen.host_workload("h0", duration_s=5.0, start_s=100.0)
+        assert wl.arrivals[0] == 100.0 and wl.arrivals[-1] == 104.0
+
+    def test_poisson_mean_rate(self, vos, rng):
+        gen = WorkloadGenerator(vos, JobModel(), rng)
+        wl = gen.host_workload("h0", duration_s=5000.0, interarrival_s=1.0,
+                               poisson=True)
+        assert len(wl) == pytest.approx(5000, rel=0.1)
+        assert np.all(np.diff(wl.arrivals) > 0)
+
+    def test_jobs_cover_all_vos(self, vos, rng):
+        gen = WorkloadGenerator(vos, JobModel(), rng)
+        wl = gen.host_workload("h0", duration_s=600.0)
+        assert set(wl.vo_names) == {"vo0", "vo1", "vo2"}
+
+    def test_job_materialization(self, vos, rng):
+        gen = WorkloadGenerator(vos, JobModel(), rng)
+        wl = gen.host_workload("h7", duration_s=5.0)
+        job = wl.job_at(2)
+        assert isinstance(job, Job)
+        assert job.submission_host == "h7"
+        assert job.vo == wl.vo_names[2]
+        assert job.cpus == int(wl.cpus[2])
+
+    def test_iteration_order(self, vos, rng):
+        gen = WorkloadGenerator(vos, JobModel(), rng)
+        wl = gen.host_workload("h0", duration_s=3.0)
+        assert list(wl) == [(0.0, 0), (1.0, 1), (2.0, 2)]
+
+    def test_fleet(self, vos, rng):
+        gen = WorkloadGenerator(vos, JobModel(), rng)
+        fleet = gen.fleet(["a", "b"], duration_s=10.0,
+                          start_offsets={"b": 5.0})
+        assert fleet["a"].arrivals[0] == 0.0
+        assert fleet["b"].arrivals[0] == 5.0
+
+    def test_deterministic(self, vos):
+        def build():
+            gen = WorkloadGenerator(vos, JobModel(),
+                                    RngRegistry(3).stream("w"))
+            return gen.host_workload("h", duration_s=50.0)
+        w1, w2 = build(), build()
+        assert w1.vo_names == w2.vo_names
+        assert np.array_equal(w1.durations, w2.durations)
+
+    def test_empty_registry_rejected(self, rng):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(VORegistry(), JobModel(), rng)
+
+    def test_validation(self, vos, rng):
+        gen = WorkloadGenerator(vos, JobModel(), rng)
+        with pytest.raises(ValueError):
+            gen.host_workload("h", duration_s=0.0)
+
+
+class TestTraceRecorder:
+    def test_query_arrays(self):
+        rec = TraceRecorder()
+        rec.record_query(1.0, 3.5, timed_out=False, client="c0",
+                         decision_point="dp0")
+        rec.record_query(2.0, None, timed_out=True, client="c1",
+                         decision_point="dp0")
+        q = rec.query_arrays()
+        assert q["response_s"][0] == pytest.approx(2.5)
+        assert math.isnan(q["response_s"][1])
+        assert q["timed_out"].tolist() == [False, True]
+        assert rec.n_queries == 2
+
+    def test_job_arrays(self):
+        rec = TraceRecorder()
+        j = Job(vo="vo0", group="g", user="u", duration_s=10.0)
+        j.mark_created(0.0)
+        j.mark_dispatched(1.0, "siteX")
+        j.mark_running(2.0)
+        j.mark_completed(12.0)
+        j.handled_by_gruber = True
+        j.scheduling_accuracy = 0.9
+        rec.record_job(j)
+        a = rec.job_arrays()
+        assert a["queue_time_s"][0] == 1.0
+        assert a["handled"][0]
+        assert a["site"][0] == "siteX"
+        assert not a["failed"][0]
+
+    def test_incomplete_job_has_nans(self):
+        rec = TraceRecorder()
+        j = Job(vo="v", group="g", user="u")
+        j.mark_created(5.0)
+        rec.record_job(j)
+        a = rec.job_arrays()
+        assert math.isnan(a["started_at"][0])
+        assert math.isnan(a["queue_time_s"][0])
+
+    def test_empty_arrays(self):
+        rec = TraceRecorder()
+        assert len(rec.query_arrays()["sent_at"]) == 0
+        assert len(rec.job_arrays()["jid"]) == 0
+
+    def test_csv_roundtrip(self, tmp_path):
+        rec = TraceRecorder()
+        rec.record_query(1.0, 2.0, False, "c0", "dp0")
+        rec.record_query(5.0, None, True, "c1", "dp1")
+        path = str(tmp_path / "queries.csv")
+        rec.save_queries_csv(path)
+        loaded = TraceRecorder.load_queries_csv(path)
+        q1, q2 = rec.query_arrays(), loaded.query_arrays()
+        assert np.array_equal(q1["sent_at"], q2["sent_at"])
+        assert np.array_equal(q1["timed_out"], q2["timed_out"])
+        assert math.isnan(q2["responded_at"][1])
+
+    def test_csv_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("not,a,real,header\n")
+        with pytest.raises(ValueError):
+            TraceRecorder.load_queries_csv(str(path))
