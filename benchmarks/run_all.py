@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Benchmark regression driver: pin kernel throughput + tracing overhead.
+
+Runs the observability/kernel micro-benchmarks and writes
+``BENCH_kernel.json`` — the perf-regression baseline the ROADMAP's
+"as fast as the hardware allows" goal is tracked against.  Compare a
+fresh run to the committed baseline before merging kernel or transport
+changes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py            # full sizes
+    PYTHONPATH=src python benchmarks/run_all.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/run_all.py --strict   # nonzero exit
+                                                           # if overhead
+                                                           # budget missed
+
+The JSON records, per workload (bare callbacks / generator processes /
+RPC round trips), the events-per-second with tracing disabled and
+enabled plus the enabled-overhead percentage; ``pass_overhead_budget``
+asserts the enabled overhead stays under 10% and the disabled guards
+under 2%.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+# Allow running from a source checkout without installing.
+_ROOT = Path(__file__).resolve().parent.parent
+for _p in (str(_ROOT / "src"), str(_ROOT)):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
+ENABLED_BUDGET_PCT = 10.0
+DISABLED_BUDGET_PCT = 2.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="kernel/observability benchmark regression harness")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sizes + fewer repeats (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="override best-of repeat count")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="output path (default: BENCH_kernel.json in "
+                             "the repo root)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when the overhead budget is missed")
+    args = parser.parse_args(argv)
+
+    from benchmarks.bench_obs_overhead import measure_all
+
+    t0 = time.time()
+    results = measure_all(quick=args.quick, repeats=args.repeats)
+    wall_s = time.time() - t0
+
+    # The "callbacks" workload has no trace points: its enabled-vs-
+    # disabled delta is pure guard cost, i.e. the disabled overhead.
+    guard_pct = max(results["callbacks"]["overhead_pct"], 0.0)
+    emitting = {k: v for k, v in results.items() if k != "callbacks"}
+    worst = max(max(v["overhead_pct"], 0.0) for v in emitting.values())
+    ok = worst < ENABLED_BUDGET_PCT and guard_pct < DISABLED_BUDGET_PCT
+
+    report = {
+        "bench": "kernel",
+        "quick": args.quick,
+        "unix_time": int(t0),
+        "wall_s": round(wall_s, 2),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": {name: {k: round(v, 2) for k, v in r.items()}
+                      for name, r in results.items()},
+        "tracing": {
+            "disabled_guard_overhead_pct": round(guard_pct, 2),
+            "enabled_overhead_worst_pct": round(worst, 2),
+            "enabled_budget_pct": ENABLED_BUDGET_PCT,
+            "disabled_budget_pct": DISABLED_BUDGET_PCT,
+        },
+        "pass_overhead_budget": ok,
+    }
+
+    out = Path(args.out) if args.out else \
+        Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    for name, r in results.items():
+        print(f"{name:>10}: disabled {r['disabled_per_s']:>12,.0f}/s   "
+              f"enabled {r['enabled_per_s']:>12,.0f}/s   "
+              f"overhead {r['overhead_pct']:+.1f}%")
+    verdict = "PASS" if ok else "FAIL"
+    print(f"tracing overhead: worst enabled {worst:.1f}% "
+          f"(budget {ENABLED_BUDGET_PCT:.0f}%), disabled guards "
+          f"{guard_pct:.1f}% (budget {DISABLED_BUDGET_PCT:.0f}%) -> {verdict}")
+    print(f"wrote {out}")
+    return 1 if (args.strict and not ok) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

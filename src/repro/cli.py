@@ -14,6 +14,7 @@ shell::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 __all__ = ["main", "build_parser"]
@@ -25,7 +26,18 @@ def build_parser() -> argparse.ArgumentParser:
         description="DI-GRUBER reproduction: distributed grid USLA brokering")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("quickstart", help="run the quickstart deployment")
+    def add_obs(p):
+        p.add_argument("--trace", nargs="?", const="", default=None,
+                       metavar="JSONL",
+                       help="enable structured tracing; with a path, "
+                            "stream events to a JSONL file")
+        p.add_argument("--obs", action="store_true",
+                       help="print the observability run summary "
+                            "(counters, RPC latency percentiles, trace "
+                            "tallies) after the experiment")
+
+    quick = sub.add_parser("quickstart", help="run the quickstart deployment")
+    add_obs(quick)
 
     fig1 = sub.add_parser("fig1", help="Fig 1: service instance creation")
     fig1.add_argument("--clients", type=int, default=300)
@@ -71,7 +83,30 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("least_used", "round_robin", "lru", "random"))
     run.add_argument("--topology", default=None,
                      choices=("mesh", "ring", "star", "line"))
+    add_obs(run)
     return parser
+
+
+def _obs_overrides(args) -> dict:
+    """Config overrides for the ``--trace`` flag."""
+    overrides = {}
+    if getattr(args, "trace", None) is not None:
+        overrides["trace_enabled"] = True
+        if args.trace:
+            parent = os.path.dirname(args.trace) or "."
+            if not os.path.isdir(parent):
+                raise SystemExit(
+                    f"error: --trace directory does not exist: {parent}")
+            overrides["trace_path"] = args.trace
+    return overrides
+
+
+def _print_obs(args, result) -> None:
+    if getattr(args, "obs", False):
+        print()
+        print(result.obs_summary())
+    if getattr(args, "trace", None):
+        print(f"trace written to {args.trace}")
 
 
 def _base_config(args):
@@ -83,7 +118,7 @@ def _base_config(args):
     return maker, overrides
 
 
-def _cmd_quickstart(_args) -> int:
+def _cmd_quickstart(args) -> int:
     from repro.experiments import ExperimentConfig, run_experiment
     from repro.workloads import JobModel
     config = ExperimentConfig(
@@ -91,8 +126,10 @@ def _cmd_quickstart(_args) -> int:
         duration_s=600.0, n_sites=40, total_cpus=4000, n_vos=4,
         groups_per_vo=3, sync_interval_s=60.0,
         job_model=JobModel(duration_mean_s=240.0, min_duration_s=20.0),
-        seed=7)
-    print(run_experiment(config).summary())
+        seed=7, **_obs_overrides(args))
+    result = run_experiment(config)
+    print(result.summary())
+    _print_obs(args, result)
     return 0
 
 
@@ -161,7 +198,10 @@ def _cmd_run(args) -> int:
         overrides["selector"] = args.selector
     if args.topology is not None:
         overrides["topology"] = args.topology
-    print(run_experiment(maker(args.dps, **overrides)).summary())
+    overrides.update(_obs_overrides(args))
+    result = run_experiment(maker(args.dps, **overrides))
+    print(result.summary())
+    _print_obs(args, result)
     return 0
 
 

@@ -64,7 +64,8 @@ class DecisionPoint(Endpoint):
         self.engine = GruberEngine(
             owner=str(node_id), site_capacities=capacities,
             usla_aware=usla_aware,
-            assumed_job_lifetime_s=assumed_job_lifetime_s)
+            assumed_job_lifetime_s=assumed_job_lifetime_s,
+            tracer=sim.trace, metrics=sim.metrics)
         self.monitor = SiteMonitor(sim, grid, self.engine,
                                    interval_s=monitor_interval_s,
                                    jitter_s=monitor_interval_s * 0.05, rng=rng)

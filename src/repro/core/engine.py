@@ -28,7 +28,8 @@ class GruberEngine:
     def __init__(self, owner: str, site_capacities: dict[str, int],
                  usla_store: Optional[UslaStore] = None,
                  usla_aware: bool = False,
-                 assumed_job_lifetime_s: float = 900.0):
+                 assumed_job_lifetime_s: float = 900.0,
+                 tracer=None, metrics=None):
         self.owner = owner
         self.view = GridStateView(
             site_capacities, assumed_job_lifetime_s=assumed_job_lifetime_s)
@@ -38,6 +39,11 @@ class GruberEngine:
         self._seq = itertools.count(1)
         self.queries_served = 0
         self.dispatches_recorded = 0
+        #: Optional observability hooks (a :class:`~repro.obs.Tracer`
+        #: and :class:`~repro.obs.MetricsRegistry`); the decision point
+        #: wires in its simulator's instances.
+        self.tracer = tracer
+        self.metrics = metrics
 
     # -- policy ----------------------------------------------------------
     def _policy(self) -> PolicyEngine:
@@ -56,14 +62,19 @@ class GruberEngine:
         """Estimated free CPUs per site, USLA-filtered when enabled.
 
         ``now`` lets the view age out records past the assumed job
-        lifetime before answering.  With ``usla_aware`` and a VO given,
-        each site's availability is capped by the VO's remaining
+        lifetime before answering; when omitted, the latest time the
+        view has witnessed is used instead, so stale records can never
+        silently overstate usage (they used to zero a VO's site
+        headroom forever on this path).  With ``usla_aware`` and a VO
+        given, each site's availability is capped by the VO's remaining
         entitlement there: ``min(free, entitled * capacity - vo_busy)``.
         With a ``group``, the recursive group-level USLA also applies:
         the group's headroom within the VO's site entitlement, per the
         paper's two-level allocation model (resource owner → VO → group).
         """
         self.queries_served += 1
+        if now is None:
+            now = self.view.latest_time
         free = self.view.free_map(now=now)
         if not (self.usla_aware and vo):
             return free
@@ -99,6 +110,11 @@ class GruberEngine:
                              group=group)
         self.view.apply_record(rec)
         self.dispatches_recorded += 1
+        if self.metrics is not None:
+            self.metrics.counter("engine.dispatches").inc()
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit("engine.dispatch", node=self.owner, site=site,
+                             vo=vo, cpus=cpus, seq=rec.seq)
         return rec
 
     def merge_remote_records(self, records: list[DispatchRecord],
@@ -108,9 +124,21 @@ class GruberEngine:
         ``now`` is the receive time, which becomes the relay horizon
         timestamp for further flooding.
         """
-        return self.view.apply_records(records, now=now)
+        adopted = self.view.apply_records(records, now=now)
+        if self.metrics is not None:
+            self.metrics.counter("engine.records_adopted").inc(adopted)
+            self.metrics.counter("engine.records_offered").inc(len(records))
+        if adopted and self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit("engine.adopt", node=self.owner,
+                             offered=len(records), adopted=adopted)
+        return adopted
 
     def on_monitor_refresh(self, busy_by_site: dict[str, float],
                            now: float) -> None:
         self.view.refresh_all(busy_by_site, now)
-        self.view.expire(now)
+        expired = self.view.expire(now)
+        if self.metrics is not None:
+            self.metrics.counter("engine.monitor_refreshes").inc()
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit("engine.refresh", node=self.owner,
+                             sites=len(busy_by_site), expired=expired)

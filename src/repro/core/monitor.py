@@ -45,8 +45,12 @@ class SiteMonitor:
             raise RuntimeError("monitor already started")
         if initial:
             self.sweep()
+        # on_error="record": a failed sweep is counted and traced by
+        # the kernel but does not stop future sweeps (nor the run).
         self._handle = self.sim.every(self.interval_s, self.sweep,
-                                      jitter=self._jitter_s, rng=self._rng)
+                                      jitter=self._jitter_s, rng=self._rng,
+                                      on_error="record",
+                                      name=f"monitor:{self.engine.owner}")
 
     def stop(self) -> None:
         if self._handle is not None:

@@ -94,6 +94,12 @@ class GridStateView:
         self._learned_at: dict[tuple[str, int], float] = {}
         # Per-(site, vo) incremental usage estimate for USLA filtering.
         self._vo_busy: dict[tuple[str, str], float] = {}
+        # Latest sim-time this view has witnessed (record learn times,
+        # monitor refreshes, explicit expiries).  Callers that omit
+        # ``now`` get expiry against this horizon instead of none at
+        # all — stale records used to overstate VO usage forever on
+        # that path.
+        self.latest_time: float = -float("inf")
 
     # -- internal removal ----------------------------------------------------
     def _drop(self, rec: DispatchRecord) -> None:
@@ -107,6 +113,8 @@ class GridStateView:
 
     def expire(self, now: float) -> int:
         """Age out records past the assumed job lifetime; returns count."""
+        if now > self.latest_time:
+            self.latest_time = now
         cutoff = now - self.assumed_job_lifetime_s
         dropped = 0
         for heap in self._records.values():
@@ -132,6 +140,8 @@ class GridStateView:
         if rec.key in self._seen:
             return False
         learn_time = rec.time if now is None else now
+        if learn_time > self.latest_time:
+            self.latest_time = learn_time
         if rec.time <= self._base_time[rec.site]:
             # Already reflected in the monitor's ground truth.
             return False
@@ -161,6 +171,8 @@ class GridStateView:
         """
         if site not in self.capacities:
             raise KeyError(f"refresh for unknown site {site!r}")
+        if now > self.latest_time:
+            self.latest_time = now
         self._base_busy[site] = busy_cpus
         self._base_time[site] = now
         heap = self._records[site]
@@ -182,7 +194,16 @@ class GridStateView:
     def estimated_free(self, site: str, now: Optional[float] = None) -> float:
         return self.capacities[site] - self.estimated_busy(site, now)
 
-    def estimated_vo_busy(self, site: str, vo: str) -> float:
+    def estimated_vo_busy(self, site: str, vo: str,
+                          now: Optional[float] = None) -> float:
+        """Estimated busy CPUs attributed to ``vo`` (or ``vo.group``).
+
+        ``now`` ages out stale records first — the same expiry
+        :meth:`free_map` applies, so USLA headroom and free counts stay
+        consistent with each other.
+        """
+        if now is not None:
+            self.expire(now)
         return max(self._vo_busy.get((site, vo), 0.0), 0.0)
 
     def free_map(self, now: Optional[float] = None) -> dict[str, float]:

@@ -72,9 +72,13 @@ class SyncProtocol:
             return
         if self._handle is not None:
             raise RuntimeError("sync already started")
+        # on_error="record": one bad exchange round must not kill the
+        # flooding chain (the old behaviour permanently desynchronized
+        # this decision point) — the kernel counts and traces it.
         self._handle = self.dp.sim.every(
             self.interval_s, self.tick,
-            jitter=self.jitter_s, rng=self.dp.rng)
+            jitter=self.jitter_s, rng=self.dp.rng,
+            on_error="record", name=f"sync:{self.dp.node_id}")
 
     def stop(self) -> None:
         if self._handle is not None:
@@ -105,13 +109,22 @@ class SyncProtocol:
                                    size_kb=size_kb)
         self.rounds_sent += 1
         self.records_sent += len(records) * len(dp.neighbors)
+        dp.sim.metrics.counter("sync.rounds").inc()
+        if dp.sim.trace.enabled:
+            dp.sim.trace.emit("sync.round", node=dp.node_id,
+                              records=len(records),
+                              neighbors=len(dp.neighbors), kb=size_kb)
 
     # -- receive side -----------------------------------------------------------
     def on_sync(self, payload: dict) -> None:
         records: list[DispatchRecord] = payload.get("records", [])
         self.records_received += len(records)
-        self.records_adopted += self.dp.engine.merge_remote_records(
+        adopted = self.dp.engine.merge_remote_records(
             records, now=self.dp.sim.now)
+        self.records_adopted += adopted
+        if self.dp.sim.trace.enabled:
+            self.dp.sim.trace.emit("sync.recv", node=self.dp.node_id,
+                                   received=len(records), adopted=adopted)
         if (self.strategy is DisseminationStrategy.USAGE_AND_USLA
                 and "uslas" in payload):
             from repro.usla.store import UslaStore

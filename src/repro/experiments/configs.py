@@ -70,6 +70,12 @@ class ExperimentConfig:
     kb_transfer_s: float = 0.15
     site_state_kb: float = 0.06
 
+    # Observability (repro.obs).  Counters/histograms are always on;
+    # the structured trace is opt-in because it costs per-event work.
+    trace_enabled: bool = False
+    trace_path: str = ""        # stream events to this JSONL file
+    trace_capacity: int = 65536  # ring-buffer size when tracing
+
     # Reproducibility.
     seed: int = 20050101
     name: str = "experiment"

@@ -43,6 +43,8 @@ class ExperimentResult:
     grid: Grid
     deployment: DIGruberDeployment = field(repr=False)
     clients: list[GruberClient] = field(repr=False, default_factory=list)
+    sim: Optional[Simulator] = field(default=None, repr=False)
+    network: Optional[Network] = field(default=None, repr=False)
     _jobs: dict = field(default=None, repr=False)  # type: ignore[assignment]
 
     def __post_init__(self):
@@ -117,6 +119,23 @@ class ExperimentResult:
         }
         return row
 
+    # -- observability ---------------------------------------------------------
+    def obs_summary(self) -> str:
+        """Counters, latency histograms, and trace tallies for this run."""
+        from repro.metrics.report import render_obs_summary
+        return render_obs_summary(
+            self.sim.metrics if self.sim is not None else None,
+            network_stats=self.network.stats if self.network is not None else None,
+            tracer=self.sim.trace if self.sim is not None else None,
+            title=f"{self.config.name}: observability")
+
+    def dropped_sync_chains(self) -> int:
+        """Periodic-chain errors during the run (should be zero — the
+        accuracy figures assume every sync/monitor tick fired)."""
+        if self.sim is None:
+            return 0
+        return self.sim.metrics.counter_value("kernel.periodic_errors")
+
     # -- broker-side stats -----------------------------------------------------
     def dp_ops(self) -> dict[str, int]:
         return {dp_id: dp.container.completed_ops
@@ -156,6 +175,15 @@ def run_experiment(config: ExperimentConfig,
     """
     sim = Simulator()
     rng = RngRegistry(config.seed)
+
+    trace_sink = None
+    if config.trace_enabled or config.trace_path:
+        sim.trace.enabled = True
+        sim.trace.set_capacity(config.trace_capacity)
+        if config.trace_path:
+            from repro.obs import JsonlSink
+            trace_sink = JsonlSink(config.trace_path)
+            sim.trace.add_sink(trace_sink)
 
     loss_kw = ({"loss_rate": config.wan_loss_rate,
                 "loss_rng": rng.stream("loss")}
@@ -226,6 +254,12 @@ def run_experiment(config: ExperimentConfig,
 
     sim.run(until=config.duration_s)
 
+    if trace_sink is not None:
+        # Detach before closing: generator finalizers can still spawn
+        # (and trace) processes after the run window.
+        sim.trace.remove_sink(trace_sink)
+        trace_sink.close()
+
     # Finalize: record every job's terminal (or end-of-run) state.
     for client in clients:
         for job in client.jobs:
@@ -239,4 +273,5 @@ def run_experiment(config: ExperimentConfig,
     return ExperimentResult(config=config, trace=trace,
                             client_starts=client_starts,
                             client_ends=client_ends, grid=grid,
-                            deployment=deployment, clients=clients)
+                            deployment=deployment, clients=clients,
+                            sim=sim, network=network)

@@ -15,7 +15,7 @@ from repro.metrics.defs import (
     throughput,
     utilization,
 )
-from repro.metrics.report import SummaryStats, format_table
+from repro.metrics.report import SummaryStats, format_table, render_obs_summary
 from repro.metrics.timeseries import concurrency_series, windowed_mean, windowed_rate
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "normalized_qtime",
     "qtime",
     "render_diperf_figure",
+    "render_obs_summary",
     "render_series",
     "sparkline",
     "throughput",

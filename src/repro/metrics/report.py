@@ -7,7 +7,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["SummaryStats", "format_table"]
+__all__ = ["SummaryStats", "format_table", "render_obs_summary"]
 
 
 @dataclass(frozen=True)
@@ -71,4 +71,55 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence],
     lines.append("-" * (col_width * len(headers)))
     for r in rows:
         lines.append("".join(f"{fmt(c):>{col_width}}" for c in r))
+    return "\n".join(lines)
+
+
+def render_obs_summary(metrics, network_stats=None, tracer=None,
+                       title: str = "run summary") -> str:
+    """Render one run's observability state as a text report.
+
+    Unifies the three collection layers introduced with ``repro.obs``:
+
+    * ``metrics`` — a :class:`~repro.obs.MetricsRegistry` (always-on
+      counters + fixed-bucket histograms, e.g. ``rpc.latency_s``);
+    * ``network_stats`` — the transport's
+      :class:`~repro.net.transport.NetworkStats`, including the
+      timeout/loss failure counts that used to go unreported;
+    * ``tracer`` — the (optional) structured trace; only its per-kind
+      tallies are shown here.
+    """
+    lines = [f"== {title} =="]
+
+    if network_stats is not None:
+        ns = network_stats
+        lines.append(
+            f"transport: messages={ns.messages} kb={ns.kb:.1f} "
+            f"dropped={ns.dropped}")
+        lines.append(
+            f"rpcs: started={ns.rpcs_started} completed={ns.rpcs_completed} "
+            f"failed={ns.rpcs_failed} (timed_out={ns.rpcs_timed_out} "
+            f"lost={ns.rpcs_lost}) discarded={ns.responses_discarded}")
+
+    counters = dict(getattr(metrics, "counters", {}))
+    if counters:
+        rows = [(name, c.value) for name, c in sorted(counters.items())]
+        lines.append(format_table(("counter", "value"), rows, col_width=28))
+
+    histograms = dict(getattr(metrics, "histograms", {}))
+    if histograms:
+        rows = []
+        for name, h in sorted(histograms.items()):
+            s = h.summary()
+            rows.append((name, s["count"], s["mean"], s["p50"], s["p90"],
+                         s["p99"], s["max"]))
+        lines.append(format_table(
+            ("histogram", "count", "mean", "p50", "p90", "p99", "max"),
+            rows, col_width=14))
+
+    if tracer is not None and tracer.counts:
+        rows = sorted(tracer.counts.items())
+        lines.append(format_table(("trace event", "count"), rows,
+                                  col_width=28))
+        lines.append(f"trace: buffered={len(tracer)} evicted={tracer.evicted}")
+
     return "\n".join(lines)

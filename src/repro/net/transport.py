@@ -21,7 +21,7 @@ import types
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Optional
 
-from repro.sim.kernel import Event, Simulator
+from repro.sim.kernel import Event, ScheduledCall, Simulator
 
 from repro.net.latency import LatencyModel
 
@@ -53,7 +53,15 @@ class Message:
 
 @dataclass
 class NetworkStats:
-    """Aggregate transport counters, for reporting and saturation checks."""
+    """Aggregate transport counters, for reporting and saturation checks.
+
+    ``rpcs_failed`` counts *every* way an RPC can fail for the caller:
+    remote errors, caller timeouts (``rpcs_timed_out``), and lost
+    requests/responses that can never complete because no timeout was
+    armed (``rpcs_lost``).  Timeouts used to be invisible here, which
+    made the saturation detector and the run summary undercount
+    failures under load.
+    """
 
     messages: int = 0
     kb: float = 0.0
@@ -61,10 +69,30 @@ class NetworkStats:
     rpcs_started: int = 0
     rpcs_completed: int = 0
     rpcs_failed: int = 0
+    rpcs_timed_out: int = 0
+    rpcs_lost: int = 0
+    responses_discarded: int = 0
     per_op: dict = field(default_factory=dict)
 
     def count(self, op: str) -> None:
         self.per_op[op] = self.per_op.get(op, 0) + 1
+
+
+class _PendingRpc:
+    """Caller-side bookkeeping for one in-flight RPC."""
+
+    __slots__ = ("event", "op", "src", "dst", "started_at", "size_kb",
+                 "timeout_call")
+
+    def __init__(self, event: Event, op: str, src: Hashable, dst: Hashable,
+                 started_at: float, size_kb: float):
+        self.event = event
+        self.op = op
+        self.src = src
+        self.dst = dst
+        self.started_at = started_at
+        self.size_kb = size_kb
+        self.timeout_call: Optional[ScheduledCall] = None
 
 
 class Endpoint:
@@ -126,7 +154,7 @@ class Network:
         self.stats = NetworkStats()
         self._endpoints: dict[Hashable, Endpoint] = {}
         self._rpc_seq = 0
-        self._pending_rpcs: dict[int, Event] = {}
+        self._pending_rpcs: dict[int, _PendingRpc] = {}
 
     def _lost(self) -> bool:
         if self.loss_rate == 0.0:
@@ -162,6 +190,9 @@ class Network:
         self.stats.messages += 1
         self.stats.kb += size_kb
         if self._lost():
+            if self.sim.trace.enabled:
+                self.sim.trace.emit("msg.drop", node=src, dst=str(dst), op=op,
+                                    kind="oneway", size_kb=size_kb)
             return
 
         def deliver() -> None:
@@ -179,40 +210,104 @@ class Network:
         The event succeeds with the handler's return value or fails with
         :class:`RpcError` (remote exception) / :class:`RpcTimeout`
         (caller stopped waiting; the server-side work still completes).
+
+        Bookkeeping invariant: every entry in the pending-RPC table is
+        eventually removed — on completion, on timeout, or the moment
+        the transport *knows* no response can ever arrive (request or
+        response dropped, or the destination is offline, with no
+        timeout armed).  The timeout's :class:`ScheduledCall` is
+        cancelled when the RPC resolves first, so long-timeout RPC
+        storms no longer bloat the event heap.
         """
         if dst not in self._endpoints:
             raise KeyError(f"unknown destination endpoint {dst!r}")
         self._rpc_seq += 1
         rpc_id = self._rpc_seq
         result = self.sim.event(name=f"rpc:{op}:{rpc_id}")
-        self._pending_rpcs[rpc_id] = result
+        pending = _PendingRpc(result, op, src, dst, self.sim.now, size_kb)
+        self._pending_rpcs[rpc_id] = pending
         self.stats.rpcs_started += 1
         self.stats.count(op)
+        trace = self.sim.trace
+        if trace.verbose and trace.enabled:
+            trace.emit("rpc.send", node=src, dst=str(dst), op=op,
+                       rpc_id=rpc_id, size_kb=size_kb)
 
         msg = Message(src=src, dst=dst, kind="request", op=op, payload=payload,
                       size_kb=size_kb, sent_at=self.sim.now, rpc_id=rpc_id)
         self.stats.messages += 1
         self.stats.kb += size_kb
-        if not self._lost():
+        request_lost = self._lost()
+        if not request_lost:
             self.sim.schedule(
                 self._delivery_delay(msg),
                 lambda: self._handle_request(msg, response_size_kb))
 
         if timeout is not None:
             def expire() -> None:
-                pending = self._pending_rpcs.pop(rpc_id, None)
-                if pending is not None and not pending.triggered:
-                    pending.fail(RpcTimeout(f"rpc {op!r} to {dst!r} after {timeout}s"))
-            self.sim.schedule(timeout, expire)
+                stale = self._pending_rpcs.pop(rpc_id, None)
+                if stale is None:
+                    return
+                stale.timeout_call = None
+                self.stats.rpcs_failed += 1
+                self.stats.rpcs_timed_out += 1
+                self._finish_span(stale, rpc_id, "timeout")
+                if not stale.event.triggered:
+                    stale.event.fail(RpcTimeout(
+                        f"rpc {op!r} to {dst!r} after {timeout}s"))
+            pending.timeout_call = self.sim.schedule(timeout, expire)
+        elif request_lost:
+            # No response will ever come and no timeout will reap the
+            # entry — retire it now (the caller's event stays pending
+            # forever, exactly like talking to a crashed peer).
+            self._abandon(rpc_id, "request_dropped")
         return result
+
+    def _abandon(self, rpc_id: int, reason: str) -> None:
+        """Retire a pending RPC that can never complete (no timeout armed)."""
+        pending = self._pending_rpcs.pop(rpc_id, None)
+        if pending is None:
+            return
+        self.stats.rpcs_failed += 1
+        self.stats.rpcs_lost += 1
+        self._finish_span(pending, rpc_id, reason)
+
+    def _finish_span(self, pending: _PendingRpc, rpc_id: int,
+                     outcome: str) -> None:
+        """Close one RPC span: latency histogram + counters + trace.
+
+        Emits a single compact ``rpc.span`` event per RPC (fields per
+        ``repro.obs.trace.SPAN_FIELDS``) — the full intermediate chain
+        is available under ``tracer.verbose``.
+        """
+        now = self.sim.now
+        latency = now - pending.started_at
+        metrics = self.sim.metrics
+        if outcome in ("ok", "error", "timeout"):
+            # Caller-perceived latency; lost/abandoned RPCs have none.
+            metrics.histogram("rpc.latency_s").observe(latency)
+        metrics.counter(f"rpc.{outcome}").inc()
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit_compact(
+                "rpc.span", pending.src,
+                (pending.op, pending.dst, rpc_id, outcome, latency,
+                 pending.size_kb),
+                time=now)
 
     # -- server side --------------------------------------------------------
     def _handle_request(self, msg: Message, response_size_kb: float) -> None:
         ep = self._endpoints[msg.dst]
         if not ep.online:
             # Crashed service: the request is simply never answered;
-            # the caller's timeout (if any) is its only signal.
+            # the caller's timeout (if any) is its only signal — but
+            # without one the pending entry must not leak.
+            self._abandon_if_unreaped(msg.rpc_id, "endpoint_offline")
             return
+        trace = self.sim.trace
+        if trace.verbose and trace.enabled:
+            trace.emit("rpc.handle", node=msg.dst, op=msg.op,
+                       rpc_id=msg.rpc_id, src=str(msg.src))
         handler = ep.handlers.get(msg.op)
         if handler is None:
             self._send_response(msg, RpcError(f"no handler for {msg.op!r} on {msg.dst!r}"),
@@ -246,19 +341,46 @@ class Network:
                        sent_at=self.sim.now, rpc_id=request.rpc_id, ok=ok)
         self.stats.messages += 1
         self.stats.kb += size_kb
-        if not self._lost():
-            self.sim.schedule(self._delivery_delay(resp),
-                              lambda: self._complete_rpc(resp))
+        trace = self.sim.trace
+        if trace.verbose and trace.enabled:
+            trace.emit("rpc.respond", node=request.dst, op=request.op,
+                       rpc_id=request.rpc_id, ok=ok, size_kb=size_kb)
+        if self._lost():
+            # Dropped response: without a timeout nothing else would
+            # ever reap the caller's pending entry.
+            self._abandon_if_unreaped(resp.rpc_id, "response_dropped")
+            return
+        self.sim.schedule(self._delivery_delay(resp),
+                          lambda: self._complete_rpc(resp))
+
+    def _abandon_if_unreaped(self, rpc_id: int, reason: str) -> None:
+        """Abandon now unless an armed timeout will reap the entry later."""
+        pending = self._pending_rpcs.get(rpc_id)
+        if pending is not None and pending.timeout_call is None:
+            self._abandon(rpc_id, reason)
 
     def _complete_rpc(self, resp: Message) -> None:
-        result = self._pending_rpcs.pop(resp.rpc_id, None)
-        if result is None or result.triggered:
+        pending = self._pending_rpcs.pop(resp.rpc_id, None)
+        if pending is None or pending.event.triggered:
             # Caller timed out and went on; response discarded (paper §4.3).
+            self.stats.responses_discarded += 1
+            trace = self.sim.trace
+            if trace.verbose and trace.enabled:
+                trace.emit("rpc.discard", node=resp.dst, op=resp.op,
+                           rpc_id=resp.rpc_id)
             return
+        if pending.timeout_call is not None:
+            # The RPC resolved first; don't leave the timeout ticking
+            # in the heap (long-timeout storms used to bloat it).
+            pending.timeout_call.cancel()
+            pending.timeout_call = None
+        result = pending.event
         if resp.ok:
             self.stats.rpcs_completed += 1
+            self._finish_span(pending, resp.rpc_id, "ok")
             result.succeed(resp.payload)
         else:
             self.stats.rpcs_failed += 1
+            self._finish_span(pending, resp.rpc_id, "error")
             result.fail(resp.payload if isinstance(resp.payload, BaseException)
                         else RpcError(str(resp.payload)))

@@ -1,0 +1,40 @@
+"""Observability: structured tracing, counters, and histograms.
+
+The paper's entire evaluation is *measurement* — DiPerF-style
+throughput, response-time, and accuracy curves per decision point — so
+the simulator carries a first-class observability layer rather than
+ad-hoc print statements:
+
+* :mod:`repro.obs.trace` — a ring-buffered structured event trace
+  (sim-time, node, kind, detail) with pluggable sinks, including JSONL
+  export.  Disabled by default; the hot layers guard every emission so
+  the disabled cost is one attribute check.
+* :mod:`repro.obs.counters` — always-on named counters and fixed-bucket
+  histograms (p50/p90/p99 without numpy) collected in a
+  :class:`~repro.obs.counters.MetricsRegistry`.
+
+One :class:`~repro.obs.trace.Tracer` and one
+:class:`~repro.obs.counters.MetricsRegistry` hang off every
+:class:`~repro.sim.kernel.Simulator`; the transport, engine, sync
+protocol, and monitor all emit through them, which is what makes the
+formerly *silent* failure paths (dead periodic chains, leaked RPCs,
+stale USLA usage) visible in the run summary.
+"""
+
+from repro.obs.counters import (
+    Counter,
+    Histogram,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+)
+from repro.obs.trace import JsonlSink, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "JsonlSink",
+    "LATENCY_BUCKETS_S",
+    "MetricsRegistry",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,152 @@
+"""Always-on counters and fixed-bucket histograms (no numpy).
+
+The GridSim lineage of simulation toolkits earns trust through built-in
+statistics recording; here every :class:`~repro.sim.kernel.Simulator`
+carries a :class:`MetricsRegistry` that the transport, kernel, and
+brokering layers feed.  Histograms use fixed bucket boundaries so an
+observation is one ``bisect`` plus two adds — cheap enough to leave on
+even in benchmark runs — and report p50/p90/p99 by linear interpolation
+within the containing bucket.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Optional, Sequence
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "LATENCY_BUCKETS_S"]
+
+#: Default latency buckets (seconds): 1 ms … 512 s, exponential.
+#: Spans LAN sub-millisecond chatter up to multi-minute WAN timeouts.
+LATENCY_BUCKETS_S: tuple[float, ...] = tuple(
+    0.001 * 2 ** i for i in range(20))
+
+
+class Counter:
+    """A named monotonic tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Histogram:
+    """Fixed-boundary histogram with streaming sum/min/max.
+
+    ``bounds`` are ascending bucket *upper* edges; observations above
+    the last bound land in an overflow bucket whose quantile estimate
+    is the largest value actually seen.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float] = LATENCY_BUCKETS_S):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("bounds must be a non-empty ascending sequence")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)  # +1 overflow
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated p-th percentile (0 < p <= 100).
+
+        Linear interpolation inside the containing bucket; exact for
+        the min/max endpoints, bucket-resolution otherwise.
+        """
+        if not (0.0 < p <= 100.0):
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        cum = 0
+        for i, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            if cum + n >= rank:
+                lo = self.bounds[i - 1] if i > 0 else (
+                    self.min if self.min is not None else 0.0)
+                hi = self.bounds[i] if i < len(self.bounds) else self.max
+                lo = max(lo, self.min) if self.min is not None else lo
+                hi = min(hi, self.max) if self.max is not None else hi
+                frac = (rank - cum) / n
+                return lo + (hi - lo) * frac
+            cum += n
+        return self.max if self.max is not None else 0.0  # pragma: no cover
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max if self.max is not None else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.4g}>"
+
+
+class MetricsRegistry:
+    """Named counters + histograms for one simulator instance."""
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = LATENCY_BUCKETS_S) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name, bounds)
+        return h
+
+    def counter_value(self, name: str) -> int:
+        c = self.counters.get(name)
+        return c.value if c is not None else 0
+
+    def snapshot(self) -> dict:
+        """Plain-dict view (JSON-ready) of everything recorded."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "histograms": {n: h.summary()
+                           for n, h in sorted(self.histograms.items())},
+        }

@@ -22,7 +22,10 @@ exception inside the generator, so brokering code can use ordinary
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, Optional, Union
+
+from repro.obs.counters import MetricsRegistry
+from repro.obs.trace import Tracer
 
 __all__ = [
     "Event",
@@ -200,6 +203,8 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self.gen = gen
         self._waiting_on: Optional[Event] = None
+        if sim.trace.enabled:
+            sim.trace.emit("process.start", node=self.name)
         sim._schedule_now(lambda: self._resume(None, None))
 
     # -- driving ------------------------------------------------------
@@ -213,18 +218,28 @@ class Process(Event):
             else:
                 target = self.gen.send(value)
         except StopIteration as stop:
+            if self.sim.trace.enabled:
+                self.sim.trace.emit("process.finish", node=self.name)
             self.succeed(stop.value)
             return
         except Interrupt as unhandled:
+            self._trace_fail(unhandled)
             self.fail(unhandled)
             return
         except ProcessKilled as killed:
+            self._trace_fail(killed)
             self.fail(killed)
             return
         except Exception as err:
+            self._trace_fail(err)
             self.fail(err)
             return
         self._wait_on(target)
+
+    def _trace_fail(self, err: BaseException) -> None:
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("process.fail", node=self.name,
+                                error=f"{type(err).__name__}: {err}")
 
     def _wait_on(self, target: Any) -> None:
         if isinstance(target, Event):
@@ -263,7 +278,25 @@ class Process(Event):
             return
         self._waiting_on = None
         self.gen.close()
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("process.kill", node=self.name)
         self.fail(ProcessKilled(self.name))
+
+    # -- unhandled-failure detection ------------------------------------
+    def _dispatch(self) -> None:
+        """Like :meth:`Event._dispatch`, but a failure that nobody was
+        waiting on is *surfaced*: counted and traced instead of
+        vanishing (a crashed broker process used to disappear here).
+        """
+        had_watchers = bool(self.callbacks)
+        super()._dispatch()
+        if (self.ok is False and not had_watchers
+                and not isinstance(self.value, ProcessKilled)):
+            self.sim.metrics.counter("kernel.unhandled_failures").inc()
+            if self.sim.trace.enabled:
+                self.sim.trace.emit(
+                    "process.unhandled_failure", node=self.name,
+                    error=f"{type(self.value).__name__}: {self.value}")
 
 
 class Simulator:
@@ -274,6 +307,11 @@ class Simulator:
         self._heap: list[tuple[float, int, ScheduledCall]] = []
         self._seq: int = 0
         self._event_count: int = 0
+        #: Observability: a disabled-by-default structured trace plus
+        #: always-on counters/histograms shared by everything running
+        #: on this simulator (transport, brokers, monitors).
+        self.trace = Tracer(clock=lambda: self.now)
+        self.metrics = MetricsRegistry()
 
     # -- scheduling -----------------------------------------------------
     def schedule(self, delay: float, fn: Callable[[], None]) -> ScheduledCall:
@@ -326,7 +364,9 @@ class Simulator:
 
     def every(self, interval: float, fn: Callable[[], None],
               start: Optional[float] = None, jitter: float = 0.0,
-              rng=None) -> ScheduledCall:
+              rng=None,
+              on_error: Union[str, Callable[[Exception], None]] = "raise",
+              name: str = "") -> ScheduledCall:
         """Call ``fn()`` periodically.
 
         Returns the handle of the *next* scheduled call; cancelling it
@@ -334,19 +374,47 @@ class Simulator:
         drawn from ``rng``) desynchronizes repeated timers, which the
         decision-point sync protocol uses so that all brokers do not
         flood the mesh at the same instant.
+
+        An exception in ``fn()`` no longer kills the chain: the next
+        tick is rescheduled in a ``finally`` (one bad sync round used to
+        permanently desynchronize a decision point), the error is
+        counted (``kernel.periodic_errors``) and traced
+        (``periodic.error``), and then handled per ``on_error``:
+
+        * ``"raise"`` (default) — re-raise out of the event loop;
+        * ``"record"`` — swallow after counting/tracing (what the sync
+          protocol and site monitor use: one bad round must not take
+          down the experiment, but must not vanish either);
+        * a callable — invoked with the exception.
         """
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
+        if not callable(on_error) and on_error not in ("raise", "record"):
+            raise ValueError(
+                f"on_error must be 'raise', 'record', or callable, "
+                f"got {on_error!r}")
         state: dict[str, Any] = {"stopped": False}
 
         def tick() -> None:
             if state["stopped"]:
                 return
-            fn()
-            delay = interval
-            if jitter and rng is not None:
-                delay += float(rng.uniform(0.0, jitter))
-            state["next"] = self.schedule(delay, tick)
+            try:
+                fn()
+            except Exception as err:
+                self.metrics.counter("kernel.periodic_errors").inc()
+                if self.trace.enabled:
+                    self.trace.emit("periodic.error", node=name,
+                                    error=f"{type(err).__name__}: {err}")
+                if on_error == "raise":
+                    raise
+                if callable(on_error):
+                    on_error(err)
+            finally:
+                if not state["stopped"]:
+                    delay = interval
+                    if jitter and rng is not None:
+                        delay += float(rng.uniform(0.0, jitter))
+                    state["next"] = self.schedule(delay, tick)
 
         first_delay = interval if start is None else start
         if jitter and rng is not None:

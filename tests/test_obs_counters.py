@@ -1,0 +1,97 @@
+"""Unit tests for counters, histograms, and the metrics registry."""
+
+import pytest
+
+from repro.obs import Counter, Histogram, LATENCY_BUCKETS_S, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_int(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5 and int(c) == 5
+
+
+class TestHistogram:
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=[])
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=[2.0, 1.0])
+
+    def test_empty_summary(self):
+        h = Histogram("h", bounds=[1.0, 2.0])
+        assert h.mean == 0.0 and h.percentile(50) == 0.0
+        assert h.summary() == {"count": 0, "mean": 0.0, "min": 0.0,
+                               "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+
+    def test_observe_updates_stats(self):
+        h = Histogram("h", bounds=[1.0, 10.0, 100.0])
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(55.5 / 3)
+        assert h.min == 0.5 and h.max == 50.0
+        assert h.buckets == [1, 1, 1, 0]
+
+    def test_overflow_bucket(self):
+        h = Histogram("h", bounds=[1.0])
+        h.observe(99.0)
+        assert h.buckets == [0, 1]
+        # Overflow quantiles report the largest value actually seen.
+        assert h.percentile(99) == 99.0
+
+    def test_percentile_interpolates_within_bucket(self):
+        h = Histogram("h", bounds=[0.0, 10.0])
+        for v in (2.0, 4.0, 6.0, 8.0):
+            h.observe(v)
+        # All four land in the (0, 10] bucket; interpolation is clamped
+        # to the observed [2, 8] range.
+        assert 2.0 <= h.percentile(50) <= 8.0
+        assert h.percentile(100) == 8.0
+
+    def test_percentile_bounds_checked(self):
+        h = Histogram("h", bounds=[1.0])
+        with pytest.raises(ValueError):
+            h.percentile(0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_single_value_percentiles_exact(self):
+        h = Histogram("h", bounds=list(LATENCY_BUCKETS_S))
+        h.observe(0.3)
+        assert h.percentile(50) == pytest.approx(0.3)
+        assert h.percentile(99) == pytest.approx(0.3)
+
+    def test_default_buckets_span_latency_range(self):
+        assert LATENCY_BUCKETS_S[0] == 0.001
+        assert LATENCY_BUCKETS_S[-1] > 500.0
+        assert list(LATENCY_BUCKETS_S) == sorted(LATENCY_BUCKETS_S)
+
+
+class TestMetricsRegistry:
+    def test_counter_is_lazily_created_and_shared(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+        m.counter("a").inc(3)
+        assert m.counter_value("a") == 3
+
+    def test_unknown_counter_value_is_zero(self):
+        assert MetricsRegistry().counter_value("nope") == 0
+
+    def test_histogram_lazily_created_and_shared(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat", bounds=[1.0, 2.0])
+        assert m.histogram("lat") is h
+
+    def test_snapshot_is_json_ready(self):
+        m = MetricsRegistry()
+        m.counter("b").inc()
+        m.counter("a").inc(2)
+        m.histogram("lat", bounds=[1.0]).observe(0.5)
+        snap = m.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]  # sorted
+        assert snap["counters"]["a"] == 2
+        assert snap["histograms"]["lat"]["count"] == 1
