@@ -1,0 +1,121 @@
+"""Chaos matrix bench — scenario x policy sweep over repro.faults.
+
+Every named fault scenario (DP crash/restart, 2-way partition, flaky
+and slow brokers, duplication/reordering, asymmetric cuts) runs twice
+on the same seed and schedule: once with the paper's timeout-only
+client (§4.3: one attempt, then random placement) and once with the
+full resilience stack (retry + backoff, per-DP circuit breakers,
+probe-driven failover, bounded-queue shedding).
+
+Invariants this bench pins:
+
+* **no kernel leaks** — ``kernel.unhandled_failures`` and
+  ``kernel.periodic_errors`` are zero in every cell: faults must fail
+  *jobs*, never the simulator;
+* **graceful degradation** — brokered throughput never collapses to
+  zero, in any scenario, under either policy;
+* **the policy stack earns its keep** — on the recoverable scenarios
+  (crash/restart, partition, flaky broker) the resilient client ends
+  with strictly more brokered placements than the baseline.
+
+``run_matrix`` is also the substrate for ``run_all.py``'s
+``BENCH_faults.json`` regression baseline.
+
+Environment knobs:
+
+* ``REPRO_CHAOS_DURATION`` — simulated seconds per cell (default 600,
+  the chaos smoke configuration's native length).
+"""
+
+import os
+
+from benchmarks.conftest import bench_once
+from repro.experiments import run_experiment
+from repro.experiments.configs import chaos_smoke_config
+from repro.faults.scenarios import scenario_names
+from repro.metrics.report import format_table
+
+CHAOS_DURATION_S = float(os.environ.get("REPRO_CHAOS_DURATION", "600"))
+
+#: Scenarios where the fault is recoverable by retry/failover, so the
+#: resilient stack must strictly beat the timeout-only baseline.
+RECOVERABLE = ("dp_crash_restart", "partition2", "flaky_dp")
+
+#: Policy-action tallies worth pinning per cell.
+_POLICY_KEYS = ("retries", "breaker_fastfail", "failovers", "rebinds",
+                "shed", "dp_crashes", "dp_restarts", "resync_records",
+                "faults_injected")
+
+
+def run_cell(scenario: str, resilient: bool,
+             duration_s: float = CHAOS_DURATION_S) -> dict:
+    """One (scenario, policy) cell: run it and distill the numbers."""
+    result = run_experiment(chaos_smoke_config(
+        scenario=scenario, resilient=resilient, duration_s=duration_s))
+    fb = result.client_fallbacks()
+    stats = result.resilience_stats()
+    m = result.sim.metrics
+    return {
+        "requests": result.n_jobs,
+        "handled": fb["handled"],
+        "timeout": fb["timeout"],
+        "qtime_s": round(result.qtime("all"), 2),
+        "util_pct": round(100 * result.utilization("all"), 2),
+        **{k: stats[k] for k in _POLICY_KEYS},
+        "unhandled_failures": m.counter_value("kernel.unhandled_failures"),
+        "periodic_errors": m.counter_value("kernel.periodic_errors"),
+    }
+
+
+def run_matrix(scenarios=None, duration_s: float = CHAOS_DURATION_S) -> dict:
+    """The full sweep: ``{scenario: {"baseline": ..., "resilient": ...}}``."""
+    scenarios = list(scenarios) if scenarios else scenario_names()
+    return {s: {"baseline": run_cell(s, resilient=False,
+                                     duration_s=duration_s),
+                "resilient": run_cell(s, resilient=True,
+                                      duration_s=duration_s)}
+            for s in scenarios}
+
+
+def check_invariants(matrix: dict) -> list[str]:
+    """Violated chaos invariants, as human-readable strings (empty = pass)."""
+    problems = []
+    for scenario, cells in matrix.items():
+        for policy, cell in cells.items():
+            where = f"{scenario}/{policy}"
+            if cell["unhandled_failures"] or cell["periodic_errors"]:
+                problems.append(f"{where}: kernel leaks "
+                                f"({cell['unhandled_failures']} unhandled, "
+                                f"{cell['periodic_errors']} periodic)")
+            if cell["handled"] == 0:
+                problems.append(f"{where}: brokered throughput collapsed")
+            if cell["faults_injected"] == 0:
+                problems.append(f"{where}: schedule injected nothing")
+        if scenario in RECOVERABLE and \
+                cells["resilient"]["handled"] <= cells["baseline"]["handled"]:
+            problems.append(
+                f"{scenario}: resilient handled "
+                f"{cells['resilient']['handled']} <= baseline "
+                f"{cells['baseline']['handled']}")
+    return problems
+
+
+def test_chaos_matrix(benchmark):
+    matrix = bench_once(benchmark, run_matrix)
+
+    rows = []
+    for scenario, cells in matrix.items():
+        base, res = cells["baseline"], cells["resilient"]
+        rows.append([scenario, base["handled"], res["handled"],
+                     res["handled"] - base["handled"], res["retries"],
+                     res["failovers"], res["shed"],
+                     res["faults_injected"]])
+    print("\n" + format_table(
+        ["Scenario", "Base", "Resilient", "Gain", "Retries", "Failovers",
+         "Shed", "Faults"],
+        rows, title=f"Chaos matrix: brokered placements, baseline vs "
+                    f"resilient ({CHAOS_DURATION_S:.0f} s)",
+        col_width=14))
+
+    problems = check_invariants(matrix)
+    assert not problems, "\n".join(problems)

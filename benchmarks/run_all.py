@@ -1,25 +1,31 @@
 #!/usr/bin/env python
-"""Benchmark regression driver: pin kernel throughput + tracing overhead.
+"""Benchmark regression driver: kernel throughput + chaos invariants.
 
-Runs the observability/kernel micro-benchmarks and writes
-``BENCH_kernel.json`` — the perf-regression baseline the ROADMAP's
-"as fast as the hardware allows" goal is tracked against.  Compare a
-fresh run to the committed baseline before merging kernel or transport
-changes.
+Runs two regression baselines and writes one JSON file each:
+
+* ``BENCH_kernel.json`` — the observability/kernel micro-benchmarks:
+  events-per-second with tracing disabled and enabled per workload,
+  plus the enabled-overhead percentage.  ``pass_overhead_budget``
+  asserts the enabled overhead stays under 10% and the disabled guards
+  under 2%.
+* ``BENCH_faults.json`` — the chaos matrix (``bench_chaos_matrix``):
+  every fault scenario x {timeout-only baseline, resilient stack},
+  with brokered/timeout counts, policy-action tallies, and kernel leak
+  counters per cell.  ``pass_chaos_invariants`` asserts zero kernel
+  leaks, non-zero brokered throughput everywhere, and a strict
+  resilient-over-baseline gain on the recoverable scenarios.
+
+Compare a fresh run to the committed baselines before merging kernel,
+transport, fault, or resilience changes.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py            # full sizes
     PYTHONPATH=src python benchmarks/run_all.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/run_all.py --strict   # nonzero exit
-                                                           # if overhead
-                                                           # budget missed
-
-The JSON records, per workload (bare callbacks / generator processes /
-RPC round trips), the events-per-second with tracing disabled and
-enabled plus the enabled-overhead percentage; ``pass_overhead_budget``
-asserts the enabled overhead stays under 10% and the disabled guards
-under 2%.
+                                                           # on any missed
+                                                           # budget/invariant
+    PYTHONPATH=src python benchmarks/run_all.py --skip-kernel  # chaos only
 """
 
 from __future__ import annotations
@@ -40,21 +46,13 @@ for _p in (str(_ROOT / "src"), str(_ROOT)):
 ENABLED_BUDGET_PCT = 10.0
 DISABLED_BUDGET_PCT = 2.0
 
+#: Quick-mode chaos sweep: one scenario per fault family, shorter runs.
+QUICK_CHAOS_SCENARIOS = ("dp_crash_restart", "partition2", "flaky_dp")
+QUICK_CHAOS_DURATION_S = 600.0
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="kernel/observability benchmark regression harness")
-    parser.add_argument("--quick", action="store_true",
-                        help="smaller sizes + fewer repeats (CI smoke)")
-    parser.add_argument("--repeats", type=int, default=None,
-                        help="override best-of repeat count")
-    parser.add_argument("--out", default=None, metavar="PATH",
-                        help="output path (default: BENCH_kernel.json in "
-                             "the repo root)")
-    parser.add_argument("--strict", action="store_true",
-                        help="exit 1 when the overhead budget is missed")
-    args = parser.parse_args(argv)
 
+def run_kernel_bench(args) -> bool:
+    """Kernel/tracing micro-bench -> BENCH_kernel.json; True on pass."""
     from benchmarks.bench_obs_overhead import measure_all
 
     t0 = time.time()
@@ -99,6 +97,88 @@ def main(argv=None) -> int:
           f"(budget {ENABLED_BUDGET_PCT:.0f}%), disabled guards "
           f"{guard_pct:.1f}% (budget {DISABLED_BUDGET_PCT:.0f}%) -> {verdict}")
     print(f"wrote {out}")
+    return ok
+
+
+def run_chaos_bench(args) -> bool:
+    """Chaos matrix sweep -> BENCH_faults.json; True on pass."""
+    from benchmarks.bench_chaos_matrix import (
+        CHAOS_DURATION_S,
+        RECOVERABLE,
+        check_invariants,
+        run_matrix,
+    )
+
+    scenarios = QUICK_CHAOS_SCENARIOS if args.quick else None
+    duration_s = QUICK_CHAOS_DURATION_S if args.quick else CHAOS_DURATION_S
+    t0 = time.time()
+    matrix = run_matrix(scenarios=scenarios, duration_s=duration_s)
+    wall_s = time.time() - t0
+    problems = check_invariants(matrix)
+
+    report = {
+        "bench": "faults",
+        "quick": args.quick,
+        "unix_time": int(t0),
+        "wall_s": round(wall_s, 2),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "duration_s": duration_s,
+        "recoverable_scenarios": list(RECOVERABLE),
+        "matrix": matrix,
+        "recovery_gain": {
+            s: cells["resilient"]["handled"] - cells["baseline"]["handled"]
+            for s, cells in matrix.items()},
+        "problems": problems,
+        "pass_chaos_invariants": not problems,
+    }
+
+    out = Path(args.chaos_out) if args.chaos_out else \
+        Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    for scenario, cells in matrix.items():
+        base, res = cells["baseline"], cells["resilient"]
+        print(f"{scenario:>18}: baseline {base['handled']:>4} brokered   "
+              f"resilient {res['handled']:>4}   "
+              f"gain {res['handled'] - base['handled']:+4}   "
+              f"faults {res['faults_injected']}")
+    verdict = "PASS" if not problems else "FAIL"
+    print(f"chaos invariants (no kernel leaks, throughput > 0, resilient "
+          f"beats baseline on {len(RECOVERABLE)} recoverable scenarios) "
+          f"-> {verdict}")
+    for problem in problems:
+        print(f"  VIOLATION: {problem}")
+    print(f"wrote {out}")
+    return not problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark regression harness (kernel + chaos)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sizes + fewer repeats (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="override best-of repeat count (kernel bench)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="kernel report path (default: BENCH_kernel.json "
+                             "in the repo root)")
+    parser.add_argument("--chaos-out", default=None, metavar="PATH",
+                        help="chaos report path (default: BENCH_faults.json "
+                             "in the repo root)")
+    parser.add_argument("--skip-kernel", action="store_true",
+                        help="skip the kernel/tracing micro-bench")
+    parser.add_argument("--skip-chaos", action="store_true",
+                        help="skip the chaos matrix sweep")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any budget or invariant is missed")
+    args = parser.parse_args(argv)
+
+    ok = True
+    if not args.skip_kernel:
+        ok = run_kernel_bench(args) and ok
+    if not args.skip_chaos:
+        ok = run_chaos_bench(args) and ok
     return 1 if (args.strict and not ok) else 0
 
 

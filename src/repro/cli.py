@@ -9,6 +9,7 @@ shell::
     digruber accuracy --profile gt4 --intervals 1 3 10 30
     digruber grubsim --profile gt3
     digruber run --dps 3 --clients 60 --duration 900
+    digruber chaos --scenario partition2 --duration 900
 """
 
 from __future__ import annotations
@@ -83,7 +84,29 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("least_used", "round_robin", "lru", "random"))
     run.add_argument("--topology", default=None,
                      choices=("mesh", "ring", "star", "line"))
+    run.add_argument("--chaos", default=None, metavar="SCENARIO",
+                     help="inject a named fault scenario "
+                          "(see `digruber chaos --list`)")
+    run.add_argument("--resilient", action="store_true",
+                     help="enable client retry/backoff, circuit breakers "
+                          "and probe-driven failover")
+    run.add_argument("--queue-bound", type=int, default=None,
+                     metavar="N", help="bounded-queue load shedding at "
+                     "each decision point container")
     add_obs(run)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection run: scenario x policy comparison")
+    add_common(chaos)
+    chaos.add_argument("--scenario", default="dp_crash_restart",
+                       help="fault scenario name (--list shows all)")
+    chaos.add_argument("--list", action="store_true",
+                       help="list available scenarios and exit")
+    chaos.add_argument("--baseline-only", action="store_true",
+                       help="run only the timeout-only baseline")
+    chaos.add_argument("--resilient-only", action="store_true",
+                       help="run only the resilient policy stack")
+    add_obs(chaos)
     return parser
 
 
@@ -198,10 +221,57 @@ def _cmd_run(args) -> int:
         overrides["selector"] = args.selector
     if args.topology is not None:
         overrides["topology"] = args.topology
+    if args.chaos is not None:
+        overrides["chaos_scenario"] = args.chaos
+    if args.resilient:
+        from repro.resilience import ResilienceConfig
+        overrides["resilience"] = ResilienceConfig()
+    if args.queue_bound is not None:
+        overrides["dp_queue_bound"] = args.queue_bound
     overrides.update(_obs_overrides(args))
     result = run_experiment(maker(args.dps, **overrides))
     print(result.summary())
+    if args.chaos is not None or args.resilient:
+        stats = result.resilience_stats()
+        print("chaos/resilience: "
+              + " ".join(f"{k}={v}" for k, v in stats.items()))
     _print_obs(args, result)
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.experiments import run_experiment
+    from repro.experiments.configs import chaos_smoke_config
+    from repro.faults.scenarios import scenario_names
+    if args.list:
+        for name in scenario_names():
+            print(name)
+        return 0
+    if args.scenario not in scenario_names():
+        raise SystemExit(f"error: unknown scenario {args.scenario!r}; "
+                         f"choose from {', '.join(scenario_names())}")
+    variants = []
+    if not args.resilient_only:
+        variants.append(("baseline", False))
+    if not args.baseline_only:
+        variants.append(("resilient", True))
+    overrides = {"duration_s": args.duration, **_obs_overrides(args)}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    last = None
+    for label, resilient in variants:
+        config = chaos_smoke_config(scenario=args.scenario,
+                                    resilient=resilient, **overrides)
+        result = run_experiment(config)
+        fb = result.client_fallbacks()
+        stats = result.resilience_stats()
+        print(f"--- {args.scenario} / {label} ---")
+        print(result.summary())
+        print("policy: " + " ".join(f"{k}={v}" for k, v in stats.items()))
+        print(f"brokered={fb['handled']} fallback={fb['timeout']}")
+        last = result
+    if last is not None:
+        _print_obs(args, last)
     return 0
 
 
@@ -224,6 +294,7 @@ _COMMANDS = {
     "grubsim": _cmd_grubsim,
     "report": _cmd_report,
     "run": _cmd_run,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -35,7 +35,8 @@ class DIGruberDeployment:
                  strategy: DisseminationStrategy = DisseminationStrategy.USAGE_ONLY,
                  usla_aware: bool = False,
                  site_state_kb: float = 0.06,
-                 assumed_job_lifetime_s: float = 900.0):
+                 assumed_job_lifetime_s: float = 900.0,
+                 dp_queue_bound: Optional[int] = None):
         if n_decision_points < 1:
             raise ValueError("need at least one decision point")
         self.sim = sim
@@ -50,6 +51,9 @@ class DIGruberDeployment:
         self.usla_aware = usla_aware
         self.site_state_kb = site_state_kb
         self.assumed_job_lifetime_s = assumed_job_lifetime_s
+        #: Bounded-queue load shedding for every decision point's
+        #: container (``None`` = unbounded, the paper's behaviour).
+        self.dp_queue_bound = dp_queue_bound
         self.decision_points: dict[str, DecisionPoint] = {}
         self.clients: list[GruberClient] = []
         self._started = False
@@ -68,7 +72,8 @@ class DIGruberDeployment:
             sync_interval_s=self.sync_interval_s,
             strategy=self.strategy, usla_aware=self.usla_aware,
             site_state_kb=self.site_state_kb,
-            assumed_job_lifetime_s=self.assumed_job_lifetime_s)
+            assumed_job_lifetime_s=self.assumed_job_lifetime_s,
+            max_queue=self.dp_queue_bound)
         self.decision_points[dp_id] = dp
         return dp
 

@@ -31,6 +31,7 @@ from repro.grid.builder import Grid
 from repro.grid.job import Job
 from repro.net.container import ContainerProfile, lognormal_for_mean
 from repro.net.transport import Endpoint, Network, RpcError
+from repro.resilience.policy import CircuitBreaker, ResilienceConfig
 from repro.sim.kernel import Simulator
 from repro.workloads.generator import HostWorkload
 from repro.workloads.trace import TraceRecorder
@@ -51,7 +52,9 @@ class GruberClient(Endpoint):
                  profile: ContainerProfile, rng: np.random.Generator,
                  trace: TraceRecorder, timeout_s: float = 15.0,
                  state_response_kb: float = 18.0,
-                 one_phase: bool = False):
+                 one_phase: bool = False,
+                 resilience: Optional[ResilienceConfig] = None,
+                 failover=None):
         super().__init__(network, host_id)
         self.sim = sim
         self.decision_point = decision_point
@@ -68,6 +71,14 @@ class GruberClient(Endpoint):
         #: server-side and a single RPC carries only the answer — the
         #: paper's "reduce the communication from two layers to one".
         self.one_phase = one_phase
+        #: Resilience policy (``repro.resilience``): when set, brokering
+        #: runs the retry/backoff/breaker path instead of the paper's
+        #: single-attempt timeout → random fallback.
+        self.resilience = resilience
+        #: Optional :class:`~repro.resilience.failover.FailoverManager`
+        #: supplying deployment-wide health info and failover targets.
+        self.failover = failover
+        self._breakers: dict[Hashable, CircuitBreaker] = {}
         self._site_names = grid.site_names
 
         self.jobs: list[Job] = []
@@ -76,6 +87,10 @@ class GruberClient(Endpoint):
         self.n_handled = 0
         self.n_fallback_timeout = 0
         self.n_abandoned = 0  # responses given up on (dead decision point)
+        self.n_retries = 0
+        self.n_breaker_fastfail = 0
+        self.n_failovers = 0
+        self.rebinds = 0
         self.backlog_peak = 0
         self.active_from: Optional[float] = None
         self.active_until: Optional[float] = None
@@ -88,8 +103,20 @@ class GruberClient(Endpoint):
         self._proc = self.sim.process(self._run(), name=f"client:{self.node_id}")
 
     def rebind(self, decision_point: Hashable) -> None:
-        """Point this host at a different decision point (rebalancing)."""
+        """Point this host at a different decision point.
+
+        In-flight queries finish against the old decision point; the
+        *next* pump uses the new binding.  Counted and traced so runs
+        can audit every binding change (rebalancing §5, or automatic
+        failover).
+        """
+        prior = self.decision_point
         self.decision_point = decision_point
+        self.rebinds += 1
+        self.sim.metrics.counter("client.rebinds").inc()
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("client.rebind", node=self.node_id,
+                                prior=str(prior), new=str(decision_point))
 
     @property
     def backlog_len(self) -> int:
@@ -129,7 +156,13 @@ class GruberClient(Endpoint):
                          name=f"broker:{self.node_id}:{job.jid}")
 
     def _broker(self, job: Job):
-        """One two-phase brokering operation for one job."""
+        """Broker one job: paper-faithful path, or the resilient one."""
+        if self.resilience is not None:
+            return self._broker_resilient(job)
+        return self._broker_once(job)
+
+    def _broker_once(self, job: Job):
+        """One two-phase brokering operation for one job (paper §4.3)."""
         t0 = self.sim.now
         try:
             # Client-side stack work (auth, marshalling) ...
@@ -200,16 +233,7 @@ class GruberClient(Endpoint):
                 self._dispatch(job, site, handled=True)
                 self.n_handled += 1
             else:
-                availabilities = ev.value
-                site = self.selector.select(availabilities, job.cpus)
-                if site is None:
-                    # Nothing fits: take a least-bad site (most free,
-                    # ties — e.g. a fully USLA-filtered view — broken
-                    # randomly so the fallback stream spreads out).
-                    best = max(availabilities.values())
-                    top = [s for s, v in availabilities.items()
-                           if v >= best - 1e-9]
-                    site = self.fallback.select_any(top)
+                site = self._choose_site(ev.value, job.cpus)
                 self._dispatch(job, site, handled=True)
                 self.n_handled += 1
                 report = self.network.rpc(self.node_id, self.decision_point,
@@ -218,17 +242,174 @@ class GruberClient(Endpoint):
                                            "group": job.group,
                                            "cpus": job.cpus},
                                           size_kb=REPORT_KB)
+                # Bounded wait: a report whose request or response is
+                # lost would otherwise never resolve and wedge this
+                # host's single brokering channel for the rest of the
+                # run.  The job is already placed — give the ack one
+                # client timeout, then move on.
+                ack = self.sim.any_of([report,
+                                       self.sim.timeout(self.timeout_s)])
                 try:
-                    yield report
+                    yield ack
                 except RpcError:
                     pass  # lost report: the sync/monitor path catches up
+                if not report.triggered:
+                    self.sim.metrics.counter("client.report_timeouts").inc()
             job.query_response_s = self.sim.now - t0
             self._record_query(t0, self.sim.now, timed_out=False)
         finally:
             self.busy = False
             self._pump()
 
+    # -- resilient path (repro.resilience) --------------------------------
+    def _breaker(self, dp) -> CircuitBreaker:
+        """This client's breaker for one decision point (lazily built)."""
+        breaker = self._breakers.get(dp)
+        if breaker is None:
+            policy = self.resilience
+            breaker = CircuitBreaker(self.sim, str(self.node_id), str(dp),
+                                     threshold=policy.breaker_threshold,
+                                     open_s=policy.breaker_open_s)
+            self._breakers[dp] = breaker
+        return breaker
+
+    def _maybe_failover(self) -> bool:
+        """Rebind to a secondary decision point if the current one is bad.
+
+        Triggers only when this client's breaker for the current
+        decision point is open *or* the deployment prober marks it
+        unhealthy — a single transient timeout never moves the binding.
+        Candidates must pass both global health and this client's own
+        breakers (an asymmetric partition can make a globally-healthy
+        decision point dead for this host specifically).
+        """
+        if self.failover is None:
+            return False
+        current = self.decision_point
+        if (self._breaker(current).state != "open"
+                and self.failover.healthy(current)):
+            return False
+        target = self.failover.choose(
+            current, allow=lambda d: self._breaker(d).allow())
+        if target is None:
+            return False
+        self.n_failovers += 1
+        self.sim.metrics.counter("client.failovers").inc()
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("client.failover", node=self.node_id,
+                                prior=str(current), new=str(target))
+        self.rebind(target)
+        return True
+
+    def _broker_resilient(self, job: Job):
+        """Retry + backoff + circuit breaker + failover brokering.
+
+        Each attempt is a bounded-patience RPC (the breaker skips it
+        entirely when open — no burned timeout); failures feed the
+        per-decision-point breaker and may trigger failover; exhausted
+        attempts fall back to the paper's random placement so the job
+        stream never stalls.
+        """
+        policy = self.resilience
+        t0 = self.sim.now
+        attempt_timeout = policy.attempt_timeout_s or self.timeout_s
+        try:
+            overhead = lognormal_for_mean(self.rng,
+                                          self.profile.client_overhead_s,
+                                          self.profile.sigma)
+            if overhead > 0:
+                yield overhead
+            for attempt in range(1, policy.max_attempts + 1):
+                dp = self.decision_point
+                breaker = self._breaker(dp)
+                if not breaker.allow():
+                    # Fail fast: no RPC, no timeout burned.
+                    self.n_breaker_fastfail += 1
+                    self.sim.metrics.counter("client.breaker_fastfail").inc()
+                    moved = self._maybe_failover()
+                    if not moved and attempt < policy.max_attempts:
+                        yield policy.backoff_delay(attempt, self.rng)
+                    continue
+                # Extra protocol round trips to *this* target (auth
+                # handshakes restart when the binding changes).
+                extra_rtts = max(self.profile.query_rtts - 1, 0)
+                if extra_rtts:
+                    yield sum(self.network.latency.rtt(self.node_id, dp)
+                              for _ in range(extra_rtts))
+                if self.one_phase:
+                    ev = self.network.rpc(self.node_id, dp, "broker_job",
+                                          {"vo": job.vo, "group": job.group,
+                                           "cpus": job.cpus},
+                                          size_kb=REQUEST_KB,
+                                          response_size_kb=REQUEST_KB,
+                                          timeout=attempt_timeout)
+                else:
+                    ev = self.network.rpc(self.node_id, dp, "get_state",
+                                          {"vo": job.vo, "group": job.group,
+                                           "cpus": job.cpus},
+                                          size_kb=REQUEST_KB,
+                                          response_size_kb=self.state_response_kb,
+                                          timeout=attempt_timeout)
+                try:
+                    yield ev
+                except RpcError:
+                    breaker.on_failure()
+                    self.sim.metrics.counter("client.attempt_failures").inc()
+                    if self.sim.trace.enabled:
+                        self.sim.trace.emit("client.retry",
+                                            node=self.node_id, dp=str(dp),
+                                            attempt=attempt)
+                    self._maybe_failover()
+                    if attempt < policy.max_attempts:
+                        self.n_retries += 1
+                        self.sim.metrics.counter("client.retries").inc()
+                        yield policy.backoff_delay(attempt, self.rng)
+                    continue
+                breaker.on_success()
+                if self.one_phase:
+                    site = ev.value["site"]
+                else:
+                    site = self._choose_site(ev.value, job.cpus)
+                self._dispatch(job, site, handled=True)
+                self.n_handled += 1
+                if not self.one_phase:
+                    report = self.network.rpc(self.node_id, dp,
+                                              "report_dispatch",
+                                              {"site": site, "vo": job.vo,
+                                               "group": job.group,
+                                               "cpus": job.cpus},
+                                              size_kb=REPORT_KB,
+                                              timeout=attempt_timeout)
+                    try:
+                        yield report
+                    except RpcError:
+                        pass  # lost report: the sync/monitor path catches up
+                job.query_response_s = self.sim.now - t0
+                self._record_query(t0, self.sim.now, timed_out=False)
+                return
+            # Every attempt failed or was breaker-skipped: the paper's
+            # USLA-blind fallback keeps the job stream moving.
+            self.n_fallback_timeout += 1
+            self.sim.metrics.counter("client.resilient_fallbacks").inc()
+            self._dispatch_random(job)
+            self._record_query(t0, None, timed_out=True)
+        finally:
+            self.busy = False
+            self._pump()
+
     # -- dispatch ------------------------------------------------------------
+    def _choose_site(self, availabilities: dict, cpus: int) -> str:
+        """Apply the site selector, with the least-bad tiebreak fallback."""
+        site = self.selector.select(availabilities, cpus)
+        if site is None:
+            # Nothing fits: take a least-bad site (most free, ties —
+            # e.g. a fully USLA-filtered view — broken randomly so the
+            # fallback stream spreads out).
+            best = max(availabilities.values())
+            top = [s for s, v in availabilities.items() if v >= best - 1e-9]
+            site = self.fallback.select_any(top)
+        return site
+
     def _dispatch(self, job: Job, site: str, handled: bool) -> None:
         """Send the job to a site; record SA_i against ground truth.
 

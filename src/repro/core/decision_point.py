@@ -27,10 +27,17 @@ from repro.core.monitor import SiteMonitor
 from repro.core.sync import DisseminationStrategy, SyncProtocol
 from repro.grid.builder import Grid
 from repro.net.container import ContainerProfile, ServiceContainer
-from repro.net.transport import Endpoint, Message, Network
+from repro.net.transport import Endpoint, Message, Network, RpcError
 from repro.sim.kernel import Simulator
 
 __all__ = ["DecisionPoint"]
+
+#: Nominal wire size of a ``pull_records`` resync response, in KB.  The
+#: caller must size the response before knowing the record count; this
+#: is a typical lifetime's worth of records at RECORD_KB each.
+RESYNC_RESPONSE_KB = 4.0
+#: Patience per peer during post-restart resync.
+RESYNC_TIMEOUT_S = 60.0
 
 
 class DecisionPoint(Endpoint):
@@ -45,7 +52,8 @@ class DecisionPoint(Endpoint):
                  usla_aware: bool = False,
                  site_state_kb: float = 0.06,
                  assumed_job_lifetime_s: float = 900.0,
-                 private: bool = False):
+                 private: bool = False,
+                 max_queue: Optional[int] = None):
         super().__init__(network, node_id)
         self.sim = sim
         self.grid = grid
@@ -59,7 +67,8 @@ class DecisionPoint(Endpoint):
         #: dispatches or USLAs to peers.
         self.private = private
         self.container = ServiceContainer(sim, profile, rng,
-                                          name=f"{node_id}.container")
+                                          name=f"{node_id}.container",
+                                          max_queue=max_queue)
         capacities = {s.name: s.total_cpus for s in grid.sites.values()}
         self.engine = GruberEngine(
             owner=str(node_id), site_capacities=capacities,
@@ -73,6 +82,10 @@ class DecisionPoint(Endpoint):
                                  strategy=strategy)
         self.neighbors: list[Hashable] = []
         self.started = False
+        self.crashes = 0
+        self.restarts = 0
+        self.resync_records = 0
+        self.resync_failures = 0
 
         # Server-side selector for the one-phase protocol variant.
         from repro.core.selectors import LeastUsedSelector
@@ -82,6 +95,8 @@ class DecisionPoint(Endpoint):
         self.register_handler("report_dispatch", self._handle_report_dispatch)
         self.register_handler("broker_job", self._handle_broker_job)
         self.register_handler("create_instance", self._handle_create_instance)
+        self.register_handler("ping", self._handle_ping)
+        self.register_handler("pull_records", self._handle_pull_records)
 
     # -- lifecycle -------------------------------------------------------
     def start(self, neighbors: Optional[list[Hashable]] = None) -> None:
@@ -101,7 +116,11 @@ class DecisionPoint(Endpoint):
 
     # -- failure injection (§2.2 reliability) -----------------------------
     def crash(self) -> None:
-        """Take the service down: requests go unanswered, timers stop."""
+        """Take the service down: requests go unanswered, timers stop.
+
+        Idempotent: crashing an already-crashed decision point is a
+        no-op (no double-stopped timers, no double-counted crash).
+        """
         if not self.online:
             return
         self.online = False
@@ -109,15 +128,71 @@ class DecisionPoint(Endpoint):
             self.monitor.stop()
             self.sync.stop()
             self.started = False
+        self.crashes += 1
+        self.sim.metrics.counter("dp.crashes").inc()
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("dp.crash", node=self.node_id)
 
-    def recover(self) -> None:
-        """Bring the service back with a fresh monitor sweep."""
+    def restart(self, resync: bool = True) -> None:
+        """Bring the service back; optionally re-sync state from peers.
+
+        A restarted decision point rejoins with whatever view survived
+        in memory plus a fresh monitor sweep (ground truth); with
+        ``resync`` it additionally pulls recent dispatch records from
+        its overlay neighbors, closing the gap left by the sync floods
+        it slept through.  Idempotent on a running service.
+        """
         if self.online and self.started:
             return
         self.online = True
         self.monitor.start(initial=True)
         self.sync.start()
         self.started = True
+        self.restarts += 1
+        self.sim.metrics.counter("dp.restarts").inc()
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("dp.restart", node=self.node_id, resync=resync)
+        if resync and self.neighbors:
+            self.sim.process(self._resync_from_peers(),
+                             name=f"resync:{self.node_id}")
+
+    def recover(self) -> None:
+        """Bring the service back without peer resync (legacy behaviour)."""
+        self.restart(resync=False)
+
+    def _resync_from_peers(self):
+        """Pull live dispatch records from each neighbor after a restart.
+
+        Failures are tolerated per peer (a neighbor may itself be down
+        or partitioned away); whatever subset answers still narrows the
+        staleness window.  Runs as a process so peers are queried
+        sequentially over the WAN.
+        """
+        cutoff = self.sim.now - self.engine.view.assumed_job_lifetime_s
+        adopted_total = 0
+        peers_ok = 0
+        for peer in list(self.neighbors):
+            try:
+                ev = self.network.rpc(self.node_id, peer, "pull_records",
+                                      {"newer_than": cutoff},
+                                      response_size_kb=RESYNC_RESPONSE_KB,
+                                      timeout=RESYNC_TIMEOUT_S)
+                yield ev
+            except (RpcError, KeyError):
+                self.resync_failures += 1
+                self.sim.metrics.counter("dp.resync_failures").inc()
+                continue
+            records = (ev.value or {}).get("records", [])
+            adopted_total += self.engine.merge_remote_records(
+                records, now=self.sim.now)
+            peers_ok += 1
+        self.resync_records += adopted_total
+        self.sim.metrics.counter("dp.resync_records").inc(adopted_total)
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("dp.resync", node=self.node_id,
+                                peers_ok=peers_ok,
+                                peers=len(self.neighbors),
+                                adopted=adopted_total)
 
     def set_neighbors(self, neighbors: list[Hashable]) -> None:
         """Rewire the overlay (used by dynamic reconfiguration)."""
@@ -174,6 +249,26 @@ class DecisionPoint(Endpoint):
         """Bare service-instance creation (the Fig 1 micro-benchmark)."""
         yield from self.container.service_instance_creation()
         return {"created": True}
+
+    def _handle_ping(self, payload, src):
+        """Liveness probe: answers instantly, bypassing the container.
+
+        Deliberately free of service time and admission control — the
+        health prober must distinguish *dead* from *busy*, and a probe
+        that queues behind brokering traffic cannot.
+        """
+        return {"ok": True, "queue_len": self.container.queue_len}
+
+    def _handle_pull_records(self, payload, src):
+        """Resync pull: live records this node learned after the cutoff.
+
+        Serves a restarting peer; costs one report-sized container slot
+        (cheap, but not free — resync competes with live traffic).
+        """
+        newer_than = float((payload or {}).get("newer_than", -float("inf")))
+        yield from self.container.service_report()
+        return {"records": self.engine.view.pending_records(
+            newer_than=newer_than)}
 
     # -- sync plumbing -----------------------------------------------------------
     def on_oneway(self, msg: Message) -> None:

@@ -57,6 +57,14 @@ class ReconfigurationObserver:
     def dps_added(self) -> int:
         return sum(1 for e in self.events if e.action == "add_dp")
 
+    def _record(self, event: ReconfigurationEvent) -> None:
+        self.events.append(event)
+        self.sim.metrics.counter(f"reconfig.{event.action}").inc()
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("reconfig.action", action=event.action,
+                                node=event.saturated_dp, new_dp=event.new_dp,
+                                moved=event.clients_moved)
+
     def on_signal(self, signal: SaturationSignal) -> None:
         """React to one signal, rate-limited by the cooldown.
 
@@ -75,7 +83,7 @@ class ReconfigurationObserver:
             moved = self.deployment.rebalance_clients(
                 signal.decision_point, str(new_dp.node_id),
                 fraction=self.move_fraction)
-            self.events.append(ReconfigurationEvent(
+            self._record(ReconfigurationEvent(
                 time=self.sim.now, action="add_dp",
                 saturated_dp=signal.decision_point,
                 new_dp=str(new_dp.node_id), clients_moved=moved))
@@ -91,7 +99,7 @@ class ReconfigurationObserver:
             moved = self.deployment.rebalance_clients(
                 signal.decision_point, str(target.node_id),
                 fraction=self.move_fraction / 2)
-            self.events.append(ReconfigurationEvent(
+            self._record(ReconfigurationEvent(
                 time=self.sim.now, action="rebalance",
                 saturated_dp=signal.decision_point,
                 new_dp=str(target.node_id), clients_moved=moved))
@@ -108,7 +116,7 @@ class ReconfigurationObserver:
         target = min(live, key=lambda dp: dp.container.queue_len)
         moved = self.deployment.rebalance_clients(
             signal.decision_point, str(target.node_id), fraction=1.0)
-        self.events.append(ReconfigurationEvent(
+        self._record(ReconfigurationEvent(
             time=self.sim.now, action="failover",
             saturated_dp=signal.decision_point,
             new_dp=str(target.node_id), clients_moved=moved))

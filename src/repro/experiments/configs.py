@@ -15,13 +15,16 @@ numerals were lost to the OCR; see DESIGN.md for the derivation):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.core.sync import DisseminationStrategy
 from repro.net.container import ContainerProfile, GT3_PROFILE, GT4_PROFILE
+from repro.resilience.policy import ResilienceConfig
 from repro.workloads.models import JobModel
 
 __all__ = ["ExperimentConfig", "canonical_gt3", "canonical_gt4",
-           "smoke_config", "CANONICAL_TIMEOUT_S", "CANONICAL_SYNC_INTERVAL_S"]
+           "smoke_config", "chaos_smoke_config",
+           "CANONICAL_TIMEOUT_S", "CANONICAL_SYNC_INTERVAL_S"]
 
 CANONICAL_TIMEOUT_S = 15.0
 CANONICAL_SYNC_INTERVAL_S = 180.0
@@ -70,6 +73,19 @@ class ExperimentConfig:
     kb_transfer_s: float = 0.15
     site_state_kb: float = 0.06
 
+    # Chaos (repro.faults): named fault scenario injected through the
+    # DES clock ("" = no faults).  See repro.faults.scenarios.
+    chaos_scenario: str = ""
+
+    # Resilience (repro.resilience): client-side retry/backoff, circuit
+    # breakers and probe-driven failover (None = the paper's
+    # single-attempt timeout → random fallback).
+    resilience: Optional[ResilienceConfig] = None
+
+    # Bounded-queue load shedding at every decision point's container
+    # (None = unbounded, the paper's behaviour).
+    dp_queue_bound: Optional[int] = None
+
     # Observability (repro.obs).  Counters/histograms are always on;
     # the structured trace is opt-in because it costs per-event work.
     trace_enabled: bool = False
@@ -92,6 +108,14 @@ class ExperimentConfig:
         if self.client_assignment not in ("random", "nearest"):
             raise ValueError(
                 f"unknown client_assignment {self.client_assignment!r}")
+        if self.chaos_scenario:
+            from repro.faults.scenarios import scenario_names
+            if self.chaos_scenario not in scenario_names():
+                raise ValueError(
+                    f"unknown chaos scenario {self.chaos_scenario!r}; "
+                    f"expected one of {scenario_names()}")
+        if self.dp_queue_bound is not None and self.dp_queue_bound < 0:
+            raise ValueError("dp_queue_bound must be >= 0 or None")
 
     def with_(self, **overrides) -> "ExperimentConfig":
         """A modified copy (sweeps use this)."""
@@ -133,4 +157,23 @@ def smoke_config(**overrides) -> ExperimentConfig:
         users_per_group=2, monitor_interval_s=120.0, sync_interval_s=60.0,
         job_model=JobModel(duration_mean_s=120.0, min_duration_s=10.0),
         name="smoke")
+    return cfg.with_(**overrides) if overrides else cfg
+
+
+def chaos_smoke_config(scenario: str = "dp_crash_restart",
+                       resilient: bool = True,
+                       **overrides) -> ExperimentConfig:
+    """A seconds-scale chaos run: small grid, injected faults.
+
+    Two decision points so crash/partition scenarios leave somewhere to
+    fail over to; ``resilient`` toggles the full policy stack (retry +
+    breaker + failover + bounded queues) against the paper's
+    timeout-only baseline.
+    """
+    cfg = smoke_config(
+        decision_points=2, n_clients=10, duration_s=600.0,
+        chaos_scenario=scenario,
+        resilience=ResilienceConfig() if resilient else None,
+        dp_queue_bound=50 if resilient else None,
+        name=f"chaos-{scenario}-{'resilient' if resilient else 'baseline'}")
     return cfg.with_(**overrides) if overrides else cfg

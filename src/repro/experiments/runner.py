@@ -45,6 +45,8 @@ class ExperimentResult:
     clients: list[GruberClient] = field(repr=False, default_factory=list)
     sim: Optional[Simulator] = field(default=None, repr=False)
     network: Optional[Network] = field(default=None, repr=False)
+    injector: Optional[object] = field(default=None, repr=False)
+    failover: Optional[object] = field(default=None, repr=False)
     _jobs: dict = field(default=None, repr=False)  # type: ignore[assignment]
 
     def __post_init__(self):
@@ -148,6 +150,27 @@ class ExperimentResult:
             "backlogged": sum(c.backlog_len for c in self.clients),
         }
 
+    def resilience_stats(self) -> dict[str, int]:
+        """Policy-action tallies across the fleet (chaos benches)."""
+        return {
+            "retries": sum(c.n_retries for c in self.clients),
+            "breaker_fastfail": sum(c.n_breaker_fastfail
+                                    for c in self.clients),
+            "failovers": sum(c.n_failovers for c in self.clients),
+            "rebinds": sum(c.rebinds for c in self.clients),
+            "shed": sum(dp.container.shed_ops
+                        for dp in self.deployment.decision_points.values()),
+            "dp_crashes": sum(dp.crashes
+                              for dp in self.deployment.decision_points.values()),
+            "dp_restarts": sum(dp.restarts
+                               for dp in self.deployment.decision_points.values()),
+            "resync_records": sum(
+                dp.resync_records
+                for dp in self.deployment.decision_points.values()),
+            "faults_injected": (len(self.injector.applied)
+                                if self.injector is not None else 0),
+        }
+
     def summary(self) -> str:
         d = self.diperf()
         fb = self.client_fallbacks()
@@ -212,7 +235,8 @@ def run_experiment(config: ExperimentConfig,
         monitor_interval_s=config.monitor_interval_s,
         strategy=config.strategy, usla_aware=config.usla_aware,
         site_state_kb=config.site_state_kb,
-        assumed_job_lifetime_s=config.job_model.duration_mean_s)
+        assumed_job_lifetime_s=config.job_model.duration_mean_s,
+        dp_queue_bound=config.dp_queue_bound)
 
     hosts = [f"host{i:03d}" for i in range(config.n_clients)]
     ramp = RampSchedule(n_clients=config.n_clients, span_s=config.ramp_span_s)
@@ -228,6 +252,12 @@ def run_experiment(config: ExperimentConfig,
     trace = TraceRecorder()
     state_kb = config.n_sites * config.site_state_kb
 
+    failover = None
+    if config.resilience is not None:
+        from repro.resilience import FailoverManager
+        failover = FailoverManager(sim, network, deployment,
+                                   config.resilience)
+
     clients = []
     for host in hosts:
         workload = generator.host_workload(
@@ -241,11 +271,25 @@ def run_experiment(config: ExperimentConfig,
                                    spread=config.selector_spread),
             profile=config.profile, rng=rng.stream(f"client:{host}"),
             trace=trace, timeout_s=config.timeout_s,
-            state_response_kb=state_kb, one_phase=config.one_phase)
+            state_response_kb=state_kb, one_phase=config.one_phase,
+            resilience=config.resilience, failover=failover)
         deployment.attach_client(client)
         clients.append(client)
 
+    injector = None
+    if config.chaos_scenario:
+        from repro.faults import FaultInjector
+        from repro.faults.scenarios import build_scenario
+        schedule = build_scenario(config.chaos_scenario,
+                                  dp_ids=deployment.dp_ids, hosts=hosts,
+                                  duration_s=config.duration_s)
+        injector = FaultInjector(sim, network, schedule,
+                                 rng.stream("faults"), deployment=deployment)
+        injector.arm()
+
     deployment.start()
+    if failover is not None:
+        failover.start()
     for client in clients:
         client.start()
     if deployment_hook is not None:
@@ -274,4 +318,5 @@ def run_experiment(config: ExperimentConfig,
                             client_starts=client_starts,
                             client_ends=client_ends, grid=grid,
                             deployment=deployment, clients=clients,
-                            sim=sim, network=network)
+                            sim=sim, network=network,
+                            injector=injector, failover=failover)

@@ -1,0 +1,40 @@
+"""``repro.faults`` — deterministic fault injection.
+
+Three pieces:
+
+* :mod:`repro.faults.netem` — the transport fault model: per-link and
+  per-node loss, latency spikes, duplication/reordering, and cuts,
+  consulted by :class:`repro.net.transport.Network` per message;
+* :mod:`repro.faults.schedule` — typed fault events, validated
+  schedules, and the :class:`FaultInjector` that arms them on the DES
+  clock (including decision-point crash/restart and degraded-container
+  profiles);
+* :mod:`repro.faults.scenarios` — named, reproducible chaos scenarios
+  (``dp_crash_restart``, ``partition2``, ``flaky_dp``, ...) keyed to a
+  deployment's shape.
+
+Pair with :mod:`repro.resilience` for the client-side policies these
+faults prove out.
+"""
+
+from repro.faults.netem import Fate, LinkFault, TransportFaultModel
+from repro.faults.schedule import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+)
+from repro.faults.scenarios import SCENARIOS, build_scenario, scenario_names
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fate",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "LinkFault",
+    "SCENARIOS",
+    "TransportFaultModel",
+    "build_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,154 @@
+"""Named chaos scenarios: reusable fault schedules for a deployment.
+
+Each builder maps a deployment's shape (decision-point ids, submission
+hosts, run length) onto a :class:`~repro.faults.schedule.FaultSchedule`.
+Scenarios are pure functions of their inputs — the same deployment
+shape always yields the same schedule, which is what makes the chaos
+benches reproducible.
+
+The canonical windows: faults strike at ``T/3`` (after the DiPerF ramp
+has brought most clients online) and heal at ``2T/3`` (leaving a third
+of the run to observe recovery).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.faults.schedule import FaultSchedule
+
+__all__ = ["SCENARIOS", "build_scenario", "scenario_names"]
+
+
+def _window(duration_s: float) -> tuple[float, float]:
+    return duration_s / 3.0, 2.0 * duration_s / 3.0
+
+
+def dp_crash_restart(dp_ids: Sequence[str], hosts: Sequence[Hashable],
+                     duration_s: float) -> FaultSchedule:
+    """First decision point crashes mid-run and later restarts.
+
+    Between crash and restart its clients see pure silence; after the
+    restart the broker re-syncs state from its overlay peers.
+    """
+    start, stop = _window(duration_s)
+    return (FaultSchedule(name="dp_crash_restart")
+            .add(start, "dp.crash", dp=dp_ids[0])
+            .add(stop, "dp.restart", dp=dp_ids[0]))
+
+
+def dp_crash(dp_ids: Sequence[str], hosts: Sequence[Hashable],
+             duration_s: float) -> FaultSchedule:
+    """Terminal crash (the paper's §2.2 failure mode): no restart."""
+    start, _ = _window(duration_s)
+    return (FaultSchedule(name="dp_crash")
+            .add(start, "dp.crash", dp=dp_ids[0]))
+
+
+def partition2(dp_ids: Sequence[str], hosts: Sequence[Hashable],
+               duration_s: float) -> FaultSchedule:
+    """Two-way mesh partition, later healed.
+
+    Decision points and hosts are split alternately, so roughly half
+    the hosts end up on the far side of the cut from the decision
+    point they are bound to (static random assignment does not respect
+    the partition — exactly the failure that makes failover matter).
+    """
+    start, stop = _window(duration_s)
+    members = list(dp_ids) + list(hosts)
+    islands = [members[0::2], members[1::2]]
+    return (FaultSchedule(name="partition2")
+            .add(start, "partition", islands=islands)
+            .add(stop, "heal"))
+
+
+def flaky_dp(dp_ids: Sequence[str], hosts: Sequence[Hashable],
+             duration_s: float) -> FaultSchedule:
+    """All traffic touching the first decision point turns lossy + jittery."""
+    start, stop = _window(duration_s)
+    return (FaultSchedule(name="flaky_dp")
+            .add(start, "node.fault", node=dp_ids[0], loss=0.35, jitter_s=2.0)
+            .add(stop, "node.restore", node=dp_ids[0]))
+
+
+def slow_dp(dp_ids: Sequence[str], hosts: Sequence[Hashable],
+            duration_s: float) -> FaultSchedule:
+    """Degraded container: the first decision point runs 4x slower."""
+    start, stop = _window(duration_s)
+    return (FaultSchedule(name="slow_dp")
+            .add(start, "node.degrade", dp=dp_ids[0], factor=4.0)
+            .add(stop, "node.degrade", dp=dp_ids[0], factor=1.0))
+
+
+def dup_reorder(dp_ids: Sequence[str], hosts: Sequence[Hashable],
+                duration_s: float) -> FaultSchedule:
+    """Duplication + reordering on the first decision point's links."""
+    start, stop = _window(duration_s)
+    return (FaultSchedule(name="dup_reorder")
+            .add(start, "node.fault", node=dp_ids[0], dup_rate=0.25,
+                 jitter_s=3.0)
+            .add(stop, "node.restore", node=dp_ids[0]))
+
+
+def sync_partition(dp_ids: Sequence[str], hosts: Sequence[Hashable],
+                   duration_s: float) -> FaultSchedule:
+    """Partition only the broker overlay (clients unaffected).
+
+    The sync flood splits into islands whose views diverge; client
+    traffic keeps flowing, so this isolates the accuracy cost of a
+    sync-layer partition from the availability cost of a full one.
+    """
+    start, stop = _window(duration_s)
+    islands = [list(dp_ids[0::2]), list(dp_ids[1::2])]
+    return (FaultSchedule(name="sync_partition")
+            .add(start, "partition", islands=islands)
+            .add(stop, "heal"))
+
+
+def asymmetric_cut(dp_ids: Sequence[str], hosts: Sequence[Hashable],
+                   duration_s: float) -> FaultSchedule:
+    """One-way cut between the first two decision points.
+
+    dp1 still hears dp0's sync floods but dp0 never hears dp1 — the
+    views drift apart asymmetrically (a classic WAN routing pathology).
+    """
+    start, stop = _window(duration_s)
+    if len(dp_ids) < 2:
+        raise ValueError("asymmetric_cut needs at least two decision points")
+    return (FaultSchedule(name="asymmetric_cut")
+            .add(start, "link.fault", a=dp_ids[1], b=dp_ids[0], cut=True,
+                 symmetric=False)
+            .add(stop, "link.restore", a=dp_ids[1], b=dp_ids[0],
+                 symmetric=False))
+
+
+SCENARIOS = {
+    "dp_crash_restart": dp_crash_restart,
+    "dp_crash": dp_crash,
+    "partition2": partition2,
+    "flaky_dp": flaky_dp,
+    "slow_dp": slow_dp,
+    "dup_reorder": dup_reorder,
+    "sync_partition": sync_partition,
+    "asymmetric_cut": asymmetric_cut,
+}
+
+
+def scenario_names() -> list[str]:
+    return sorted(SCENARIOS)
+
+
+def build_scenario(name: str, *, dp_ids: Sequence[str],
+                   hosts: Sequence[Hashable],
+                   duration_s: float) -> FaultSchedule:
+    """Instantiate a named scenario for one deployment shape."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(f"unknown chaos scenario {name!r}; "
+                         f"known: {scenario_names()}") from None
+    if not dp_ids:
+        raise ValueError("need at least one decision point")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be > 0")
+    return builder(list(dp_ids), list(hosts), float(duration_s))

@@ -20,6 +20,7 @@ from repro.net.container import (
     GT4_PROFILE,
     GT4C_PROFILE,
     ContainerProfile,
+    OverloadShed,
     ServiceContainer,
     lognormal_for_mean,
 )
@@ -34,6 +35,7 @@ from repro.net.topology import (
     BrokerTopology,
     assign_clients,
     assign_clients_nearest,
+    cross_pairs,
 )
 from repro.net.transport import Endpoint, Message, Network, RpcError, RpcTimeout
 
@@ -50,6 +52,7 @@ __all__ = [
     "LatencyModel",
     "Message",
     "Network",
+    "OverloadShed",
     "PairwiseWanLatency",
     "RpcError",
     "RpcTimeout",
@@ -57,4 +60,5 @@ __all__ = [
     "UniformLatency",
     "assign_clients",
     "assign_clients_nearest",
+    "cross_pairs",
 ]

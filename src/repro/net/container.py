@@ -32,8 +32,19 @@ import numpy as np
 from repro.sim.kernel import Simulator
 from repro.sim.resources import Server
 
-__all__ = ["ContainerProfile", "ServiceContainer", "GT3_PROFILE", "GT4_PROFILE",
-           "GT4C_PROFILE", "lognormal_for_mean"]
+__all__ = ["ContainerProfile", "ServiceContainer", "OverloadShed",
+           "GT3_PROFILE", "GT4_PROFILE", "GT4C_PROFILE", "lognormal_for_mean"]
+
+
+class OverloadShed(Exception):
+    """Raised by a bounded-queue container that refuses a request.
+
+    Load shedding turns a slow failure (minutes in the queue, then a
+    client timeout) into a fast one: the handler fails immediately and
+    the caller sees an :class:`~repro.net.transport.RpcError` one round
+    trip later — which a resilient client converts into an instant
+    retry/failover instead of a burned timeout.
+    """
 
 
 def lognormal_for_mean(rng: np.random.Generator, mean: float, sigma: float) -> float:
@@ -181,17 +192,52 @@ class ServiceContainer:
     """
 
     def __init__(self, sim: Simulator, profile: ContainerProfile,
-                 rng: np.random.Generator, name: str = "container"):
+                 rng: np.random.Generator, name: str = "container",
+                 max_queue: int | None = None):
         self.sim = sim
         self.profile = profile
         self.rng = rng
         self.name = name
+        #: Bounded admission queue: requests arriving while this many
+        #: are already waiting are shed (``None`` = unbounded, the
+        #: original behaviour).
+        self.max_queue = max_queue
+        #: Degraded-container multiplier on every service-time draw
+        #: (a "slow node" fault profile; 1.0 = healthy).
+        self.degrade_factor = 1.0
         self._query_server = Server(sim, profile.query_concurrency,
                                     name=f"{name}.query")
         self._instance_server = Server(sim, profile.instance_concurrency,
                                        name=f"{name}.create")
         self.completed_ops: int = 0
+        self.shed_ops: int = 0
         self.op_timestamps: list[float] = []
+
+    # -- fault/limit knobs -------------------------------------------------
+    def set_degradation(self, factor: float) -> None:
+        """Scale all service times by ``factor`` (1.0 restores health)."""
+        if factor <= 0:
+            raise ValueError(f"degrade factor must be > 0, got {factor}")
+        self.degrade_factor = factor
+
+    def set_queue_bound(self, max_queue: int | None) -> None:
+        if max_queue is not None and max_queue < 0:
+            raise ValueError("max_queue must be >= 0 or None")
+        self.max_queue = max_queue
+
+    def _admit(self) -> None:
+        """Shed the request if the admission queue is full."""
+        if (self.max_queue is not None
+                and self._query_server.queue_len >= self.max_queue):
+            self.shed_ops += 1
+            self.sim.metrics.counter("container.shed").inc()
+            if self.sim.trace.enabled:
+                self.sim.trace.emit("container.shed", node=self.name,
+                                    queue_len=self._query_server.queue_len,
+                                    max_queue=self.max_queue)
+            raise OverloadShed(
+                f"{self.name}: queue {self._query_server.queue_len} "
+                f">= bound {self.max_queue}")
 
     # -- generators used inside RPC handlers ------------------------------
     def service_query(self, extra_s: float = 0.0):
@@ -200,11 +246,12 @@ class ServiceContainer:
         ``extra_s`` adds request-specific work (e.g. per-site state
         marshalling proportional to grid size).
         """
+        self._admit()
         yield self._query_server.acquire()
         try:
             svc = _lognormal_for_mean(self.rng, self.profile.query_service_s,
                                       self.profile.sigma) + extra_s
-            yield svc
+            yield svc * self.degrade_factor
         finally:
             self._query_server.release()
         self.completed_ops += 1
@@ -212,10 +259,11 @@ class ServiceContainer:
 
     def service_report(self):
         """Consume the dispatch-report share of a brokering operation."""
+        self._admit()
         yield self._query_server.acquire()
         try:
             yield _lognormal_for_mean(self.rng, self.profile.report_service_s,
-                                      self.profile.sigma)
+                                      self.profile.sigma) * self.degrade_factor
         finally:
             self._query_server.release()
         self.completed_ops += 1
@@ -226,7 +274,7 @@ class ServiceContainer:
         yield self._instance_server.acquire()
         try:
             yield _lognormal_for_mean(self.rng, self.profile.instance_service_s,
-                                      self.profile.sigma)
+                                      self.profile.sigma) * self.degrade_factor
         finally:
             self._instance_server.release()
         self.completed_ops += 1

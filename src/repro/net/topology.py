@@ -14,7 +14,8 @@ from typing import Hashable, Sequence
 import networkx as nx
 import numpy as np
 
-__all__ = ["BrokerTopology", "assign_clients", "assign_clients_nearest"]
+__all__ = ["BrokerTopology", "assign_clients", "assign_clients_nearest",
+           "cross_pairs"]
 
 _KINDS = ("mesh", "ring", "star", "line")
 
@@ -77,6 +78,31 @@ class BrokerTopology:
 
     def __len__(self) -> int:
         return len(self.nodes)
+
+
+def cross_pairs(islands: Sequence[Sequence[Hashable]]
+                ) -> list[tuple[Hashable, Hashable]]:
+    """Every ordered node pair that straddles an island boundary.
+
+    The fault injector cuts exactly these pairs to realize a mesh
+    partition: traffic within an island flows, traffic across never
+    arrives.  Nodes may be decision points or submission hosts; a node
+    appearing in two islands is rejected (ambiguous membership).
+    """
+    seen: set[Hashable] = set()
+    groups = [list(island) for island in islands]
+    for island in groups:
+        for node in island:
+            if node in seen:
+                raise ValueError(f"node {node!r} appears in two islands")
+            seen.add(node)
+    pairs: list[tuple[Hashable, Hashable]] = []
+    for i, a_island in enumerate(groups):
+        for j, b_island in enumerate(groups):
+            if i == j:
+                continue
+            pairs.extend((a, b) for a in a_island for b in b_island)
+    return pairs
 
 
 def assign_clients(clients: Sequence[Hashable], decision_points: Sequence[Hashable],

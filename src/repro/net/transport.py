@@ -151,6 +151,10 @@ class Network:
         #: see their own timeouts, exactly as with a crashed peer.
         self.loss_rate = loss_rate
         self._loss_rng = loss_rng
+        #: Structured fault layer (``repro.faults``): when installed,
+        #: consulted once per message for per-link/per-node loss, extra
+        #: delay, and duplication.  ``None`` costs one attribute check.
+        self.faults = None
         self.stats = NetworkStats()
         self._endpoints: dict[Hashable, Endpoint] = {}
         self._rpc_seq = 0
@@ -163,6 +167,21 @@ class Network:
         if lost:
             self.stats.dropped += 1
         return lost
+
+    def _fault_delays(self, msg: Message) -> Optional[tuple]:
+        """Per-copy extra delays from the fault layer; ``None`` = dropped.
+
+        With no fault model installed every message is delivered once
+        with no extra delay.  The fault model does its own counting and
+        tracing; the transport only tallies the drop.
+        """
+        if self.faults is None:
+            return (0.0,)
+        fate = self.faults.on_message(msg)
+        if fate.drop:
+            self.stats.dropped += 1
+            return None
+        return fate.extra_delays
 
     # -- registry -------------------------------------------------------
     def _register(self, ep: Endpoint) -> None:
@@ -194,13 +213,17 @@ class Network:
                 self.sim.trace.emit("msg.drop", node=src, dst=str(dst), op=op,
                                     kind="oneway", size_kb=size_kb)
             return
+        delays = self._fault_delays(msg)
+        if delays is None:
+            return
 
         def deliver() -> None:
             ep = self._endpoints[dst]
             if ep.online:
                 ep.on_oneway(msg)
 
-        self.sim.schedule(self._delivery_delay(msg), deliver)
+        for extra in delays:
+            self.sim.schedule(self._delivery_delay(msg) + extra, deliver)
 
     def rpc(self, src: Hashable, dst: Hashable, op: str, payload: Any = None,
             size_kb: float = 0.0, response_size_kb: float = 0.0,
@@ -239,9 +262,14 @@ class Network:
         self.stats.kb += size_kb
         request_lost = self._lost()
         if not request_lost:
-            self.sim.schedule(
-                self._delivery_delay(msg),
-                lambda: self._handle_request(msg, response_size_kb))
+            delays = self._fault_delays(msg)
+            if delays is None:
+                request_lost = True
+            else:
+                for extra in delays:
+                    self.sim.schedule(
+                        self._delivery_delay(msg) + extra,
+                        lambda: self._handle_request(msg, response_size_kb))
 
         if timeout is not None:
             def expire() -> None:
@@ -350,8 +378,13 @@ class Network:
             # ever reap the caller's pending entry.
             self._abandon_if_unreaped(resp.rpc_id, "response_dropped")
             return
-        self.sim.schedule(self._delivery_delay(resp),
-                          lambda: self._complete_rpc(resp))
+        delays = self._fault_delays(resp)
+        if delays is None:
+            self._abandon_if_unreaped(resp.rpc_id, "response_dropped")
+            return
+        for extra in delays:
+            self.sim.schedule(self._delivery_delay(resp) + extra,
+                              lambda: self._complete_rpc(resp))
 
     def _abandon_if_unreaped(self, rpc_id: int, reason: str) -> None:
         """Abandon now unless an armed timeout will reap the entry later."""

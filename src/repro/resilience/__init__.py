@@ -1,0 +1,21 @@
+"""Client resilience policies for the DI-GRUBER reproduction.
+
+The paper's failure story is a single 15 s timeout followed by random
+fallback placement (§4.3).  This package layers production-grade
+policies on top, all deterministic under the simulation's seeded RNG
+streams:
+
+* :mod:`repro.resilience.policy` — retry with exponential backoff +
+  jitter, and per-(client, decision point) circuit breakers;
+* :mod:`repro.resilience.failover` — a deployment-level health prober
+  that drives automatic client failover to a secondary decision point.
+
+Paired with :mod:`repro.faults`, these let the chaos benches measure
+how much brokered placement each policy recovers under injected
+partitions, crashes and degradations.
+"""
+
+from repro.resilience.failover import FailoverManager
+from repro.resilience.policy import CircuitBreaker, ResilienceConfig
+
+__all__ = ["CircuitBreaker", "FailoverManager", "ResilienceConfig"]

@@ -203,6 +203,12 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self.gen = gen
         self._waiting_on: Optional[Event] = None
+        # The simulator pins every live process (see Simulator._processes):
+        # a process abandoned mid-wait (e.g. its wake-up event can never
+        # fire) must stay suspended, NOT become cyclic garbage — the GC
+        # would close the generator and run its ``finally`` blocks at an
+        # arbitrary wall-clock-dependent instant, breaking determinism.
+        sim._processes.add(self)
         if sim.trace.enabled:
             sim.trace.emit("process.start", node=self.name)
         sim._schedule_now(lambda: self._resume(None, None))
@@ -290,6 +296,7 @@ class Process(Event):
         """
         had_watchers = bool(self.callbacks)
         super()._dispatch()
+        self.sim._processes.discard(self)
         if (self.ok is False and not had_watchers
                 and not isinstance(self.value, ProcessKilled)):
             self.sim.metrics.counter("kernel.unhandled_failures").inc()
@@ -307,6 +314,14 @@ class Simulator:
         self._heap: list[tuple[float, int, ScheduledCall]] = []
         self._seq: int = 0
         self._event_count: int = 0
+        #: Strong refs to every not-yet-terminated process.  Without
+        #: this, a process whose wake-up event can never fire (dropped
+        #: message, crashed peer) turns into an unreachable cycle; the
+        #: cyclic GC would then ``close()`` the suspended generator and
+        #: run its ``finally`` blocks at an allocation-count-dependent
+        #: instant — observed as run-to-run nondeterminism under fault
+        #: injection.  Membership only; never iterated.
+        self._processes: set["Process"] = set()
         #: Observability: a disabled-by-default structured trace plus
         #: always-on counters/histograms shared by everything running
         #: on this simulator (transport, brokers, monitors).

@@ -237,6 +237,65 @@ class TestSaturationAndRebalance:
         assert any(e.action == "rebalance" for e in obs.events)
         assert len(dep.clients_of("dp1")) > 0
 
+    def test_observer_finite_cooldown_spaces_actions(self, env):
+        """Back-to-back signals are suppressed inside the cooldown, and
+        the next action is allowed once it expires."""
+        sim, rng, net, grid = env
+        dep = make_deployment(env, k=1)
+        dep.start()
+        dep.attach_client(_FakeClient("dp0"))
+        det = SaturationDetector(sim, dep.decision_points.values(),
+                                 interval_s=10.0, queue_threshold=2)
+        det.start()
+        obs = ReconfigurationObserver(sim, dep, det, cooldown_s=40.0,
+                                      max_decision_points=10)
+        self._saturate_dp(env, dep)
+        sim.run(until=100.0)
+        # Signals fire every 10 s while saturated, but actions cannot be
+        # closer than the cooldown — and more than one must get through.
+        assert obs.dps_added >= 2
+        times = [e.time for e in obs.events]
+        assert all(b - a >= 40.0 for a, b in zip(times, times[1:]))
+
+    def test_observer_hard_cap_never_exceeded(self, env):
+        """Even with a zero cooldown the DP set stops at the cap and the
+        observer degrades to rebalancing."""
+        sim, rng, net, grid = env
+        dep = make_deployment(env, k=1)
+        dep.start()
+        for _ in range(8):
+            dep.attach_client(_FakeClient("dp0"))
+        det = SaturationDetector(sim, dep.decision_points.values(),
+                                 interval_s=10.0, queue_threshold=2)
+        det.start()
+        obs = ReconfigurationObserver(sim, dep, det, cooldown_s=0.0,
+                                      max_decision_points=3)
+        self._saturate_dp(env, dep)
+        sim.run(until=200.0)
+        assert len(dep.decision_points) == 3
+        assert obs.dps_added == 2
+        assert any(e.action == "rebalance" for e in obs.events)
+        assert sim.metrics.counter_value("reconfig.add_dp") == 2
+        assert sim.metrics.counter_value("reconfig.rebalance") == \
+            sum(1 for e in obs.events if e.action == "rebalance")
+
+    def test_observer_actions_traced(self, env):
+        sim, rng, net, grid = env
+        sim.trace.enabled = True
+        dep = make_deployment(env, k=1)
+        dep.start()
+        dep.attach_client(_FakeClient("dp0"))
+        det = SaturationDetector(sim, dep.decision_points.values(),
+                                 interval_s=10.0, queue_threshold=2)
+        det.start()
+        ReconfigurationObserver(sim, dep, det, cooldown_s=1e9)
+        self._saturate_dp(env, dep)
+        sim.run(until=15.0)
+        events = sim.trace.events("reconfig.action")
+        assert len(events) == 1
+        assert events[0].detail["action"] == "add_dp"
+        assert events[0].detail["new_dp"] == "dp1"
+
     def test_detector_validation(self, env):
         sim, *_ = env
         with pytest.raises(ValueError):

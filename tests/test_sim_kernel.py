@@ -314,6 +314,48 @@ class TestProcesses:
         sim.run()
         assert trace == ["interrupted", "slept"]
 
+    def test_abandoned_process_survives_gc(self, sim):
+        """A process stuck on an event that can never fire must stay
+        suspended — not be closed by the cyclic garbage collector.
+
+        Holding no external reference to the process or its wake-up
+        event makes the whole cluster cyclic garbage; if the kernel did
+        not pin live processes, ``gc.collect()`` would ``close()`` the
+        generator and run its ``finally`` at an arbitrary instant
+        (observed as run-to-run nondeterminism under fault injection).
+        """
+        import gc
+
+        closed = []
+
+        def wedged():
+            try:
+                yield sim.event()  # nobody will ever succeed this
+            finally:
+                closed.append(sim.now)
+
+        sim.process(wedged())
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        gc.collect()
+        assert closed == []
+
+    def test_terminated_processes_are_unpinned(self, sim):
+        """The live-process registry must not accumulate finished ones."""
+        def proc():
+            yield 1.0
+
+        def failing():
+            yield 1.0
+            raise RuntimeError("boom")
+
+        p = sim.process(proc())
+        q = sim.process(failing())
+        q.add_callback(lambda ev: None)  # watched: not an unhandled failure
+        sim.run()
+        assert p not in sim._processes
+        assert q not in sim._processes
+
 
 class TestPeriodic:
     def test_every_fires_on_interval(self, sim):
