@@ -1,0 +1,278 @@
+#!/usr/bin/env python
+"""Scale sweep: does the simulator survive a 10x-Grid3/OSG grid?
+
+Sweeps grid multiplier k in {1, 3, 10} x decision-point count, running
+every cell twice — once with the scale-plane fast paths + delta sync
+(``optimized``) and once with the pre-change cost model
+(``fast_paths=False``, flood sync; ``baseline``) — and records:
+
+* ``events_per_s``  — kernel events executed per wall second;
+* ``heap_peak``     — peak ``len(sim._heap)`` (boundedness evidence);
+* ``rss_peak_mb``   — peak resident set size of the (isolated) run;
+* ``sync_kb``       — total sync payload shipped, in KB.
+
+Each cell runs in a fresh subprocess so peak-RSS numbers are per-cell,
+not a process-wide high-water mark.  The committed ``BENCH_scale.json``
+is the regression baseline: ``--check`` compares a fresh sweep's
+optimized-over-baseline *speedups* cell-by-cell (speedups are robust to
+absolute machine speed where raw events/sec are not) and fails on a
+>15% regression.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py           # full sweep
+    PYTHONPATH=src python benchmarks/bench_scale.py --quick   # CI subset
+    PYTHONPATH=src python benchmarks/bench_scale.py --quick \
+        --check BENCH_scale.json                              # regression gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+# Allow running from a source checkout without installing.
+_ROOT = Path(__file__).resolve().parent.parent
+for _p in (str(_ROOT / "src"), str(_ROOT)):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
+#: Simulated seconds per cell.  Long enough for several sync rounds
+#: (so delta vs flood payload sizes actually diverge) and for dead heap
+#: entries and record backlogs to accumulate, short enough that a full
+#: sweep stays benchable.
+CELL_DURATION_S = 900.0
+#: The full sweep: grid multiplier x decision points.
+FULL_CELLS = tuple((k, dps) for k in (1, 3, 10) for dps in (3, 10))
+#: CI subset — same per-cell parameters (so --check can compare against
+#: a full-sweep baseline), fewer cells.
+QUICK_CELLS = ((1, 3), (10, 3))
+#: Regression gate: fresh speedup must be >= this fraction of committed.
+REGRESSION_TOLERANCE = 0.85
+#: Acceptance floor: the optimized stack must be at least this much
+#: faster than the pre-change baseline at k=10.
+K10_SPEEDUP_FLOOR = 2.0
+
+
+def run_cell(multiplier: int, dps: int, duration_s: float,
+             optimized: bool) -> dict:
+    """One measured run; returns the metrics dict (JSON-safe)."""
+    import resource
+
+    from repro.experiments import run_experiment
+    from repro.experiments.configs import scale_config
+
+    mode = "opt" if optimized else "base"
+    config = scale_config(
+        multiplier=multiplier, decision_points=dps, duration_s=duration_s,
+        fast_paths=optimized, sync_delta=optimized,
+        name=f"scale-{multiplier}x-{dps}dp-{mode}")
+    t0 = time.perf_counter()
+    result = run_experiment(config)
+    wall_s = time.perf_counter() - t0
+    sim = result.sim
+    sync_kb = sum(dp.sync.kb_sent
+                  for dp in result.deployment.decision_points.values())
+    sync_records = sum(dp.sync.records_sent
+                       for dp in result.deployment.decision_points.values())
+    ru = resource.getrusage(resource.RUSAGE_SELF)
+    return {
+        "multiplier": multiplier,
+        "dps": dps,
+        "duration_s": duration_s,
+        "optimized": optimized,
+        "wall_s": round(wall_s, 3),
+        "events": sim.events_executed,
+        "events_per_s": round(sim.events_executed / wall_s, 1),
+        "heap_peak": sim.heap_peak,
+        "compactions": sim.compactions,
+        "sync_kb": round(sync_kb, 1),
+        "sync_records": sync_records,
+        "requests": result.n_jobs,
+        "rss_peak_mb": round(ru.ru_maxrss / 1024.0, 1),  # Linux: KB
+    }
+
+
+def _run_cell_isolated(params: dict) -> dict:
+    """Run one cell in a fresh interpreter (honest per-cell peak RSS)."""
+    proc = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()),
+         "--cell", json.dumps(params)],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        # Isolation failed (constrained environments): fall back inline.
+        sys.stderr.write(proc.stderr)
+        return run_cell(**params)
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def run_sweep(cells, duration_s: float, isolate: bool = True) -> list[dict]:
+    rows = []
+    for multiplier, dps in cells:
+        cell: dict = {"multiplier": multiplier, "dps": dps}
+        for optimized in (True, False):
+            params = dict(multiplier=multiplier, dps=dps,
+                          duration_s=duration_s, optimized=optimized)
+            r = (_run_cell_isolated(params) if isolate
+                 else run_cell(**params))
+            cell["optimized" if optimized else "baseline"] = r
+        opt, base = cell["optimized"], cell["baseline"]
+        cell["speedup"] = round(opt["events_per_s"] / base["events_per_s"], 2)
+        cell["sync_kb_ratio"] = (
+            round(opt["sync_kb"] / base["sync_kb"], 3)
+            if base["sync_kb"] > 0 else None)
+        rows.append(cell)
+        print(f"k={multiplier:>2} dps={dps:>2}: "
+              f"base {base['events_per_s']:>9,.0f} ev/s   "
+              f"opt {opt['events_per_s']:>9,.0f} ev/s   "
+              f"speedup {cell['speedup']:.2f}x   "
+              f"heap {base['heap_peak']}->{opt['heap_peak']}   "
+              f"sync {base['sync_kb']:.0f}->{opt['sync_kb']:.0f} KB")
+    return rows
+
+
+def measure_heap_bound(n_rpcs: int = 10_000) -> dict:
+    """Kernel-level boundedness evidence: heap growth per completed RPC.
+
+    The experiment cells cannot isolate this (under saturation most
+    timeouts *fire* instead of being cancelled), so measure it
+    directly: a healthy client completing ``n_rpcs`` RPCs whose long
+    timeouts would all still be armed at the end of the run.  Pre-change
+    the heap grows with every completed RPC; with compaction it stays
+    O(live).
+    """
+    from repro.net import ConstantLatency, Endpoint, Network
+    from repro.sim import Simulator
+
+    out: dict = {}
+    for fast in (True, False):
+        sim = Simulator(fast=fast)
+        net = Network(sim, ConstantLatency(0.01))
+        Endpoint(net, "client")
+        server = Endpoint(net, "server")
+        server.register_handler("echo", lambda payload, src: payload)
+
+        def driver():
+            for _ in range(n_rpcs):
+                yield net.rpc("client", "server", "echo", {}, timeout=600.0)
+
+        sim.process(driver())
+        sim.run()
+        out["optimized" if fast else "baseline"] = {
+            "completed_rpcs": n_rpcs,
+            "heap_peak": sim.heap_peak,
+            "heap_end": len(sim._heap),
+            "compactions": sim.compactions,
+        }
+    out["bounded"] = (out["optimized"]["heap_peak"] * 10
+                      < out["baseline"]["heap_peak"])
+    return out
+
+
+def build_report(rows: list[dict], quick: bool) -> dict:
+    k10 = [c for c in rows if c["multiplier"] == 10]
+    k10_speedup = min((c["speedup"] for c in k10), default=None)
+    heap_bound = measure_heap_bound()
+    ok = ((k10_speedup is None or k10_speedup >= K10_SPEEDUP_FLOOR)
+          and heap_bound["bounded"])
+    return {
+        "bench": "scale",
+        "quick": quick,
+        "unix_time": int(time.time()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cell_duration_s": CELL_DURATION_S,
+        "cells": rows,
+        "heap_bound": heap_bound,
+        "k10_speedup_min": k10_speedup,
+        "k10_speedup_floor": K10_SPEEDUP_FLOOR,
+        "pass_scale_floor": ok,
+    }
+
+
+def check_regression(rows: list[dict], committed_path: Path) -> list[str]:
+    """Compare fresh speedups to the committed baseline; returns problems.
+
+    Only cells with multiplier >= 3 are gated: that is where the
+    optimized-over-baseline gap is large (3x+) and stable, so a 15%
+    tolerance separates real regressions from scheduler noise.  The
+    k=1 cells are recorded for information — their ~2x speedups drift
+    by double-digit percentages with background machine load.
+    """
+    committed = json.loads(committed_path.read_text(encoding="utf-8"))
+    by_cell = {(c["multiplier"], c["dps"]): c for c in committed["cells"]}
+    problems = []
+    compared = 0
+    for cell in rows:
+        key = (cell["multiplier"], cell["dps"])
+        ref = by_cell.get(key)
+        if cell["multiplier"] < 3:
+            continue
+        if ref is None or ref["baseline"]["duration_s"] != \
+                cell["baseline"]["duration_s"]:
+            continue
+        compared += 1
+        floor = ref["speedup"] * REGRESSION_TOLERANCE
+        if cell["speedup"] < floor:
+            problems.append(
+                f"k={key[0]} dps={key[1]}: speedup {cell['speedup']:.2f}x "
+                f"< {floor:.2f}x (committed {ref['speedup']:.2f}x "
+                f"- {100 * (1 - REGRESSION_TOLERANCE):.0f}% tolerance)")
+        if cell["multiplier"] == 10 and cell["speedup"] < K10_SPEEDUP_FLOOR:
+            problems.append(
+                f"k=10 dps={key[1]}: speedup {cell['speedup']:.2f}x below "
+                f"the {K10_SPEEDUP_FLOOR:.0f}x acceptance floor")
+    if not compared:
+        problems.append(f"no comparable cells in {committed_path}")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="scale sweep: k x Grid3/OSG, optimized vs baseline")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI subset of cells (same per-cell sizes)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="report path (default: BENCH_scale.json in "
+                             "the repo root; not written in --check mode)")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare against a committed report and exit "
+                             "1 on a >15%% speedup regression")
+    parser.add_argument("--no-isolate", action="store_true",
+                        help="run cells in-process (faster, but peak RSS "
+                             "becomes a process-wide high-water mark)")
+    parser.add_argument("--cell", default=None, help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.cell:  # subprocess entry: one cell, JSON on stdout
+        print(json.dumps(run_cell(**json.loads(args.cell))))
+        return 0
+
+    cells = QUICK_CELLS if args.quick else FULL_CELLS
+    rows = run_sweep(cells, CELL_DURATION_S, isolate=not args.no_isolate)
+    report = build_report(rows, quick=args.quick)
+
+    if args.check:
+        problems = check_regression(rows, Path(args.check))
+        for problem in problems:
+            print(f"  REGRESSION: {problem}")
+        verdict = "PASS" if not problems else "FAIL"
+        print(f"scale regression gate vs {args.check} -> {verdict}")
+        return 1 if problems else 0
+
+    out = Path(args.out) if args.out else _ROOT / "BENCH_scale.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    verdict = "PASS" if report["pass_scale_floor"] else "FAIL"
+    print(f"k=10 speedup floor ({K10_SPEEDUP_FLOOR:.0f}x): "
+          f"min {report['k10_speedup_min']} -> {verdict}")
+    print(f"wrote {out}")
+    return 0 if report["pass_scale_floor"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

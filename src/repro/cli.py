@@ -93,6 +93,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--queue-bound", type=int, default=None,
                      metavar="N", help="bounded-queue load shedding at "
                      "each decision point container")
+    run.add_argument("--scale-multiplier", type=int, default=None,
+                     metavar="K", help="scale the grid to K x Grid3/OSG "
+                     "(K x sites, CPUs, and clients; the paper's 10x "
+                     "question is K=10)")
+    run.add_argument("--delta-sync", action="store_true",
+                     help="per-peer delta sync instead of horizon "
+                     "re-flooding (smaller payloads at scale)")
+    run.add_argument("--no-fast-paths", action="store_true",
+                     help="disable the kernel/state-view fast paths "
+                     "(pre-optimization cost model, for A/B benchmarks)")
     add_obs(run)
 
     chaos = sub.add_parser(
@@ -209,6 +219,12 @@ def _cmd_grubsim(args) -> int:
 def _cmd_run(args) -> int:
     from repro.experiments import run_experiment
     maker, overrides = _base_config(args)
+    if args.scale_multiplier is not None:
+        from repro.experiments.configs import scale_config
+
+        def maker(dps, **ov):  # noqa: F811 - deliberate rebind
+            return scale_config(multiplier=args.scale_multiplier,
+                                decision_points=dps, **ov)
     if args.clients is not None:
         overrides["n_clients"] = args.clients
     if args.sites is not None:
@@ -228,6 +244,10 @@ def _cmd_run(args) -> int:
         overrides["resilience"] = ResilienceConfig()
     if args.queue_bound is not None:
         overrides["dp_queue_bound"] = args.queue_bound
+    if args.delta_sync:
+        overrides["sync_delta"] = True
+    if args.no_fast_paths:
+        overrides["fast_paths"] = False
     overrides.update(_obs_overrides(args))
     result = run_experiment(maker(args.dps, **overrides))
     print(result.summary())

@@ -36,7 +36,9 @@ class DIGruberDeployment:
                  usla_aware: bool = False,
                  site_state_kb: float = 0.06,
                  assumed_job_lifetime_s: float = 900.0,
-                 dp_queue_bound: Optional[int] = None):
+                 dp_queue_bound: Optional[int] = None,
+                 sync_delta: bool = False,
+                 state_index: bool = True):
         if n_decision_points < 1:
             raise ValueError("need at least one decision point")
         self.sim = sim
@@ -54,6 +56,11 @@ class DIGruberDeployment:
         #: Bounded-queue load shedding for every decision point's
         #: container (``None`` = unbounded, the paper's behaviour).
         self.dp_queue_bound = dp_queue_bound
+        #: Scale-plane switches: per-peer delta sync (changes payload
+        #: sizes, opt-in) and the indexed state view (result-preserving,
+        #: default on).
+        self.sync_delta = sync_delta
+        self.state_index = state_index
         self.decision_points: dict[str, DecisionPoint] = {}
         self.clients: list[GruberClient] = []
         self._started = False
@@ -73,7 +80,9 @@ class DIGruberDeployment:
             strategy=self.strategy, usla_aware=self.usla_aware,
             site_state_kb=self.site_state_kb,
             assumed_job_lifetime_s=self.assumed_job_lifetime_s,
-            max_queue=self.dp_queue_bound)
+            max_queue=self.dp_queue_bound,
+            sync_delta=self.sync_delta,
+            state_index=self.state_index)
         self.decision_points[dp_id] = dp
         return dp
 

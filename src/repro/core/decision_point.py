@@ -53,7 +53,9 @@ class DecisionPoint(Endpoint):
                  site_state_kb: float = 0.06,
                  assumed_job_lifetime_s: float = 900.0,
                  private: bool = False,
-                 max_queue: Optional[int] = None):
+                 max_queue: Optional[int] = None,
+                 sync_delta: bool = False,
+                 state_index: bool = True):
         super().__init__(network, node_id)
         self.sim = sim
         self.grid = grid
@@ -74,12 +76,13 @@ class DecisionPoint(Endpoint):
             owner=str(node_id), site_capacities=capacities,
             usla_aware=usla_aware,
             assumed_job_lifetime_s=assumed_job_lifetime_s,
-            tracer=sim.trace, metrics=sim.metrics)
+            tracer=sim.trace, metrics=sim.metrics,
+            state_index=state_index)
         self.monitor = SiteMonitor(sim, grid, self.engine,
                                    interval_s=monitor_interval_s,
                                    jitter_s=monitor_interval_s * 0.05, rng=rng)
         self.sync = SyncProtocol(self, interval_s=sync_interval_s,
-                                 strategy=strategy)
+                                 strategy=strategy, delta=sync_delta)
         self.neighbors: list[Hashable] = []
         self.started = False
         self.crashes = 0

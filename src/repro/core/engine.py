@@ -29,10 +29,11 @@ class GruberEngine:
                  usla_store: Optional[UslaStore] = None,
                  usla_aware: bool = False,
                  assumed_job_lifetime_s: float = 900.0,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None, state_index: bool = True):
         self.owner = owner
         self.view = GridStateView(
-            site_capacities, assumed_job_lifetime_s=assumed_job_lifetime_s)
+            site_capacities, assumed_job_lifetime_s=assumed_job_lifetime_s,
+            indexed=state_index)
         self.usla_store = usla_store if usla_store is not None else UslaStore(owner)
         self.usla_aware = usla_aware
         self._policy_cache: Optional[PolicyEngine] = None

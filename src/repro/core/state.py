@@ -26,10 +26,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
 __all__ = ["DispatchRecord", "GridStateView"]
+
+_NEG_INF = -float("inf")
 
 
 @dataclass(frozen=True)
@@ -66,16 +69,26 @@ class GridStateView:
     assumed_job_lifetime_s:
         How long a dispatch record is presumed to occupy its CPUs.
         Calibrate to the workload's mean job runtime.
+    indexed:
+        Scale-plane fast paths (default on): a grid-wide expiry heap so
+        :meth:`expire` costs O(records expired) instead of O(sites), a
+        learn-order ring so :meth:`pending_records` costs O(records
+        learned since the cutoff) instead of O(all live records), and
+        an incrementally-maintained free map so availability queries
+        stop recomputing every site's estimate.  Result-preserving;
+        the switch exists for benchmark baselines and equivalence tests.
     """
 
     def __init__(self, site_capacities: dict[str, int],
-                 assumed_job_lifetime_s: float = 900.0):
+                 assumed_job_lifetime_s: float = 900.0,
+                 indexed: bool = True):
         if not site_capacities:
             raise ValueError("need at least one site")
         if assumed_job_lifetime_s <= 0:
             raise ValueError("assumed_job_lifetime_s must be > 0")
         self.capacities = dict(site_capacities)
         self.assumed_job_lifetime_s = assumed_job_lifetime_s
+        self.indexed = indexed
         # Base usage from the last monitor refresh.
         self._base_busy: dict[str, float] = {s: 0.0 for s in site_capacities}
         self._base_time: dict[str, float] = {s: -float("inf")
@@ -92,7 +105,14 @@ class GridStateView:
         # horizon keys off this, not the (possibly much older) dispatch
         # time, so records can travel any number of overlay hops.
         self._learned_at: dict[tuple[str, int], float] = {}
+        # The live record *object* per key.  Key membership alone is not
+        # a liveness test for index entries: an adversarial redelivery
+        # can reuse a dropped record's key (dedup discards keys on
+        # drop), leaving stale index entries whose key is live again.
+        self._live_rec: dict[tuple[str, int], DispatchRecord] = {}
         # Per-(site, vo) incremental usage estimate for USLA filtering.
+        # Entries are deleted when they return to zero — long sweeps
+        # used to accumulate dead (site, consumer) keys forever.
         self._vo_busy: dict[tuple[str, str], float] = {}
         # Latest sim-time this view has witnessed (record learn times,
         # monitor refreshes, explicit expiries).  Callers that omit
@@ -100,16 +120,63 @@ class GridStateView:
         # all — stale records used to overstate VO usage forever on
         # that path.
         self.latest_time: float = -float("inf")
+        # -- scale-plane indexes ------------------------------------------
+        # Grid-wide expiry heap, same (time, tiebreak) keys as the site
+        # heaps.  Entries absorbed by a monitor refresh go stale here
+        # and are skipped (liveness check) when their time passes.
+        self._expiry_heap: list[tuple[float, int, DispatchRecord]] = []
+        # Learn-order ring: (learn_seq, monotonic learn time, record).
+        # Newest at the right; dead entries are pruned from the left.
+        self._learn_log: deque[tuple[int, float, DispatchRecord]] = deque()
+        self._learn_count = 0
+        self._log_tail_time = _NEG_INF
+        # Estimated free CPUs per site, maintained on every mutation so
+        # free_map() is a dict copy instead of an all-sites recompute.
+        self._free_cache: dict[str, float] = {
+            s: float(c) for s, c in self.capacities.items()}
+
+    def _update_free(self, site: str) -> None:
+        """Re-derive one site's cached free estimate (same formula as
+        :meth:`estimated_busy`, so the cache is bit-identical)."""
+        cap = self.capacities[site]
+        busy = self._base_busy[site] + self._extra_busy[site]
+        if busy < 0.0:
+            busy = 0.0
+        elif busy > cap:
+            busy = cap
+        self._free_cache[site] = cap - busy
 
     # -- internal removal ----------------------------------------------------
     def _drop(self, rec: DispatchRecord) -> None:
         """Retract one record's contribution (already popped from heap)."""
         self._extra_busy[rec.site] -= rec.cpus
+        vo_busy = self._vo_busy
         for consumer in rec.consumers:
             key = (rec.site, consumer)
-            self._vo_busy[key] = self._vo_busy.get(key, 0.0) - rec.cpus
+            remaining = vo_busy.get(key, 0.0) - rec.cpus
+            if remaining > 0.0:
+                vo_busy[key] = remaining
+            else:
+                # Back to zero (CPU counts are ints, so sums are exact):
+                # delete instead of keeping a 0.0 — or a tiny negative,
+                # previously masked by max(..., 0.0) — forever.
+                vo_busy.pop(key, None)
         self._learned_at.pop(rec.key, None)
         self._seen.discard(rec.key)
+        if self._live_rec.get(rec.key) is rec:
+            del self._live_rec[rec.key]
+        self._update_free(rec.site)
+
+    def _prune_log(self) -> None:
+        """Drop dead entries from the learn ring's old end (amortized)."""
+        log = self._learn_log
+        live = self._live_rec
+        while log and live.get(log[0][2].key) is not log[0][2]:
+            log.popleft()
+        # Safety valve for dead entries wedged behind a long-lived one.
+        if len(log) > 64 and len(log) > 4 * len(self._learned_at):
+            self._learn_log = deque(
+                e for e in log if live.get(e[2].key) is e[2])
 
     def expire(self, now: float) -> int:
         """Age out records past the assumed job lifetime; returns count."""
@@ -117,11 +184,34 @@ class GridStateView:
             self.latest_time = now
         cutoff = now - self.assumed_job_lifetime_s
         dropped = 0
+        if self.indexed:
+            # O(records expired): pop the grid-wide heap.  A live entry
+            # here is necessarily its site heap's head — every earlier
+            # (time, tiebreak) live record was popped (and dropped)
+            # first, and site heaps hold live records only — so an
+            # entry is live iff its unique tiebreak matches the site
+            # head's.  (A key-membership test is not enough: entries
+            # absorbed by a monitor refresh go stale here, and their
+            # key can be live again via a redelivered record.)
+            g = self._expiry_heap
+            records = self._records
+            while g and g[0][0] < cutoff:
+                _, tb, rec = heapq.heappop(g)
+                site_heap = records[rec.site]
+                if site_heap and site_heap[0][1] == tb:
+                    heapq.heappop(site_heap)
+                    self._drop(rec)
+                    dropped += 1
+            if dropped:
+                self._prune_log()
+            return dropped
         for heap in self._records.values():
             while heap and heap[0][0] < cutoff:
                 _, _, rec = heapq.heappop(heap)
                 self._drop(rec)
                 dropped += 1
+        if dropped:
+            self._prune_log()
         return dropped
 
     # -- updates -------------------------------------------------------------
@@ -149,13 +239,24 @@ class GridStateView:
             # Arrived after its own expiry (very slow relay path).
             return False
         self._seen.add(rec.key)
-        heapq.heappush(self._records[rec.site],
-                       (rec.time, next(self._tiebreak), rec))
+        entry = (rec.time, next(self._tiebreak), rec)
+        heapq.heappush(self._records[rec.site], entry)
+        if self.indexed:
+            heapq.heappush(self._expiry_heap, entry)
         self._extra_busy[rec.site] += rec.cpus
         self._learned_at[rec.key] = learn_time
+        self._live_rec[rec.key] = rec
+        # Learn ring: the stored time is clamped monotonic so reverse
+        # scans can stop early; the exact per-record learn time stays
+        # in _learned_at.
+        self._learn_count += 1
+        if learn_time > self._log_tail_time:
+            self._log_tail_time = learn_time
+        self._learn_log.append((self._learn_count, self._log_tail_time, rec))
         for consumer in rec.consumers:
             key = (rec.site, consumer)
             self._vo_busy[key] = self._vo_busy.get(key, 0.0) + rec.cpus
+        self._update_free(rec.site)
         return True
 
     def apply_records(self, records: Iterable[DispatchRecord],
@@ -179,6 +280,8 @@ class GridStateView:
         while heap and heap[0][0] <= now:
             _, _, rec = heapq.heappop(heap)
             self._drop(rec)
+        self._update_free(site)
+        self._prune_log()
 
     def refresh_all(self, busy_by_site: dict[str, float], now: float) -> None:
         for site, busy in busy_by_site.items():
@@ -210,6 +313,8 @@ class GridStateView:
         """Estimated free CPUs for every site (the availability answer)."""
         if now is not None:
             self.expire(now)
+        if self.indexed:
+            return dict(self._free_cache)
         return {s: self.estimated_free(s) for s in self.capacities}
 
     def pending_records(self, newer_than: float) -> list[DispatchRecord]:
@@ -220,9 +325,43 @@ class GridStateView:
         multi-hop overlays.
         """
         learned = self._learned_at
+        if self.indexed:
+            # Walk the learn ring newest-first; the stored times are
+            # monotonic, so the first entry at or below the cutoff ends
+            # the scan — O(records learned since the cutoff).  The
+            # clamped time can only overshoot the real learn time, so
+            # the exact filter below never loses a record to the break.
+            live = self._live_rec
+            out = []
+            for _, t_mono, rec in reversed(self._learn_log):
+                if t_mono <= newer_than:
+                    break
+                if (live.get(rec.key) is rec
+                        and learned[rec.key] > newer_than):
+                    out.append(rec)
+            out.reverse()
+            return out
         return [rec for heap in self._records.values()
                 for _, _, rec in heap
                 if learned.get(rec.key, -float("inf")) > newer_than]
+
+    def records_since(self, seq: int) -> tuple[int, list[DispatchRecord]]:
+        """Live records learned after watermark ``seq``, oldest first.
+
+        Returns ``(new_watermark, records)``.  Integer learn sequence
+        numbers make per-peer delta sync exact where float learn times
+        are not: two records learned at the same instant straddle no
+        boundary.  Feed the returned watermark back on the next call.
+        """
+        live = self._live_rec
+        out = []
+        for learn_seq, _, rec in reversed(self._learn_log):
+            if learn_seq <= seq:
+                break
+            if live.get(rec.key) is rec:
+                out.append(rec)
+        out.reverse()
+        return self._learn_count, out
 
     @property
     def n_sites(self) -> int:

@@ -50,21 +50,29 @@ class SyncProtocol:
 
     def __init__(self, dp: "DecisionPoint", interval_s: float = 180.0,
                  strategy: DisseminationStrategy = DisseminationStrategy.USAGE_ONLY,
-                 jitter_s: float = 5.0):
+                 jitter_s: float = 5.0, delta: bool = False):
         if interval_s <= 0:
             raise ValueError("sync interval must be > 0")
         self.dp = dp
         self.interval_s = interval_s
         self.strategy = strategy
         self.jitter_s = jitter_s
+        self.delta = delta
         self.rounds_sent = 0
         self.records_sent = 0
         self.records_received = 0
         self.records_adopted = 0
+        self.kb_sent = 0.0
         self._handle = None
         # Relay horizon: resend anything learned in the last two ticks
         # so multi-hop overlays keep flooding records outward.
         self._horizon_factor = 2.0
+        # Delta mode: per-peer learn-sequence watermarks, so each tick
+        # ships only what that peer has not been sent yet instead of
+        # re-flooding the whole horizon.  Changes payload sizes (hence
+        # simulated transfer timing), so it is opt-in rather than part
+        # of the result-preserving fast paths.
+        self._peer_marks: dict[str, int] = {}
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
@@ -94,6 +102,9 @@ class SyncProtocol:
         records and USLA store stay out of every payload.
         """
         dp = self.dp
+        if self.delta:
+            self._tick_delta()
+            return
         cutoff = dp.sim.now - self.interval_s * self._horizon_factor
         records = dp.engine.view.pending_records(newer_than=cutoff)
         if getattr(dp, "private", False):
@@ -109,11 +120,54 @@ class SyncProtocol:
                                    size_kb=size_kb)
         self.rounds_sent += 1
         self.records_sent += len(records) * len(dp.neighbors)
+        self.kb_sent += size_kb * len(dp.neighbors)
         dp.sim.metrics.counter("sync.rounds").inc()
         if dp.sim.trace.enabled:
             dp.sim.trace.emit("sync.round", node=dp.node_id,
                               records=len(records),
                               neighbors=len(dp.neighbors), kb=size_kb)
+
+    def _tick_delta(self) -> None:
+        """Delta exchange round: each peer gets only what it has not
+        been sent before, tracked by an integer learn-sequence
+        watermark (exact where float horizons are not — two records
+        learned at the same instant straddle no boundary).
+
+        The watermark advances per peer even when the send is an
+        oneway best-effort message; a lost sync degrades to the next
+        monitor refresh exactly as a lost flood round does.
+        """
+        dp = self.dp
+        view = dp.engine.view
+        private = getattr(dp, "private", False)
+        uslas = None
+        usla_kb = 0.0
+        if self.strategy is DisseminationStrategy.USAGE_AND_USLA and not private:
+            uslas = dp.engine.usla_store.export()
+            usla_kb = len(dp.engine.usla_store) * AGREEMENT_KB
+        round_records = 0
+        round_kb = 0.0
+        for peer in dp.neighbors:
+            mark, records = view.records_since(self._peer_marks.get(peer, 0))
+            self._peer_marks[peer] = mark
+            if private:
+                records = [r for r in records if r.origin != dp.engine.owner]
+            payload: dict = {"records": records}
+            size_kb = len(records) * RECORD_KB + usla_kb
+            if uslas is not None:
+                payload["uslas"] = uslas
+            dp.network.send_oneway(dp.node_id, peer, "sync", payload,
+                                   size_kb=size_kb)
+            round_records += len(records)
+            round_kb += size_kb
+        self.rounds_sent += 1
+        self.records_sent += round_records
+        self.kb_sent += round_kb
+        dp.sim.metrics.counter("sync.rounds").inc()
+        if dp.sim.trace.enabled:
+            dp.sim.trace.emit("sync.round", node=dp.node_id,
+                              records=round_records, delta=True,
+                              neighbors=len(dp.neighbors), kb=round_kb)
 
     # -- receive side -----------------------------------------------------------
     def on_sync(self, payload: dict) -> None:

@@ -23,7 +23,7 @@ from repro.resilience.policy import ResilienceConfig
 from repro.workloads.models import JobModel
 
 __all__ = ["ExperimentConfig", "canonical_gt3", "canonical_gt4",
-           "smoke_config", "chaos_smoke_config",
+           "smoke_config", "chaos_smoke_config", "scale_config",
            "CANONICAL_TIMEOUT_S", "CANONICAL_SYNC_INTERVAL_S"]
 
 CANONICAL_TIMEOUT_S = 15.0
@@ -86,6 +86,16 @@ class ExperimentConfig:
     # (None = unbounded, the paper's behaviour).
     dp_queue_bound: Optional[int] = None
 
+    # Scale plane.  ``fast_paths`` gates the result-preserving kernel
+    # and state-view optimizations (heap compaction, pooled timeouts,
+    # indexed view) — off reproduces the pre-optimization cost model
+    # for A/B benchmarks and determinism proofs.  ``sync_delta`` ships
+    # per-peer deltas instead of re-flooding the horizon; it changes
+    # payload sizes (hence simulated timing), so it is a separate
+    # opt-in rather than part of ``fast_paths``.
+    fast_paths: bool = True
+    sync_delta: bool = False
+
     # Observability (repro.obs).  Counters/histograms are always on;
     # the structured trace is opt-in because it costs per-event work.
     trace_enabled: bool = False
@@ -146,6 +156,28 @@ def canonical_gt4(decision_points: int = 1, **overrides) -> ExperimentConfig:
                            decision_points=decision_points,
                            n_clients=50,
                            name=f"gt4-{decision_points}dp")
+    return cfg.with_(**overrides) if overrides else cfg
+
+
+def scale_config(multiplier: int = 1, decision_points: int = 3,
+                 duration_s: float = 600.0, **overrides) -> ExperimentConfig:
+    """A k×-grid configuration for the scale sweep.
+
+    Scales the canonical GT3 environment by ``multiplier``: k× sites,
+    k× CPUs, and k× submission hosts.  ``multiplier=10`` is the paper's
+    headline question — a grid ten times Grid3/OSG.  Short default
+    duration keeps a full sweep benchable.
+    """
+    if multiplier < 1:
+        raise ValueError("multiplier must be >= 1")
+    cfg = ExperimentConfig(
+        profile=GT3_PROFILE,
+        decision_points=decision_points,
+        n_clients=120 * multiplier,
+        duration_s=duration_s,
+        n_sites=300 * multiplier,
+        total_cpus=40000 * multiplier,
+        name=f"scale-{multiplier}x-{decision_points}dp")
     return cfg.with_(**overrides) if overrides else cfg
 
 

@@ -196,7 +196,7 @@ def run_experiment(config: ExperimentConfig,
     callable invoked after deployment construction and before the run;
     the dynamic-reconfiguration benches attach observers through it.
     """
-    sim = Simulator()
+    sim = Simulator(fast=config.fast_paths)
     rng = RngRegistry(config.seed)
 
     trace_sink = None
@@ -236,7 +236,9 @@ def run_experiment(config: ExperimentConfig,
         strategy=config.strategy, usla_aware=config.usla_aware,
         site_state_kb=config.site_state_kb,
         assumed_job_lifetime_s=config.job_model.duration_mean_s,
-        dp_queue_bound=config.dp_queue_bound)
+        dp_queue_bound=config.dp_queue_bound,
+        sync_delta=config.sync_delta,
+        state_index=config.fast_paths)
 
     hosts = [f"host{i:03d}" for i in range(config.n_clients)]
     ramp = RampSchedule(n_clients=config.n_clients, span_s=config.ramp_span_s)

@@ -95,6 +95,39 @@ class _PendingRpc:
         self.timeout_call: Optional[ScheduledCall] = None
 
 
+class _RpcExpiry:
+    """Pooled per-RPC timeout callback (no closure per call).
+
+    Instances are recycled through :attr:`Network._expiry_pool` when the
+    timeout fires or the RPC resolves first.  Recycling while a
+    *cancelled* heap entry still references the object is safe: the
+    kernel never invokes cancelled entries, so a reused instance can
+    only be called through its newest arming.
+    """
+
+    __slots__ = ("network", "rpc_id", "timeout_s")
+
+    def __init__(self, network: "Network"):
+        self.network = network
+        self.rpc_id = 0
+        self.timeout_s = 0.0
+
+    def __call__(self) -> None:
+        net = self.network
+        rpc_id, timeout_s = self.rpc_id, self.timeout_s
+        net._recycle_expiry(self)
+        stale = net._pending_rpcs.pop(rpc_id, None)
+        if stale is None:
+            return
+        stale.timeout_call = None
+        net.stats.rpcs_failed += 1
+        net.stats.rpcs_timed_out += 1
+        net._finish_span(stale, rpc_id, "timeout")
+        if not stale.event.triggered:
+            stale.event.fail(RpcTimeout(
+                f"rpc {stale.op!r} to {stale.dst!r} after {timeout_s}s"))
+
+
 class Endpoint:
     """A named node attached to the network.
 
@@ -159,6 +192,13 @@ class Network:
         self._endpoints: dict[Hashable, Endpoint] = {}
         self._rpc_seq = 0
         self._pending_rpcs: dict[int, _PendingRpc] = {}
+        #: Free list of :class:`_RpcExpiry` callbacks (bounded; RPC
+        #: timeout arming is per-call hot-path work at scale).
+        self._expiry_pool: list[_RpcExpiry] = []
+
+    def _recycle_expiry(self, expiry: _RpcExpiry) -> None:
+        if len(self._expiry_pool) < 256:
+            self._expiry_pool.append(expiry)
 
     def _lost(self) -> bool:
         if self.loss_rate == 0.0:
@@ -272,17 +312,10 @@ class Network:
                         lambda: self._handle_request(msg, response_size_kb))
 
         if timeout is not None:
-            def expire() -> None:
-                stale = self._pending_rpcs.pop(rpc_id, None)
-                if stale is None:
-                    return
-                stale.timeout_call = None
-                self.stats.rpcs_failed += 1
-                self.stats.rpcs_timed_out += 1
-                self._finish_span(stale, rpc_id, "timeout")
-                if not stale.event.triggered:
-                    stale.event.fail(RpcTimeout(
-                        f"rpc {op!r} to {dst!r} after {timeout}s"))
+            pool = self._expiry_pool
+            expire = pool.pop() if (pool and self.sim.fast) else _RpcExpiry(self)
+            expire.rpc_id = rpc_id
+            expire.timeout_s = timeout
             pending.timeout_call = self.sim.schedule(timeout, expire)
         elif request_lost:
             # No response will ever come and no timeout will reap the
@@ -405,7 +438,10 @@ class Network:
         if pending.timeout_call is not None:
             # The RPC resolved first; don't leave the timeout ticking
             # in the heap (long-timeout storms used to bloat it).
-            pending.timeout_call.cancel()
+            call = pending.timeout_call
+            call.cancel()
+            if type(call.fn) is _RpcExpiry:
+                self._recycle_expiry(call.fn)
             pending.timeout_call = None
         result = pending.event
         if resp.ok:

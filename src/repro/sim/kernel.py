@@ -112,6 +112,14 @@ class Event:
         else:
             self.callbacks.append(fn)
 
+    def remove_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Detach a callback added earlier; no-op if absent/dispatched."""
+        if self.callbacks is not None:
+            try:
+                self.callbacks.remove(fn)
+            except ValueError:
+                pass
+
     def _dispatch(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
         for fn in callbacks:
@@ -122,14 +130,42 @@ class Event:
         return f"<Event {self.name!r} {state}>"
 
 
-class AnyOf(Event):
+class _Condition(Event):
+    """Shared machinery for :class:`AnyOf` / :class:`AllOf`.
+
+    Once the condition resolves it *detaches* from every still-pending
+    child: otherwise a completed RPC's race against its timeout keeps
+    the whole condition (and every event it references) alive until the
+    timeout fires, and the losing timeout's heap entry burns a no-op
+    wakeup.  A detached child timeout that nobody else watches is
+    cancelled outright, so RPC storms no longer bloat the event heap.
+    """
+
+    __slots__ = ("events",)
+
+    def _detach_pending(self) -> None:
+        fast = self.sim.fast
+        for ev in self.events:
+            if ev.triggered:
+                continue
+            ev.remove_callback(self._on_child)
+            if (fast and not ev.callbacks and type(ev) is _Timeout):
+                # Unobservable loser timer: drop its heap entry now
+                # (re-armed transparently if a watcher appears later).
+                ev.call.cancel()
+
+    def _on_child(self, ev: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
     """Succeeds as soon as any of the given events triggers.
 
     The value is a dict mapping the triggered events (so far) to their
     values; a failed child event fails the condition with its exception.
     """
 
-    __slots__ = ("events",)
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, name="any_of")
@@ -147,12 +183,13 @@ class AnyOf(Event):
             self.succeed({e: e.value for e in self.events if e.triggered and e.ok})
         else:
             self.fail(ev.value)
+        self._detach_pending()
 
 
-class AllOf(Event):
+class AllOf(_Condition):
     """Succeeds once every given event has succeeded."""
 
-    __slots__ = ("events", "_remaining")
+    __slots__ = ("_remaining",)
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, name="all_of")
@@ -169,6 +206,7 @@ class AllOf(Event):
             return
         if not ev.ok:
             self.fail(ev.value)
+            self._detach_pending()
             return
         self._remaining -= 1
         if self._remaining == 0:
@@ -176,17 +214,62 @@ class AllOf(Event):
 
 
 class ScheduledCall:
-    """Handle for a scheduled callback; supports cancellation."""
+    """Handle for a scheduled callback; supports cancellation.
 
-    __slots__ = ("time", "fn", "cancelled")
+    Cancellation is lazy — the heap entry stays put and is skipped when
+    popped — but each cancel is *accounted* so the simulator can compact
+    the heap once dead entries dominate (see
+    :meth:`Simulator._note_cancelled`).  ``_sim`` is cleared when the
+    entry leaves the heap so late cancels don't skew the accounting.
+    """
 
-    def __init__(self, time: float, fn: Callable[[], None]):
+    __slots__ = ("time", "fn", "cancelled", "_sim")
+
+    def __init__(self, time: float, fn: Callable[[], None],
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.fn = fn
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._note_cancelled()
+
+
+class _Timeout(Event):
+    """A timeout event scheduled via a pre-bound method (no per-call
+    closure, no per-call name formatting — this is the per-RPC hot
+    path).  ``call`` is the underlying heap entry; a race condition
+    (:class:`AnyOf`) that resolves first cancels it when nobody else is
+    watching, and :meth:`add_callback` transparently re-arms it if a
+    watcher appears after such a cancellation.
+    """
+
+    __slots__ = ("_payload", "call")
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any):
+        Event.__init__(self, sim, name="timeout")
+        self._payload = value
+        self.call = sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if not self.triggered:
+            self._value = self._payload
+            self.ok = True
+            self._dispatch()
+
+    def add_callback(self, fn: Callable[[Event], None]) -> None:
+        if self.call.cancelled and not self.triggered:
+            # Cancelled as an unobservable race loser, but someone does
+            # care after all: re-arm at the original fire time (or now,
+            # if that instant has already passed).
+            self.call = self.sim.schedule_at(
+                max(self.call.time, self.sim.now), self._fire)
+        Event.add_callback(self, fn)
 
 
 class Process(Event):
@@ -197,12 +280,13 @@ class Process(Event):
     the generator.
     """
 
-    __slots__ = ("gen", "_waiting_on")
+    __slots__ = ("gen", "_waiting_on", "_sleep")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self.gen = gen
         self._waiting_on: Optional[Event] = None
+        self._sleep: Optional[ScheduledCall] = None
         # The simulator pins every live process (see Simulator._processes):
         # a process abandoned mid-wait (e.g. its wake-up event can never
         # fire) must stay suspended, NOT become cyclic garbage — the GC
@@ -251,6 +335,15 @@ class Process(Event):
         if isinstance(target, Event):
             ev = target
         elif isinstance(target, (int, float)):
+            if self.sim.fast:
+                # Plain sleep: resume directly from the heap — no Event,
+                # no callback list, no dispatch hop.  Fires at the same
+                # instant and seq as the timeout-event path it replaces.
+                delay = float(target)
+                if delay < 0:
+                    raise ValueError(f"negative timeout {delay}")
+                self._sleep = self.sim.schedule(delay, self._wake)
+                return
             ev = self.sim.timeout(float(target))
         else:
             self._resume(
@@ -270,12 +363,23 @@ class Process(Event):
         else:
             self._resume(None, ev.value)
 
+    def _wake(self) -> None:
+        """Direct resume from a plain sleep (the no-Event fast path)."""
+        self._sleep = None
+        self._resume(None, None)
+
+    def _cancel_sleep(self) -> None:
+        if self._sleep is not None:
+            self._sleep.cancel()
+            self._sleep = None
+
     # -- external control ---------------------------------------------
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the generator at this instant."""
         if self.triggered:
             return
         self._waiting_on = None
+        self._cancel_sleep()
         self.sim._schedule_now(lambda: self._resume(None, Interrupt(cause)))
 
     def kill(self) -> None:
@@ -283,6 +387,7 @@ class Process(Event):
         if self.triggered:
             return
         self._waiting_on = None
+        self._cancel_sleep()
         self.gen.close()
         if self.sim.trace.enabled:
             self.sim.trace.emit("process.kill", node=self.name)
@@ -307,10 +412,30 @@ class Process(Event):
 
 
 class Simulator:
-    """The discrete-event loop: a clock plus a heap of pending callbacks."""
+    """The discrete-event loop: a clock plus a heap of pending callbacks.
 
-    def __init__(self) -> None:
+    ``fast`` (default on) enables the scale-plane fast paths — lazy heap
+    compaction, direct process-sleep wakeups, and loser-timer
+    cancellation in :class:`AnyOf`/:class:`AllOf` races.  They are
+    result-preserving (same seed ⇒ identical run summaries; see
+    ``tests/test_scale_plane.py``); the switch exists so benchmarks can
+    measure them and regression tests can prove the equivalence.
+
+    ``compact_min`` is the minimum number of cancelled heap entries
+    before a compaction is considered; compaction triggers once at
+    least half the heap is dead and rebuilds it without the dead
+    entries.  Pop order is unaffected: entries keep their unique
+    ``(time, seq)`` keys, and a heap pops those in sorted order
+    regardless of its internal layout.
+    """
+
+    def __init__(self, fast: bool = True, compact_min: int = 64) -> None:
         self.now: float = 0.0
+        self.fast = fast
+        self._compact_min = compact_min
+        self._dead: int = 0
+        self.compactions: int = 0
+        self.heap_peak: int = 0
         self._heap: list[tuple[float, int, ScheduledCall]] = []
         self._seq: int = 0
         self._event_count: int = 0
@@ -340,10 +465,28 @@ class Simulator:
         if time < self.now:
             raise ValueError(
                 f"cannot schedule into the past (t={time} < now={self.now})")
-        call = ScheduledCall(time, fn)
+        call = ScheduledCall(time, fn, self)
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, call))
+        if len(self._heap) > self.heap_peak:
+            self.heap_peak = len(self._heap)
         return call
+
+    # -- heap hygiene -----------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """One live heap entry just went dead; compact when they dominate."""
+        self._dead += 1
+        if (self.fast and self._dead >= self._compact_min
+                and 2 * self._dead >= len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (order-preserving)."""
+        live = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(live)
+        self._heap = live
+        self._dead = 0
+        self.compactions += 1
 
     def _schedule_now(self, fn: Callable[[], None]) -> ScheduledCall:
         return self.schedule_at(self.now, fn)
@@ -356,17 +499,7 @@ class Simulator:
         """An event that succeeds ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"negative timeout {delay}")
-        ev = Event(self, name=f"timeout({delay:g})")
-
-        # Succeed directly at fire time; bypass the extra _schedule_now hop.
-        def fire() -> None:
-            if not ev.triggered:
-                ev._value = value
-                ev.ok = True
-                ev._dispatch()
-
-        self.schedule(delay, fire)
-        return ev
+        return _Timeout(self, delay, value)
 
     def process(self, gen: Generator, name: str = "") -> Process:
         return Process(self, gen, name=name)
@@ -449,9 +582,11 @@ class Simulator:
         while self._heap:
             time, _seq, call = heapq.heappop(self._heap)
             if call.cancelled:
+                self._dead -= 1
                 continue
             if time < self.now:  # pragma: no cover - heap invariant guard
                 raise RuntimeError("event heap produced a past timestamp")
+            call._sim = None  # left the heap; late cancels don't count
             self.now = time
             self._event_count += 1
             call.fn()
@@ -476,7 +611,9 @@ class Simulator:
                 break
             heapq.heappop(self._heap)
             if call.cancelled:
+                self._dead -= 1
                 continue
+            call._sim = None  # left the heap; late cancels don't count
             self.now = time
             self._event_count += 1
             call.fn()
