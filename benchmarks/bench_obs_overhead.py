@@ -9,7 +9,12 @@ enabled, measuring kernel event throughput:
 * **processes** — generator processes with start/finish lifecycle
   events (the kernel's per-process trace points);
 * **rpc** — request/response round trips with full per-RPC spans
-  (send → handle → respond → complete), the densest emission path.
+  (send → handle → respond → complete), the densest emission path;
+* **spans** — a whole smoke experiment with causal span tracing
+  (``repro.obs.spans``) off vs on at the budgeted operating point
+  (head sampling, ``--trace-sample=4``): the realistic cost of
+  per-job lifecycle spans, decide-staleness annotation, and context
+  propagation, measured as kernel events per wall-clock second.
 
 ``measure_all()`` is what ``benchmarks/run_all.py`` calls to produce
 ``BENCH_kernel.json``; the pytest wrappers below assert *lenient*
@@ -79,6 +84,34 @@ def run_rpcs(n: int = 5_000, tracing: bool = False) -> float:
     return n / elapsed
 
 
+def run_spans_experiment(duration_s: int = 1800, n_clients: int = 24,
+                         sample_every: int = 1, tracing: bool = False) -> float:
+    """End-to-end smoke run, span tracing off vs on; kernel events/sec.
+
+    Spans are job-granular (a handful per brokered job), so their
+    honest budget test is a full experiment — container service draws,
+    WAN transfers, site scheduling — not a micro-loop that times
+    nothing but the recorder.  ``sample_every`` is the head-sampling
+    rate under test: the budgeted operating point records every 4th
+    trace (``--trace-sample=4``); full fidelity (1) costs more and is
+    what you opt into for a debugging run, not for always-on tracing.
+    """
+    from repro.experiments.configs import smoke_config
+    from repro.experiments.runner import run_experiment
+
+    config = smoke_config(duration_s=float(duration_s),
+                          n_clients=max(int(n_clients), 1),
+                          spans_enabled=tracing,
+                          spans_sample=max(int(sample_every), 1))
+    t0 = time.perf_counter()
+    result = run_experiment(config)
+    elapsed = time.perf_counter() - t0
+    assert result.sim.events_executed > 0
+    if tracing:
+        assert len(result.sim.spans) > 0
+    return result.sim.events_executed / elapsed
+
+
 # -- harness -------------------------------------------------------------------
 
 def measure_all(quick: bool = False, repeats: int | None = None) -> dict:
@@ -98,11 +131,15 @@ def measure_all(quick: bool = False, repeats: int | None = None) -> dict:
         "processes": {"n_procs": 200 if quick else 1_000,
                       "yields": 50 if quick else 100},
         "rpc": {"n": 1_000 if quick else 5_000},
+        "spans": {"duration_s": 600 if quick else 1800,
+                  "n_clients": 8 if quick else 24,
+                  "sample_every": 4},
     }
     workloads = {
         "callbacks": run_callbacks,
         "processes": run_processes,
         "rpc": run_rpcs,
+        "spans": run_spans_experiment,
     }
     out = {}
     for name, fn in workloads.items():
@@ -120,6 +157,10 @@ def measure_all(quick: bool = False, repeats: int | None = None) -> dict:
             "enabled_per_s": enabled,
             "overhead_pct": 100.0 * (disabled - enabled) / disabled,
         }
+        if "sample_every" in sizes[name]:
+            # Pin the operating point in the JSON: the spans budget is
+            # met *with* head sampling, not at full fidelity.
+            out[name]["sample_every"] = sizes[name]["sample_every"]
     return out
 
 

@@ -32,6 +32,14 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="JSONL",
                        help="enable structured tracing; with a path, "
                             "stream events to a JSONL file")
+        p.add_argument("--trace-spans", nargs="?", const="", default=None,
+                       metavar="JSONL",
+                       help="enable causal span tracing; with a path, "
+                            "export spans to a JSONL file (analyze with "
+                            "`digruber trace`)")
+        p.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                       help="span head sampling: record every Nth trace "
+                            "root (default 1 = all)")
         p.add_argument("--obs", action="store_true",
                        help="print the observability run summary "
                             "(counters, RPC latency percentiles, trace "
@@ -117,11 +125,32 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--resilient-only", action="store_true",
                        help="run only the resilient policy stack")
     add_obs(chaos)
+
+    tr = sub.add_parser("trace",
+                        help="analyze a span export (--trace-spans file)")
+    tsub = tr.add_subparsers(dest="trace_command", required=True)
+    ta = tsub.add_parser("analyze",
+                         help="aggregate report: taxonomy, outcomes, "
+                              "staleness, sync lag")
+    ta.add_argument("spans", metavar="SPANS_JSONL")
+    tc = tsub.add_parser("critical-path",
+                         help="full causal tree for one job, critical "
+                              "path marked")
+    tc.add_argument("spans", metavar="SPANS_JSONL")
+    tc.add_argument("job", type=int, help="job id (jid)")
+    ts = tsub.add_parser("slowest", help="slowest job traces")
+    ts.add_argument("spans", metavar="SPANS_JSONL")
+    ts.add_argument("-n", type=int, default=10, metavar="N")
+    te = tsub.add_parser("export-chrome",
+                         help="convert to Chrome trace_event JSON "
+                              "(open in Perfetto / chrome://tracing)")
+    te.add_argument("spans", metavar="SPANS_JSONL")
+    te.add_argument("out", metavar="OUT_JSON")
     return parser
 
 
 def _obs_overrides(args) -> dict:
-    """Config overrides for the ``--trace`` flag."""
+    """Config overrides for the ``--trace``/``--trace-spans`` flags."""
     overrides = {}
     if getattr(args, "trace", None) is not None:
         overrides["trace_enabled"] = True
@@ -131,6 +160,21 @@ def _obs_overrides(args) -> dict:
                 raise SystemExit(
                     f"error: --trace directory does not exist: {parent}")
             overrides["trace_path"] = args.trace
+    if getattr(args, "trace_spans", None) is not None:
+        overrides["spans_enabled"] = True
+        if args.trace_spans:
+            parent = os.path.dirname(args.trace_spans) or "."
+            if not os.path.isdir(parent):
+                raise SystemExit(
+                    f"error: --trace-spans directory does not exist: "
+                    f"{parent}")
+            overrides["spans_path"] = args.trace_spans
+    if getattr(args, "trace_sample", 1) != 1:
+        if args.trace_sample < 1:
+            raise SystemExit(
+                f"error: --trace-sample must be >= 1, "
+                f"got {args.trace_sample}")
+        overrides["spans_sample"] = args.trace_sample
     return overrides
 
 
@@ -140,6 +184,9 @@ def _print_obs(args, result) -> None:
         print(result.obs_summary())
     if getattr(args, "trace", None):
         print(f"trace written to {args.trace}")
+    if getattr(args, "trace_spans", None):
+        print(f"spans written to {args.trace_spans} "
+              f"(inspect: digruber trace analyze {args.trace_spans})")
 
 
 def _base_config(args):
@@ -306,6 +353,28 @@ def _cmd_report(args) -> int:
     return report_main(argv)
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs.span_analysis import (
+        analyze_report,
+        critical_path_report,
+        export_chrome_file,
+        load_spans,
+        slowest_report,
+    )
+    if args.trace_command == "export-chrome":
+        n = export_chrome_file(args.spans, args.out)
+        print(f"wrote {n} trace events to {args.out}")
+        return 0
+    spans = load_spans(args.spans)
+    if args.trace_command == "analyze":
+        print(analyze_report(spans))
+    elif args.trace_command == "critical-path":
+        print(critical_path_report(spans, args.job))
+    elif args.trace_command == "slowest":
+        print(slowest_report(spans, n=args.n))
+    return 0
+
+
 _COMMANDS = {
     "quickstart": _cmd_quickstart,
     "fig1": _cmd_fig1,
@@ -315,12 +384,20 @@ _COMMANDS = {
     "report": _cmd_report,
     "run": _cmd_run,
     "chaos": _cmd_chaos,
+    "trace": _cmd_trace,
 }
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # `digruber trace analyze ... | head` closes stdout early;
+        # treat it as a clean exit, not a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

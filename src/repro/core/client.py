@@ -164,6 +164,19 @@ class GruberClient(Endpoint):
     def _broker_once(self, job: Job):
         """One two-phase brokering operation for one job (paper §4.3)."""
         t0 = self.sim.now
+        spans = self.sim.spans
+        root = bspan = None
+        if spans.enabled:
+            # Trace root for the job's whole lifecycle, opened
+            # retroactively at arrival so host backlog wait is on it.
+            root = spans.start_trace("submit", self.node_id,
+                                     start=job.created_at, jid=job.jid,
+                                     vo=job.vo, group=job.group,
+                                     cpus=job.cpus,
+                                     dp=str(self.decision_point))
+            bspan = spans.start_span("brokering", self.node_id, root,
+                                     start=t0)
+        outcome = "incomplete"
         try:
             # Client-side stack work (auth, marshalling) ...
             overhead = lognormal_for_mean(self.rng, self.profile.client_overhead_s,
@@ -184,14 +197,16 @@ class GruberClient(Endpoint):
                                       {"vo": job.vo, "group": job.group,
                                        "cpus": job.cpus},
                                       size_kb=REQUEST_KB,
-                                      response_size_kb=REQUEST_KB)
+                                      response_size_kb=REQUEST_KB,
+                                      trace_ctx=spans.ctx_of(bspan))
             else:
                 ev = self.network.rpc(self.node_id, self.decision_point,
                                       "get_state",
                                       {"vo": job.vo, "group": job.group,
                                        "cpus": job.cpus},
                                       size_kb=REQUEST_KB,
-                                      response_size_kb=self.state_response_kb)
+                                      response_size_kb=self.state_response_kb,
+                                      trace_ctx=spans.ctx_of(bspan))
             remaining = self.timeout_s - (self.sim.now - t0)
             timed_out = False
             if remaining <= 0:
@@ -201,19 +216,21 @@ class GruberClient(Endpoint):
                 try:
                     yield race
                 except RpcError:
+                    outcome = "error"
                     self._record_query(t0, None, timed_out=False)
-                    self._dispatch_random(job)
+                    self._dispatch_random(job, parent=root)
                     self.n_fallback_timeout += 1
                     return
                 timed_out = not ev.triggered
 
             if timed_out:
+                outcome = "timeout"
                 # Place the job now, USLA-blind; keep waiting for the
                 # response so DiPerF still measures it — but only up to
                 # an abandon deadline: a decision point that never
                 # answers (crashed, §2.2) must not wedge the channel.
                 self.n_fallback_timeout += 1
-                self._dispatch_random(job)
+                self._dispatch_random(job, parent=root)
                 grace = max(4.0 * self.timeout_s, 60.0)
                 wait = self.sim.any_of([ev, self.sim.timeout(grace)])
                 try:
@@ -230,18 +247,19 @@ class GruberClient(Endpoint):
 
             if self.one_phase:
                 site = ev.value["site"]
-                self._dispatch(job, site, handled=True)
+                self._dispatch(job, site, handled=True, parent=root)
                 self.n_handled += 1
             else:
                 site = self._choose_site(ev.value, job.cpus)
-                self._dispatch(job, site, handled=True)
+                self._dispatch(job, site, handled=True, parent=root)
                 self.n_handled += 1
                 report = self.network.rpc(self.node_id, self.decision_point,
                                           "report_dispatch",
                                           {"site": site, "vo": job.vo,
                                            "group": job.group,
                                            "cpus": job.cpus},
-                                          size_kb=REPORT_KB)
+                                          size_kb=REPORT_KB,
+                                          trace_ctx=spans.ctx_of(root))
                 # Bounded wait: a report whose request or response is
                 # lost would otherwise never resolve and wedge this
                 # host's single brokering channel for the rest of the
@@ -257,7 +275,13 @@ class GruberClient(Endpoint):
                     self.sim.metrics.counter("client.report_timeouts").inc()
             job.query_response_s = self.sim.now - t0
             self._record_query(t0, self.sim.now, timed_out=False)
+            outcome = "ok"
         finally:
+            # Runs on every exit *except* end-of-run suspension (the
+            # kernel pins live generators), which leaves these spans
+            # open — exported flagged as orphans, by design.
+            spans.finish(bspan)
+            spans.finish(root, outcome=outcome)
             self.busy = False
             self._pump()
 
@@ -313,6 +337,18 @@ class GruberClient(Endpoint):
         policy = self.resilience
         t0 = self.sim.now
         attempt_timeout = policy.attempt_timeout_s or self.timeout_s
+        spans = self.sim.spans
+        root = bspan = None
+        if spans.enabled:
+            root = spans.start_trace("submit", self.node_id,
+                                     start=job.created_at, jid=job.jid,
+                                     vo=job.vo, group=job.group,
+                                     cpus=job.cpus,
+                                     dp=str(self.decision_point))
+            bspan = spans.start_span("brokering", self.node_id, root,
+                                     start=t0)
+        outcome = "incomplete"
+        attempts = 0
         try:
             overhead = lognormal_for_mean(self.rng,
                                           self.profile.client_overhead_s,
@@ -320,6 +356,7 @@ class GruberClient(Endpoint):
             if overhead > 0:
                 yield overhead
             for attempt in range(1, policy.max_attempts + 1):
+                attempts = attempt
                 dp = self.decision_point
                 breaker = self._breaker(dp)
                 if not breaker.allow():
@@ -342,14 +379,16 @@ class GruberClient(Endpoint):
                                            "cpus": job.cpus},
                                           size_kb=REQUEST_KB,
                                           response_size_kb=REQUEST_KB,
-                                          timeout=attempt_timeout)
+                                          timeout=attempt_timeout,
+                                          trace_ctx=spans.ctx_of(bspan))
                 else:
                     ev = self.network.rpc(self.node_id, dp, "get_state",
                                           {"vo": job.vo, "group": job.group,
                                            "cpus": job.cpus},
                                           size_kb=REQUEST_KB,
                                           response_size_kb=self.state_response_kb,
-                                          timeout=attempt_timeout)
+                                          timeout=attempt_timeout,
+                                          trace_ctx=spans.ctx_of(bspan))
                 try:
                     yield ev
                 except RpcError:
@@ -370,7 +409,7 @@ class GruberClient(Endpoint):
                     site = ev.value["site"]
                 else:
                     site = self._choose_site(ev.value, job.cpus)
-                self._dispatch(job, site, handled=True)
+                self._dispatch(job, site, handled=True, parent=root)
                 self.n_handled += 1
                 if not self.one_phase:
                     report = self.network.rpc(self.node_id, dp,
@@ -379,21 +418,26 @@ class GruberClient(Endpoint):
                                                "group": job.group,
                                                "cpus": job.cpus},
                                               size_kb=REPORT_KB,
-                                              timeout=attempt_timeout)
+                                              timeout=attempt_timeout,
+                                              trace_ctx=spans.ctx_of(root))
                     try:
                         yield report
                     except RpcError:
                         pass  # lost report: the sync/monitor path catches up
                 job.query_response_s = self.sim.now - t0
                 self._record_query(t0, self.sim.now, timed_out=False)
+                outcome = "ok"
                 return
             # Every attempt failed or was breaker-skipped: the paper's
             # USLA-blind fallback keeps the job stream moving.
             self.n_fallback_timeout += 1
             self.sim.metrics.counter("client.resilient_fallbacks").inc()
-            self._dispatch_random(job)
+            self._dispatch_random(job, parent=root)
             self._record_query(t0, None, timed_out=True)
+            outcome = "timeout"
         finally:
+            spans.finish(bspan, attempts=attempts)
+            spans.finish(root, outcome=outcome)
             self.busy = False
             self._pump()
 
@@ -410,8 +454,13 @@ class GruberClient(Endpoint):
             site = self.fallback.select_any(top)
         return site
 
-    def _dispatch(self, job: Job, site: str, handled: bool) -> None:
+    def _dispatch(self, job: Job, site: str, handled: bool,
+                  parent=None) -> None:
         """Send the job to a site; record SA_i against ground truth.
+
+        ``parent`` (a span, when tracing) parents a ``dispatch`` span
+        covering the host→site delivery; its context rides on the job
+        so the site's queue span joins the same trace.
 
         SA_i grades how much of the job's request the selected site can
         host *right now*: 1.0 when the job starts immediately, scaled
@@ -430,11 +479,25 @@ class GruberClient(Endpoint):
         job.scheduling_accuracy = sa
         job.handled_by_gruber = handled
         latency = self.network.latency.sample(self.node_id, site)
-        self.sim.schedule(latency, lambda: site_obj.submit(job))
+        spans = self.sim.spans
+        dspan = None
+        if spans.enabled and parent is not None:
+            dspan = spans.start_span("dispatch", self.node_id, parent,
+                                     jid=job.jid, site=site, handled=handled)
+        if dspan is None:
+            self.sim.schedule(latency, lambda: site_obj.submit(job))
+        else:
+            job.trace_ctx = dspan.context
 
-    def _dispatch_random(self, job: Job) -> None:
+            def deliver():
+                spans.finish(dspan)
+                site_obj.submit(job)
+
+            self.sim.schedule(latency, deliver)
+
+    def _dispatch_random(self, job: Job, parent=None) -> None:
         self._dispatch(job, self.fallback.select_any(self._site_names),
-                       handled=False)
+                       handled=False, parent=parent)
 
     def _record_query(self, sent_at: float, responded_at: Optional[float],
                       timed_out: bool) -> None:

@@ -84,6 +84,10 @@ class DecisionPoint(Endpoint):
         self.sync = SyncProtocol(self, interval_s=sync_interval_s,
                                  strategy=strategy, delta=sync_delta)
         self.neighbors: list[Hashable] = []
+        #: Per-decision-point decide latency (request arrival → answer
+        #: ready, i.e. container queueing + service time).  Always-on,
+        #: one histogram per node so saturation shows up per instance.
+        self._decide_hist = sim.metrics.histogram(f"dp.decide_s.{node_id}")
         self.started = False
         self.crashes = 0
         self.restarts = 0
@@ -202,27 +206,55 @@ class DecisionPoint(Endpoint):
         self.neighbors = list(neighbors)
 
     # -- handlers ------------------------------------------------------------
-    def _handle_get_state(self, payload, src):
-        """Availability query; generator consumes container service time."""
+    def _handle_get_state(self, payload, src, ctx=None):
+        """Availability query; generator consumes container service time.
+
+        ``ctx`` is the caller's span context (the transport passes
+        ``Message.trace_ctx`` to three-argument handlers); the decide
+        span it parents is annotated with the view's *staleness* — the
+        sim-time age of the freshest information the answer rests on.
+        """
         payload = payload or {}
         vo = payload.get("vo")
         group = payload.get("group")
+        t_in = self.sim.now
+        spans = self.sim.spans
+        dspan = None
+        if spans.enabled and ctx is not None:
+            dspan = spans.start_span("decide", self.node_id, ctx,
+                                     op="get_state", vo=vo)
         yield from self.container.service_query()
-        return self.engine.availabilities(vo=vo, group=group,
-                                          now=self.sim.now)
+        now = self.sim.now
+        out = self.engine.availabilities(vo=vo, group=group, now=now)
+        self._decide_hist.observe(now - t_in)
+        if dspan is not None:
+            spans.finish(dspan,
+                         staleness_s=self.engine.view.info_age_s(now))
+        return out
 
-    def _handle_report_dispatch(self, payload, src):
+    def _handle_report_dispatch(self, payload, src, ctx=None):
         """Site-selection report; updates the view, feeds the sync flood."""
         site = payload["site"]
         vo = payload["vo"]
         cpus = int(payload["cpus"])
         group = payload.get("group", "")
+        spans = self.sim.spans
+        rspan = None
+        if spans.enabled and ctx is not None:
+            rspan = spans.start_span("record", self.node_id, ctx,
+                                     site=site, vo=vo)
         yield from self.container.service_report()
+        now = self.sim.now
+        # Staleness *before* recording: the record itself would reset
+        # the site's learn time to now and hide what the client raced.
+        if rspan is not None:
+            spans.finish(rspan, site_staleness_s=self.engine.view.info_age_s(
+                now, site=site))
         rec = self.engine.record_local_dispatch(site=site, vo=vo, cpus=cpus,
-                                                now=self.sim.now, group=group)
+                                                now=now, group=group)
         return {"ack": True, "seq": rec.seq}
 
-    def _handle_broker_job(self, payload, src):
+    def _handle_broker_job(self, payload, src, ctx=None):
         """One-phase brokering: select server-side, return only the site.
 
         The paper's suggested optimization — "a tighter coupling
@@ -234,9 +266,16 @@ class DecisionPoint(Endpoint):
         vo = payload["vo"]
         cpus = int(payload["cpus"])
         group = payload.get("group", "")
+        t_in = self.sim.now
+        spans = self.sim.spans
+        dspan = None
+        if spans.enabled and ctx is not None:
+            dspan = spans.start_span("decide", self.node_id, ctx,
+                                     op="broker_job", vo=vo)
         yield from self.container.service_query()
+        now = self.sim.now
         availabilities = self.engine.availabilities(vo=vo, group=group or None,
-                                                    now=self.sim.now)
+                                                    now=now)
         site = self._server_selector.select(availabilities, cpus)
         if site is None:
             # Nothing fits: least-bad site, random among ties (a fully
@@ -244,8 +283,14 @@ class DecisionPoint(Endpoint):
             best = max(availabilities.values())
             top = [s for s, v in availabilities.items() if v >= best - 1e-9]
             site = top[int(self.rng.integers(0, len(top)))]
+        self._decide_hist.observe(now - t_in)
+        if dspan is not None:
+            # Per-site staleness of the *chosen* site, pre-recording.
+            spans.finish(dspan, site=site,
+                         staleness_s=self.engine.view.info_age_s(
+                             now, site=site))
         self.engine.record_local_dispatch(site=site, vo=vo, cpus=cpus,
-                                          now=self.sim.now, group=group)
+                                          now=now, group=group)
         return {"site": site}
 
     def _handle_create_instance(self, payload, src):
@@ -276,7 +321,7 @@ class DecisionPoint(Endpoint):
     # -- sync plumbing -----------------------------------------------------------
     def on_oneway(self, msg: Message) -> None:
         if msg.op == "sync":
-            self.sync.on_sync(msg.payload)
+            self.sync.on_sync(msg.payload, ctx=msg.trace_ctx)
         else:
             raise ValueError(f"decision point {self.node_id!r} got unexpected "
                              f"one-way op {msg.op!r}")

@@ -120,6 +120,14 @@ class GridStateView:
         # all — stale records used to overstate VO usage forever on
         # that path.
         self.latest_time: float = -float("inf")
+        # Freshness tracking for staleness annotations (decide spans):
+        # the newest record-learn instant, grid-wide and per site, plus
+        # the newest monitor-refresh instant.  Monotonic maxima, O(1)
+        # to maintain — deliberately *not* reduced when records expire
+        # ("when did I last learn anything?" is the question asked).
+        self._last_learn_time: float = _NEG_INF
+        self._last_refresh_time: float = _NEG_INF
+        self._site_learn_time: dict[str, float] = {}
         # -- scale-plane indexes ------------------------------------------
         # Grid-wide expiry heap, same (time, tiebreak) keys as the site
         # heaps.  Entries absorbed by a monitor refresh go stale here
@@ -239,6 +247,10 @@ class GridStateView:
             # Arrived after its own expiry (very slow relay path).
             return False
         self._seen.add(rec.key)
+        if learn_time > self._last_learn_time:
+            self._last_learn_time = learn_time
+        if learn_time > self._site_learn_time.get(rec.site, _NEG_INF):
+            self._site_learn_time[rec.site] = learn_time
         entry = (rec.time, next(self._tiebreak), rec)
         heapq.heappush(self._records[rec.site], entry)
         if self.indexed:
@@ -276,6 +288,8 @@ class GridStateView:
             self.latest_time = now
         self._base_busy[site] = busy_cpus
         self._base_time[site] = now
+        if now > self._last_refresh_time:
+            self._last_refresh_time = now
         heap = self._records[site]
         while heap and heap[0][0] <= now:
             _, _, rec = heapq.heappop(heap)
@@ -362,6 +376,27 @@ class GridStateView:
                 out.append(rec)
         out.reverse()
         return self._learn_count, out
+
+    def info_age_s(self, now: float,
+                   site: Optional[str] = None) -> Optional[float]:
+        """Sim-time age of this view's freshest information — the
+        staleness that decide spans are annotated with.
+
+        Grid-wide (``site=None``): time since the newest learned
+        dispatch record or monitor refresh, whichever is fresher.  Per
+        site: the same, restricted to records for (and refreshes of)
+        that site.  ``None`` when the view has learned nothing yet
+        (pre-start, or a just-restarted decision point).  Clamped at
+        zero: information learned "now" has age 0 even with float fuzz.
+        """
+        if site is None:
+            t = max(self._last_learn_time, self._last_refresh_time)
+        else:
+            t = max(self._site_learn_time.get(site, _NEG_INF),
+                    self._base_time.get(site, _NEG_INF))
+        if t == _NEG_INF:
+            return None
+        return max(now - t, 0.0)
 
     @property
     def n_sites(self) -> int:

@@ -115,9 +115,18 @@ class SyncProtocol:
                 and not getattr(dp, "private", False)):
             payload["uslas"] = dp.engine.usla_store.export()
             size_kb += len(dp.engine.usla_store) * AGREEMENT_KB
+        spans = dp.sim.spans
+        sspan = None
+        if spans.enabled:
+            # Sync rounds are trace roots: nothing upstream causes them.
+            sspan = spans.start_trace("sync.flood", dp.node_id,
+                                      records=len(records),
+                                      neighbors=len(dp.neighbors))
+        ctx = spans.ctx_of(sspan)
         for peer in dp.neighbors:
             dp.network.send_oneway(dp.node_id, peer, "sync", payload,
-                                   size_kb=size_kb)
+                                   size_kb=size_kb, trace_ctx=ctx)
+        spans.finish(sspan, kb=size_kb * len(dp.neighbors))
         self.rounds_sent += 1
         self.records_sent += len(records) * len(dp.neighbors)
         self.kb_sent += size_kb * len(dp.neighbors)
@@ -145,6 +154,12 @@ class SyncProtocol:
         if self.strategy is DisseminationStrategy.USAGE_AND_USLA and not private:
             uslas = dp.engine.usla_store.export()
             usla_kb = len(dp.engine.usla_store) * AGREEMENT_KB
+        spans = dp.sim.spans
+        sspan = None
+        if spans.enabled:
+            sspan = spans.start_trace("sync.delta", dp.node_id,
+                                      neighbors=len(dp.neighbors))
+        ctx = spans.ctx_of(sspan)
         round_records = 0
         round_kb = 0.0
         for peer in dp.neighbors:
@@ -157,9 +172,10 @@ class SyncProtocol:
             if uslas is not None:
                 payload["uslas"] = uslas
             dp.network.send_oneway(dp.node_id, peer, "sync", payload,
-                                   size_kb=size_kb)
+                                   size_kb=size_kb, trace_ctx=ctx)
             round_records += len(records)
             round_kb += size_kb
+        spans.finish(sspan, records=round_records, kb=round_kb)
         self.rounds_sent += 1
         self.records_sent += round_records
         self.kb_sent += round_kb
@@ -170,12 +186,23 @@ class SyncProtocol:
                               neighbors=len(dp.neighbors), kb=round_kb)
 
     # -- receive side -----------------------------------------------------------
-    def on_sync(self, payload: dict) -> None:
+    def on_sync(self, payload: dict, ctx=None) -> None:
+        """Merge one incoming sync payload.
+
+        ``ctx`` is the sender's round-span context; when both ends
+        trace, the receive is recorded as an instantaneous child span,
+        which is what ties propagation lag to a concrete flood round.
+        """
         records: list[DispatchRecord] = payload.get("records", [])
         self.records_received += len(records)
-        adopted = self.dp.engine.merge_remote_records(
-            records, now=self.dp.sim.now)
+        now = self.dp.sim.now
+        adopted = self.dp.engine.merge_remote_records(records, now=now)
         self.records_adopted += adopted
+        spans = self.dp.sim.spans
+        if spans.enabled and ctx is not None:
+            spans.record("sync.recv", self.dp.node_id, ctx,
+                         start=now, end=now,
+                         received=len(records), adopted=adopted)
         if self.dp.sim.trace.enabled:
             self.dp.sim.trace.emit("sync.recv", node=self.dp.node_id,
                                    received=len(records), adopted=adopted)

@@ -101,6 +101,12 @@ class ExperimentConfig:
     trace_enabled: bool = False
     trace_path: str = ""        # stream events to this JSONL file
     trace_capacity: int = 65536  # ring-buffer size when tracing
+    # Causal span tracing (repro.obs.spans): per-job lifecycle spans,
+    # decide-staleness annotations, sync-round propagation.  Setting a
+    # path implies enabling; sampling keeps every Nth trace root.
+    spans_enabled: bool = False
+    spans_path: str = ""         # export spans to this JSONL file
+    spans_sample: int = 1        # head sampling: record every Nth trace
 
     # Reproducibility.
     seed: int = 20050101
@@ -126,6 +132,8 @@ class ExperimentConfig:
                     f"expected one of {scenario_names()}")
         if self.dp_queue_bound is not None and self.dp_queue_bound < 0:
             raise ValueError("dp_queue_bound must be >= 0 or None")
+        if self.spans_sample < 1:
+            raise ValueError("spans_sample must be >= 1")
 
     def with_(self, **overrides) -> "ExperimentConfig":
         """A modified copy (sweeps use this)."""

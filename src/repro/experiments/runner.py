@@ -129,6 +129,7 @@ class ExperimentResult:
             self.sim.metrics if self.sim is not None else None,
             network_stats=self.network.stats if self.network is not None else None,
             tracer=self.sim.trace if self.sim is not None else None,
+            spans=self.sim.spans if self.sim is not None else None,
             title=f"{self.config.name}: observability")
 
     def dropped_sync_chains(self) -> int:
@@ -208,6 +209,13 @@ def run_experiment(config: ExperimentConfig,
             trace_sink = JsonlSink(config.trace_path)
             sim.trace.add_sink(trace_sink)
 
+    if config.spans_enabled or config.spans_path:
+        sim.spans.enabled = True
+        sim.spans.sample_every = config.spans_sample
+        # Dedicated RNG stream: span IDs never perturb any other draw,
+        # so a spans-on run replays a spans-off run event for event.
+        sim.spans.seed_ids(rng.stream("spans"))
+
     loss_kw = ({"loss_rate": config.wan_loss_rate,
                 "loss_rng": rng.stream("loss")}
                if config.wan_loss_rate > 0 else {})
@@ -261,10 +269,13 @@ def run_experiment(config: ExperimentConfig,
                                    config.resilience)
 
     clients = []
+    next_jid = 1  # run-deterministic job ids, dense across the fleet
     for host in hosts:
         workload = generator.host_workload(
             host, duration_s=config.duration_s - offsets[host],
             interarrival_s=config.interarrival_s, start_s=offsets[host])
+        workload.jid_base = next_jid
+        next_jid += len(workload)
         client = GruberClient(
             sim=sim, network=network, host_id=host,
             decision_point=assignment[host], grid=grid, workload=workload,
@@ -305,6 +316,11 @@ def run_experiment(config: ExperimentConfig,
         # (and trace) processes after the run window.
         sim.trace.remove_sink(trace_sink)
         trace_sink.close()
+
+    if config.spans_path:
+        # Spans still open here (suspended brokering generators, jobs
+        # past the run window) export flagged as orphans.
+        sim.spans.export_jsonl(config.spans_path)
 
     # Finalize: record every job's terminal (or end-of-run) state.
     for client in clients:

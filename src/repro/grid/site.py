@@ -139,7 +139,20 @@ class Site:
     def _start(self, job: Job) -> None:
         self._advance_integral()
         self.busy_cpus += job.cpus
-        job.mark_running(self.sim.now)
+        now = self.sim.now
+        job.mark_running(now)
+        if job.dispatched_at is not None:
+            # Per-VO queue-wait attribution (QTime, sliced by VO) —
+            # always-on, like the other registry histograms.
+            self.sim.metrics.histogram(
+                "site.qwait_s." + job.vo).observe(now - job.dispatched_at)
+            spans = self.sim.spans
+            if spans.enabled and job.trace_ctx is not None:
+                # Recorded retroactively: the wait is only known once
+                # the job starts, so the span covers [dispatch, start].
+                spans.record("queue", self.name, job.trace_ctx,
+                             start=job.dispatched_at, end=now,
+                             jid=job.jid, vo=job.vo)
         self._running[job.jid] = job
         for cb in self.on_job_started:
             cb(job)

@@ -56,6 +56,8 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence],
         raise ValueError("row length does not match header length")
 
     def fmt(cell) -> str:
+        if cell is None:  # empty-histogram percentiles etc.
+            return "-"
         if isinstance(cell, float):
             if cell != cell:  # NaN
                 return "-"
@@ -75,7 +77,7 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence],
 
 
 def render_obs_summary(metrics, network_stats=None, tracer=None,
-                       title: str = "run summary") -> str:
+                       spans=None, title: str = "run summary") -> str:
     """Render one run's observability state as a text report.
 
     Unifies the three collection layers introduced with ``repro.obs``:
@@ -86,7 +88,9 @@ def render_obs_summary(metrics, network_stats=None, tracer=None,
       :class:`~repro.net.transport.NetworkStats`, including the
       timeout/loss failure counts that used to go unreported;
     * ``tracer`` — the (optional) structured trace; only its per-kind
-      tallies are shown here.
+      tallies are shown here;
+    * ``spans`` — the (optional) :class:`~repro.obs.SpanRecorder`;
+      shown as finished/open tallies plus the sampling ratio.
     """
     lines = [f"== {title} =="]
 
@@ -121,5 +125,12 @@ def render_obs_summary(metrics, network_stats=None, tracer=None,
         lines.append(format_table(("trace event", "count"), rows,
                                   col_width=28))
         lines.append(f"trace: buffered={len(tracer)} evicted={tracer.evicted}")
+
+    if spans is not None and (spans.enabled or len(spans)):
+        lines.append(
+            f"spans: finished={len(spans.finished)} "
+            f"open={len(spans.open_spans)} "
+            f"sampled={spans.roots_sampled}/{spans.roots_seen} "
+            f"(1/{spans.sample_every})")
 
     return "\n".join(lines)

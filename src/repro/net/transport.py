@@ -17,6 +17,7 @@ running to completion inside the decision point.
 
 from __future__ import annotations
 
+import inspect
 import types
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Optional
@@ -49,6 +50,11 @@ class Message:
     sent_at: float = 0.0
     rpc_id: int = 0
     ok: bool = True              # for responses: handler succeeded?
+    #: Causal span context (``repro.obs.spans.SpanContext``) carried
+    #: with the message so spans opened on the receiving node link to
+    #: the sender's — the DES equivalent of trace-header propagation.
+    #: ``None`` = untraced (spans off, or an unsampled trace).
+    trace_ctx: Any = None
 
 
 @dataclass
@@ -140,6 +146,9 @@ class Endpoint:
         self.network = network
         self.node_id = node_id
         self.handlers: dict[str, Callable[[Any, Hashable], Any]] = {}
+        #: Ops whose handler takes a third positional parameter and so
+        #: receives the request's ``trace_ctx`` (see register_handler).
+        self._ctx_ops: set[str] = set()
         #: A downed endpoint swallows traffic: requests get no response
         #: (callers see their own timeouts — exactly how a crashed WAN
         #: service fails), one-way messages vanish.
@@ -150,6 +159,17 @@ class Endpoint:
         if op in self.handlers:
             raise ValueError(f"handler for op {op!r} already registered on {self.node_id!r}")
         self.handlers[op] = fn
+        # Handlers stay (payload, src) by default; one that declares a
+        # third positional parameter opts into receiving the request's
+        # span context — detected once here, not per message.
+        try:
+            positional = [
+                p for p in inspect.signature(fn).parameters.values()
+                if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)]
+        except (TypeError, ValueError):  # builtins/partials w/o signature
+            positional = []
+        if len(positional) >= 3:
+            self._ctx_ops.add(op)
 
     # Subclasses may override for non-RPC one-way messages.
     def on_oneway(self, msg: Message) -> None:  # pragma: no cover - default
@@ -240,12 +260,13 @@ class Network:
         return self.latency.sample(msg.src, msg.dst) + msg.size_kb * self.kb_transfer_s
 
     def send_oneway(self, src: Hashable, dst: Hashable, op: str, payload: Any,
-                    size_kb: float = 0.0) -> None:
+                    size_kb: float = 0.0, trace_ctx: Any = None) -> None:
         """Fire-and-forget message (used by the sync flooding protocol)."""
         if dst not in self._endpoints:
             raise KeyError(f"unknown destination endpoint {dst!r}")
         msg = Message(src=src, dst=dst, kind="oneway", op=op, payload=payload,
-                      size_kb=size_kb, sent_at=self.sim.now)
+                      size_kb=size_kb, sent_at=self.sim.now,
+                      trace_ctx=trace_ctx)
         self.stats.messages += 1
         self.stats.kb += size_kb
         if self._lost():
@@ -267,7 +288,8 @@ class Network:
 
     def rpc(self, src: Hashable, dst: Hashable, op: str, payload: Any = None,
             size_kb: float = 0.0, response_size_kb: float = 0.0,
-            timeout: Optional[float] = None) -> Event:
+            timeout: Optional[float] = None,
+            trace_ctx: Any = None) -> Event:
         """Invoke ``op`` on ``dst``; event fires when the response returns.
 
         The event succeeds with the handler's return value or fails with
@@ -297,7 +319,8 @@ class Network:
                        rpc_id=rpc_id, size_kb=size_kb)
 
         msg = Message(src=src, dst=dst, kind="request", op=op, payload=payload,
-                      size_kb=size_kb, sent_at=self.sim.now, rpc_id=rpc_id)
+                      size_kb=size_kb, sent_at=self.sim.now, rpc_id=rpc_id,
+                      trace_ctx=trace_ctx)
         self.stats.messages += 1
         self.stats.kb += size_kb
         request_lost = self._lost()
@@ -375,7 +398,10 @@ class Network:
                                 ok=False, size_kb=0.0)
             return
         try:
-            outcome = handler(msg.payload, msg.src)
+            if msg.op in ep._ctx_ops:
+                outcome = handler(msg.payload, msg.src, msg.trace_ctx)
+            else:
+                outcome = handler(msg.payload, msg.src)
         except Exception as err:
             self._send_response(msg, RpcError(f"{type(err).__name__}: {err}"),
                                 ok=False, size_kb=0.0)

@@ -12,6 +12,11 @@ ad-hoc print statements:
 * :mod:`repro.obs.counters` — always-on named counters and fixed-bucket
   histograms (p50/p90/p99 without numpy) collected in a
   :class:`~repro.obs.counters.MetricsRegistry`.
+* :mod:`repro.obs.spans` — causal span tracing (Dapper-style context
+  propagation over the DES transport): per-job lifecycle spans, DP
+  decide spans annotated with view staleness, sync-round spans, with
+  JSONL and Chrome ``trace_event`` export.  Opt-in, deterministically
+  sampled, byte-identical across same-seed runs.
 
 One :class:`~repro.obs.trace.Tracer` and one
 :class:`~repro.obs.counters.MetricsRegistry` hang off every
@@ -27,6 +32,7 @@ from repro.obs.counters import (
     LATENCY_BUCKETS_S,
     MetricsRegistry,
 )
+from repro.obs.spans import Span, SpanContext, SpanRecorder, chrome_trace
 from repro.obs.trace import JsonlSink, TraceEvent, Tracer
 
 __all__ = [
@@ -35,6 +41,10 @@ __all__ = [
     "JsonlSink",
     "LATENCY_BUCKETS_S",
     "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
     "TraceEvent",
     "Tracer",
+    "chrome_trace",
 ]

@@ -76,16 +76,18 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def percentile(self, p: float) -> float:
+    def percentile(self, p: float) -> Optional[float]:
         """Estimated p-th percentile (0 < p <= 100).
 
         Linear interpolation inside the containing bucket; exact for
-        the min/max endpoints, bucket-resolution otherwise.
+        the min/max endpoints, bucket-resolution otherwise.  Returns
+        ``None`` on an empty histogram — a fabricated 0.0 used to leak
+        into summaries as a real-looking latency.
         """
         if not (0.0 < p <= 100.0):
             raise ValueError(f"percentile must be in (0, 100], got {p}")
         if self.count == 0:
-            return 0.0
+            return None
         rank = p / 100.0 * self.count
         cum = 0
         for i, n in enumerate(self.buckets):
@@ -103,14 +105,16 @@ class Histogram:
         return self.max if self.max is not None else 0.0  # pragma: no cover
 
     def summary(self) -> dict:
+        # Empty histograms report None throughout (matching
+        # :meth:`percentile`) rather than fabricating zeros.
         return {
             "count": self.count,
-            "mean": self.mean,
-            "min": self.min if self.min is not None else 0.0,
+            "mean": self.mean if self.count else None,
+            "min": self.min,
             "p50": self.percentile(50),
             "p90": self.percentile(90),
             "p99": self.percentile(99),
-            "max": self.max if self.max is not None else 0.0,
+            "max": self.max,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

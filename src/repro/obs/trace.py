@@ -50,14 +50,38 @@ class TraceEvent(NamedTuple):
         return {"detail": self.detail}
 
     def to_dict(self) -> dict:
-        return {"t": self.time, "node": str(self.node), "kind": self.kind,
+        # ``float(...)`` guards the time field: a numpy scalar clock (or
+        # an ``emit_compact(..., time=np.float32(...))`` caller) used to
+        # hand json.dumps a non-serializable value and crash every sink.
+        return {"t": float(self.time), "node": str(self.node),
+                "kind": self.kind,
                 **{k: _jsonable(v) for k, v in self.detail_dict().items()}}
 
 
 def _jsonable(value: Any) -> Any:
-    if isinstance(value, (str, int, float, bool)) or value is None:
+    """Coerce one detail value to a JSON-native type.
+
+    Numpy scalars are unwrapped via ``item()`` (``np.int64`` and
+    ``np.float32`` are *not* ``int``/``float`` subclasses, so they
+    would otherwise crash ``json.dumps``); other non-primitives — e.g.
+    a tuple-typed node id landing in a compact ``rpc.span`` ``dst``
+    field — degrade to ``str``.
+    """
+    if isinstance(value, (str, bool)) or value is None:
         return value
-    return repr(value)
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):  # np.float64 is a float subclass
+        return float(value)
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            unwrapped = item()
+        except (TypeError, ValueError):  # pragma: no cover - exotic array
+            return str(value)
+        if isinstance(unwrapped, (str, int, float, bool)):
+            return unwrapped
+    return str(value)
 
 
 class Tracer:

@@ -25,6 +25,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, Optional, Union
 
 from repro.obs.counters import MetricsRegistry
+from repro.obs.spans import SpanRecorder
 from repro.obs.trace import Tracer
 
 __all__ = [
@@ -452,6 +453,11 @@ class Simulator:
         #: on this simulator (transport, brokers, monitors).
         self.trace = Tracer(clock=lambda: self.now)
         self.metrics = MetricsRegistry()
+        #: Causal span recorder (off by default): per-job lifecycle and
+        #: sync-round spans on the sim clock, linked across nodes via
+        #: Message.trace_ctx.  Recording never schedules events, so
+        #: spans on/off runs are event-for-event identical.
+        self.spans = SpanRecorder(clock=lambda: self.now)
 
     # -- scheduling -----------------------------------------------------
     def schedule(self, delay: float, fn: Callable[[], None]) -> ScheduledCall:

@@ -33,13 +33,17 @@ class HostWorkload:
     user_names: list[str]
     cpus: np.ndarray
     durations: np.ndarray
+    #: When set, job ``index`` gets ``jid_base + index`` instead of the
+    #: process-global counter — run-deterministic ids, so artifacts
+    #: that embed jids (span exports) are byte-identical across runs.
+    jid_base: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.arrivals)
 
     def job_at(self, index: int) -> Job:
         """Materialize the index-th job (lazily, at its arrival)."""
-        return Job(
+        job = Job(
             vo=self.vo_names[index],
             group=self.group_names[index],
             user=self.user_names[index],
@@ -47,6 +51,9 @@ class HostWorkload:
             duration_s=float(self.durations[index]),
             submission_host=self.host,
         )
+        if self.jid_base is not None:
+            job.jid = self.jid_base + index
+        return job
 
     def __iter__(self) -> Iterator[tuple[float, int]]:
         """Yield (arrival_time, index) pairs in time order."""

@@ -61,3 +61,56 @@ class TestExecution:
         out = capsys.readouterr().out
         assert rc == 0
         assert "GRUB-SIM" in out
+
+
+FIXTURE = "tests/fixtures/spans_smoke.jsonl"
+
+
+class TestTraceCommand:
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_trace_sample_validated(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--duration", "60", "--trace-sample", "0"])
+
+    def test_analyze(self, capsys):
+        rc = main(["trace", "analyze", FIXTURE])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "traces=" in out and "decide staleness_s" in out
+
+    def test_critical_path(self, capsys):
+        rc = main(["trace", "critical-path", FIXTURE, "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "job 1 trace" in out and "staleness_s=" in out
+        # The full causal chain renders submit through site queue.
+        for name in ("submit", "brokering", "decide", "dispatch", "queue"):
+            assert name in out
+
+    def test_slowest(self, capsys):
+        rc = main(["trace", "slowest", FIXTURE, "-n", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "total_s" in out
+
+    def test_export_chrome(self, tmp_path, capsys):
+        import json
+        out_path = tmp_path / "chrome.json"
+        rc = main(["trace", "export-chrome", FIXTURE, str(out_path)])
+        assert rc == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+        assert {ev["ph"] for ev in doc["traceEvents"]} == {"M", "X"}
+
+    def test_run_with_trace_spans_writes_jsonl(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "spans.jsonl"
+        rc = main(["run", "--dps", "1", "--clients", "2", "--sites", "4",
+                   "--cpus", "200", "--duration", "120",
+                   "--trace-spans", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0 and "spans written" in out
+        spans = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert spans and {"submit", "brokering"} <= {s["name"] for s in spans}

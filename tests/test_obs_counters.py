@@ -22,10 +22,14 @@ class TestHistogram:
             Histogram("h", bounds=[2.0, 1.0])
 
     def test_empty_summary(self):
+        # An empty histogram must not fabricate real-looking zeros:
+        # every statistic is None until something is observed.
         h = Histogram("h", bounds=[1.0, 2.0])
-        assert h.mean == 0.0 and h.percentile(50) == 0.0
-        assert h.summary() == {"count": 0, "mean": 0.0, "min": 0.0,
-                               "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+        assert h.percentile(50) is None
+        assert h.percentile(99) is None
+        assert h.summary() == {"count": 0, "mean": None, "min": None,
+                               "p50": None, "p90": None, "p99": None,
+                               "max": None}
 
     def test_observe_updates_stats(self):
         h = Histogram("h", bounds=[1.0, 10.0, 100.0])

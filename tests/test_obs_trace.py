@@ -120,6 +120,29 @@ class TestSinks:
         assert lines[0]["kind"] == "a" and lines[0]["n"] == 1
         assert lines[1]["op"] == "op" and lines[1]["outcome"] == "ok"
 
+    def test_jsonl_sink_serializes_numpy_tuple_detail(self, tmp_path):
+        # Regression: rpc.span tuple details carry numpy scalars
+        # (latency draws, np-typed rpc ids) straight off the hot path;
+        # json.dumps(np.int64) raises TypeError, so before coercion any
+        # seeded run with a sink attached crashed on the first RPC.
+        np = pytest.importorskip("numpy")
+        path = tmp_path / "trace.jsonl"
+        tr = Tracer(enabled=True)
+        sink = JsonlSink(str(path))
+        tr.add_sink(sink)
+        tr.emit_compact(
+            "rpc.span", ("dp0", 1),
+            ("get_state", np.str_("dp1"), np.int64(3), "ok",
+             np.float64(0.25), np.float32(2.0)),
+            time=np.float32(2.0))
+        sink.close()
+        (line,) = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert line["t"] == 2.0
+        assert line["node"] == str(("dp0", 1))
+        assert line["rpc_id"] == 3 and line["dst"] == "dp1"
+        assert line["latency_s"] == 0.25
+        assert line["size_kb"] == pytest.approx(2.0)
+
     def test_export_jsonl_dumps_ring(self, tmp_path):
         path = tmp_path / "dump.jsonl"
         tr = Tracer(enabled=True)
