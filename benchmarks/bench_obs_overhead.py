@@ -14,7 +14,11 @@ enabled, measuring kernel event throughput:
   (``repro.obs.spans``) off vs on at the budgeted operating point
   (head sampling, ``--trace-sample=4``): the realistic cost of
   per-job lifecycle spans, decide-staleness annotation, and context
-  propagation, measured as kernel events per wall-clock second.
+  propagation, measured as kernel events per wall-clock second;
+* **check** — the same smoke experiment with the online invariant
+  checker (``run --check``) off vs on: the cost of the periodic
+  conservation/accounting checkpoint pass, held to the same <10%
+  enabled budget as tracing.
 
 ``measure_all()`` is what ``benchmarks/run_all.py`` calls to produce
 ``BENCH_kernel.json``; the pytest wrappers below assert *lenient*
@@ -112,6 +116,34 @@ def run_spans_experiment(duration_s: int = 1800, n_clients: int = 24,
     return result.sim.events_executed / elapsed
 
 
+def run_check_experiment(duration_s: int = 1800, n_clients: int = 24,
+                         tracing: bool = False) -> float:
+    """End-to-end smoke run, invariant checker off vs on; events/sec.
+
+    ``tracing=True`` here means ``check_enabled=True``: the checker
+    rides the run as periodic checkpoints over every site, client and
+    decision point.  Like spans, its honest budget test is a full
+    experiment — the checkpoint pass walks real running-job maps and
+    dispatch-record views, not synthetic structures.
+    """
+    from repro.experiments.configs import smoke_config
+    from repro.experiments.runner import run_experiment
+
+    config = smoke_config(duration_s=float(duration_s),
+                          n_clients=max(int(n_clients), 1),
+                          check_enabled=tracing,
+                          check_interval_s=30.0)
+    t0 = time.perf_counter()
+    result = run_experiment(config)
+    elapsed = time.perf_counter() - t0
+    assert result.sim.events_executed > 0
+    if tracing:
+        assert result.checker is not None
+        assert result.checker.checks_run > 0
+        assert result.checker.violations == []
+    return result.sim.events_executed / elapsed
+
+
 # -- harness -------------------------------------------------------------------
 
 def measure_all(quick: bool = False, repeats: int | None = None) -> dict:
@@ -134,12 +166,15 @@ def measure_all(quick: bool = False, repeats: int | None = None) -> dict:
         "spans": {"duration_s": 600 if quick else 1800,
                   "n_clients": 8 if quick else 24,
                   "sample_every": 4},
+        "check": {"duration_s": 600 if quick else 1800,
+                  "n_clients": 8 if quick else 24},
     }
     workloads = {
         "callbacks": run_callbacks,
         "processes": run_processes,
         "rpc": run_rpcs,
         "spans": run_spans_experiment,
+        "check": run_check_experiment,
     }
     out = {}
     for name, fn in workloads.items():

@@ -1,0 +1,259 @@
+"""Differential replay: run a config pair, bisect the first divergence.
+
+PRs past made equivalence claims that a bare "results differ" cannot
+debug: fast paths are result-preserving, the indexed view is
+semantically identical to the legacy one, spans on/off leaves runs
+event-identical, ``run_parallel`` is worker-count independent, and
+delta sync converges to the same views as flooding.  Each claim maps to
+a named **pair** here; both sides run with journal probes installed
+(:func:`repro.check.digest.install_probes`) and the chained digests are
+compared, bisecting to the first divergent semantic event with its span
+context.
+
+Pair semantics:
+
+* ``fast-paths`` — kernel fast paths on vs off, state-view index pinned
+  on both sides (the kernel claim in isolation);
+* ``indexed-view`` — indexed vs legacy ``GridStateView`` under
+  identical kernel configuration;
+* ``spans`` — span tracing off vs on (ctx rides outside the digest, so
+  equality is exact);
+* ``workers`` — ``run_parallel`` with 1 vs 4 workers over the same
+  config batch, comparing per-run summary digests;
+* ``delta-sync`` — flood vs per-peer delta dissemination.  Delta
+  changes payload sizes (hence simulated transfer timing), so full
+  experiments are *expected* to differ event-for-event; the claim is
+  **convergence**, checked on a scripted harness with no clients:
+  scripted dispatches, then quiescence, then every decision point's
+  final live record set must match between the two modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.check.digest import EventJournal, JournalEntry, first_divergence
+
+__all__ = ["DiffReport", "PAIRS", "run_pair", "inject_divergence"]
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one differential replay."""
+
+    pair: str
+    label_a: str
+    label_b: str
+    journal_a: EventJournal
+    journal_b: EventJournal
+    divergence: Optional[tuple[Optional[JournalEntry],
+                               Optional[JournalEntry]]]
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence is None
+
+    def describe(self) -> str:
+        head = (f"diff {self.pair}: {self.label_a} "
+                f"({len(self.journal_a)} events, "
+                f"digest {self.journal_a.digest:#010x}) vs {self.label_b} "
+                f"({len(self.journal_b)} events, "
+                f"digest {self.journal_b.digest:#010x})")
+        if self.identical:
+            return head + "\n  IDENTICAL"
+        a, b = self.divergence
+        lines = [head, "  DIVERGED at first differing event:"]
+        lines.append(f"    {self.label_a}: "
+                     + (a.describe() if a is not None else "<journal ended>"))
+        lines.append(f"    {self.label_b}: "
+                     + (b.describe() if b is not None else "<journal ended>"))
+        return "\n".join(lines)
+
+
+def _report(pair: str, label_a: str, journal_a: EventJournal,
+            label_b: str, journal_b: EventJournal) -> DiffReport:
+    return DiffReport(pair=pair, label_a=label_a, label_b=label_b,
+                      journal_a=journal_a, journal_b=journal_b,
+                      divergence=first_divergence(journal_a, journal_b))
+
+
+def inject_divergence(journal: EventJournal, index: int) -> EventJournal:
+    """A copy of ``journal`` with the entry at ``index`` corrupted.
+
+    Exercises the report path on demand: the rebuilt journal differs in
+    exactly one payload, so the bisection must name that entry.
+    """
+    if not 0 <= index < len(journal):
+        raise ValueError(f"inject index {index} outside journal "
+                         f"[0, {len(journal)})")
+    mutated = EventJournal()
+    for e in journal.entries:
+        detail = e.detail + "|INJECTED" if e.index == index else e.detail
+        mutated.record(e.time, e.kind, detail, ctx=e.ctx)
+    return mutated
+
+
+# ---------------------------------------------------------------------------
+# Experiment-pair plumbing
+
+
+def _diff_config(duration_s: float, seed: int, spans: bool = True):
+    """The canonical differential smoke: 3 decision points (so the sync
+    plane actually carries traffic), short but multi-round, spans on by
+    default so divergence reports carry causal context."""
+    from repro.experiments.configs import smoke_config
+    return smoke_config(
+        decision_points=3, n_clients=10, duration_s=duration_s,
+        sync_interval_s=30.0, monitor_interval_s=60.0,
+        spans_enabled=spans, seed=seed, name="diff")
+
+
+def _run_journaled(config) -> EventJournal:
+    from repro.check.digest import install_probes
+    from repro.experiments.runner import run_experiment
+
+    journal = EventJournal()
+
+    def hook(sim=None, deployment=None, network=None, grid=None, rng=None):
+        install_probes(journal, deployment=deployment,
+                       sites=grid.sites.values(), sim=sim)
+
+    run_experiment(config, deployment_hook=hook)
+    return journal
+
+
+def _pair_fast_paths(duration_s: float, seed: int) -> DiffReport:
+    # State index pinned on both sides: this pair isolates the kernel
+    # fast paths (heap compaction, pooled timeouts, process pinning).
+    base = _diff_config(duration_s, seed).with_(seed=seed, state_index=True)
+    return _report(
+        "fast-paths",
+        "fast", _run_journaled(base.with_(fast_paths=True)),
+        "legacy", _run_journaled(base.with_(fast_paths=False)))
+
+
+def _pair_indexed_view(duration_s: float, seed: int) -> DiffReport:
+    base = _diff_config(duration_s, seed).with_(seed=seed, fast_paths=True)
+    return _report(
+        "indexed-view",
+        "indexed", _run_journaled(base.with_(state_index=True)),
+        "legacy-view", _run_journaled(base.with_(state_index=False)))
+
+
+def _pair_spans(duration_s: float, seed: int) -> DiffReport:
+    base = _diff_config(duration_s, seed, spans=False).with_(seed=seed)
+    return _report(
+        "spans",
+        "spans-off", _run_journaled(base),
+        "spans-on", _run_journaled(base.with_(spans_enabled=True)))
+
+
+def _pair_workers(duration_s: float, seed: int) -> DiffReport:
+    """1 vs 4 workers over the same config batch: per-run summary
+    digests, in input order, must match exactly."""
+    from repro.experiments.parallel import run_parallel, summary_digest
+
+    configs = [_diff_config(duration_s, seed).with_(seed=seed + i,
+                                                    spans_enabled=False,
+                                                    name=f"diff-w{i}")
+               for i in range(3)]
+    ja, jb = EventJournal(), EventJournal()
+    for journal, workers in ((ja, 1), (jb, 4)):
+        for i, summary in enumerate(run_parallel(configs,
+                                                 max_workers=workers)):
+            journal.record(float(i), "run.summary",
+                           f"{summary.config.name}|{summary_digest(summary)}")
+    return _report("workers", "1-worker", ja, "4-workers", jb)
+
+
+def _pair_delta_sync(duration_s: float, seed: int) -> DiffReport:
+    ja = _scripted_sync_run(duration_s, seed, delta=False)
+    jb = _scripted_sync_run(duration_s, seed, delta=True)
+    return _report("delta-sync", "flood", ja, "delta", jb)
+
+
+def _scripted_sync_run(duration_s: float, seed: int,
+                       delta: bool) -> EventJournal:
+    """Scripted convergence harness for the delta-sync claim.
+
+    No clients, no WAN jitter in the dispatch script: each decision
+    point on a ring records a deterministic stream of local dispatches;
+    the overlay disseminates them (flood or delta); after a quiescence
+    window every decision point journals its final live record set and
+    per-site usage estimate.  Flood and delta must agree on all of it —
+    per-event timing is allowed to differ (payload sizes differ by
+    design), final knowledge is not.
+    """
+    from repro.core.broker import DIGruberDeployment
+    from repro.grid.builder import GridBuilder
+    from repro.net.container import GT3_PROFILE
+    from repro.net.latency import LanLatency
+    from repro.net.transport import Network
+    from repro.sim.kernel import Simulator
+    from repro.sim.rng import RngRegistry
+
+    n_dps = 4
+    interval_s = 20.0
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    network = Network(sim, LanLatency(), kb_transfer_s=0.0)
+    grid = GridBuilder(sim, rng.stream("grid")).build(
+        n_sites=6, total_cpus=240, n_vos=2, groups_per_vo=2,
+        users_per_group=2, name="delta-diff")
+    deployment = DIGruberDeployment(
+        sim=sim, network=network, grid=grid, rng=rng,
+        profile=GT3_PROFILE,
+        n_decision_points=n_dps, topology_kind="ring",
+        sync_interval_s=interval_s, monitor_interval_s=duration_s * 10,
+        sync_delta=delta)
+    deployment.start()
+
+    sites = sorted(grid.sites)
+    dps = list(deployment.decision_points.values())
+    # Scripted dispatch plan: spread across DPs, sites, and VOs over the
+    # first half of the run; the second half is the convergence window.
+    for i in range(24):
+        t = 1.0 + i * (duration_s / 2) / 24
+        dp = dps[i % n_dps]
+        site = sites[i % len(sites)]
+        sim.schedule(
+            t, lambda dp=dp, site=site, i=i: dp.engine.record_local_dispatch(
+                site=site, vo=f"vo{i % 2}", cpus=1 + i % 3,
+                now=dp.sim.now))
+    sim.run(until=duration_s)
+
+    journal = EventJournal()
+    for dp_id in sorted(deployment.decision_points):
+        view = deployment.decision_points[dp_id].engine.view
+        keys = ",".join(f"{o}:{s}" for o, s in sorted(view._seen))
+        usage = ";".join(f"{site}={int(view._extra_busy[site])}"
+                         for site in sorted(view._extra_busy))
+        journal.record(sim.now, "dp.final", f"{dp_id}|{keys}|{usage}")
+    return journal
+
+
+PAIRS: dict[str, Callable[[float, int], DiffReport]] = {
+    "fast-paths": _pair_fast_paths,
+    "indexed-view": _pair_indexed_view,
+    "spans": _pair_spans,
+    "workers": _pair_workers,
+    "delta-sync": _pair_delta_sync,
+}
+
+
+def run_pair(pair: str, duration_s: float = 300.0,
+             seed: int = 20050101, inject: Optional[int] = None
+             ) -> DiffReport:
+    """Run one named pair; optionally corrupt side B at ``inject``."""
+    try:
+        runner = PAIRS[pair]
+    except KeyError:
+        raise ValueError(f"unknown pair {pair!r}; expected one of "
+                         f"{sorted(PAIRS)}") from None
+    report = runner(duration_s, seed)
+    if inject is not None:
+        mutated = inject_divergence(report.journal_b, inject)
+        report = _report(report.pair, report.label_a, report.journal_a,
+                         report.label_b + "+injected", mutated)
+    return report

@@ -1,0 +1,204 @@
+"""AST determinism lint for simulation code.
+
+Same-seed runs must be byte-identical; four habits silently break that:
+
+* **wall-clock reads** — ``time.time()``/``monotonic()`` etc. and
+  ``datetime.now()`` leak host time into simulated state;
+* **ambient random** — the stdlib ``random`` module is process-global
+  state; all randomness must flow through seeded
+  ``numpy.random.Generator`` streams (:mod:`repro.sim.rng`);
+* **unseeded numpy randomness** — ``np.random.default_rng()`` with no
+  arguments, ``np.random.seed``, or module-level ``np.random.<dist>``
+  draws from the ambient global generator;
+* **unordered-set iteration** — iterating a ``set`` yields
+  hash-randomized order; any per-element side effect (scheduling,
+  dispatch, RNG draw) then differs between runs.  Sets are fine for
+  membership; iterate sorted(...) or keep a list.
+
+Run as a module (``python -m repro.check.lint [paths...]``) or via
+``digruber lint``; exits non-zero on findings, which is how CI gates.
+A deliberate exception carries the suppression marker ``# det: ok`` on
+the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+__all__ = ["Finding", "lint_source", "lint_paths", "main"]
+
+#: Wall-clock attribute calls: module name -> banned attributes.
+_WALL_CLOCK = {
+    "time": {"time", "monotonic", "perf_counter", "process_time",
+             "time_ns", "monotonic_ns", "perf_counter_ns"},
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+}
+
+#: np.random attributes that are fine (seeded-generator machinery).
+_NP_RANDOM_OK = {"Generator", "SeedSequence", "PCG64", "Philox", "MT19937",
+                 "SFC64", "BitGenerator", "RandomState"}
+
+_SUPPRESS = "# det: ok"
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.detail}"
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, path: str, source_lines: list[str]):
+        self.path = path
+        self.lines = source_lines
+        self.findings: list[Finding] = []
+
+    # -- helpers -----------------------------------------------------------
+    def _suppressed(self, node: ast.AST) -> bool:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines):
+            return _SUPPRESS in self.lines[line - 1]
+        return False
+
+    def _flag(self, node: ast.AST, rule: str, detail: str) -> None:
+        if not self._suppressed(node):
+            self.findings.append(Finding(self.path, node.lineno, rule,
+                                         detail))
+
+    @staticmethod
+    def _dotted(node: ast.AST) -> Optional[str]:
+        """'a.b.c' for an attribute chain rooted at a Name, else None."""
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    # -- imports -----------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self._flag(node, "ambient-random",
+                           "import of stdlib 'random' (process-global "
+                           "state); use a seeded np.random.Generator")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self._flag(node, "ambient-random",
+                       "from-import of stdlib 'random'; use a seeded "
+                       "np.random.Generator")
+        self.generic_visit(node)
+
+    # -- calls -------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._dotted(node.func)
+        if dotted is not None:
+            self._check_call(node, dotted)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call, dotted: str) -> None:
+        parts = dotted.split(".")
+        # Wall clock: time.time(), datetime.datetime.now(), ...
+        if len(parts) >= 2 and parts[-2] in _WALL_CLOCK \
+                and parts[-1] in _WALL_CLOCK[parts[-2]]:
+            self._flag(node, "wall-clock",
+                       f"{dotted}() reads host time inside sim code")
+            return
+        # numpy ambient randomness.
+        if len(parts) >= 2 and parts[-2] == "random" \
+                and parts[0] in ("np", "numpy"):
+            attr = parts[-1]
+            if attr == "default_rng":
+                if not node.args and not node.keywords:
+                    self._flag(node, "unseeded-numpy",
+                               "default_rng() without a seed draws "
+                               "fresh OS entropy")
+            elif attr == "seed":
+                self._flag(node, "unseeded-numpy",
+                           "np.random.seed mutates the ambient global "
+                           "generator; pass Generators explicitly")
+            elif attr not in _NP_RANDOM_OK:
+                self._flag(node, "unseeded-numpy",
+                           f"np.random.{attr} draws from the ambient "
+                           f"global generator")
+
+    # -- set iteration -----------------------------------------------------
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = self._dotted(node.func)
+            if dotted in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            # Set algebra produces sets; only flag when a side is
+            # evidently a set (avoids int arithmetic false positives).
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        return False
+
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        # Flag on the iterable expression itself: ast.comprehension
+        # clauses carry no lineno of their own.
+        if self._is_set_expr(iter_node):
+            self._flag(iter_node, "set-iteration",
+                       "iterating a set: order is hash-randomized; "
+                       "sort it or keep a list")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one source text; returns findings (empty = clean)."""
+    tree = ast.parse(source, filename=path)
+    visitor = _DeterminismVisitor(path, source.splitlines())
+    visitor.visit(tree)
+    return sorted(visitor.findings, key=lambda f: (f.path, f.line))
+
+
+def lint_paths(paths: Iterable[str]) -> list[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    findings: list[Finding] = []
+    for root in paths:
+        p = Path(root)
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in files:
+            findings.extend(lint_source(f.read_text(), str(f)))
+    return findings
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        # Default target: the simulation package this file lives in.
+        args = [str(Path(__file__).resolve().parents[1])]
+    findings = lint_paths(args)
+    for f in findings:
+        print(f)
+    print(f"determinism lint: {len(findings)} finding(s) in "
+          f"{', '.join(args)}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

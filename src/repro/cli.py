@@ -9,7 +9,10 @@ shell::
     digruber accuracy --profile gt4 --intervals 1 3 10 30
     digruber grubsim --profile gt3
     digruber run --dps 3 --clients 60 --duration 900
+    digruber run --dps 3 --check --check-strict
     digruber chaos --scenario partition2 --duration 900
+    digruber diff --pair fast-paths
+    digruber lint src/repro
 """
 
 from __future__ import annotations
@@ -111,6 +114,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-fast-paths", action="store_true",
                      help="disable the kernel/state-view fast paths "
                      "(pre-optimization cost model, for A/B benchmarks)")
+    run.add_argument("--check", action="store_true",
+                     help="enable the online invariant checker "
+                     "(conservation/accounting assertions at every "
+                     "checkpoint; violations counted and traced)")
+    run.add_argument("--check-interval", type=float, default=None,
+                     metavar="S", help="invariant checkpoint spacing in "
+                     "seconds (default 30)")
+    run.add_argument("--check-strict", action="store_true",
+                     help="raise on the first invariant violation "
+                     "instead of counting")
     add_obs(run)
 
     chaos = sub.add_parser(
@@ -125,6 +138,26 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--resilient-only", action="store_true",
                        help="run only the resilient policy stack")
     add_obs(chaos)
+
+    diff = sub.add_parser(
+        "diff", help="differential replay: run a config pair, bisect "
+                     "to the first divergent event")
+    diff.add_argument("--pair", default="fast-paths",
+                      choices=("fast-paths", "indexed-view", "spans",
+                               "workers", "delta-sync"),
+                      help="equivalence claim to check (default: "
+                           "fast-paths)")
+    diff.add_argument("--duration", type=float, default=300.0,
+                      help="simulated seconds per side (default 300)")
+    diff.add_argument("--seed", type=int, default=20050101)
+    diff.add_argument("--inject", type=int, default=None, metavar="N",
+                      help="corrupt side B's event #N to demo bisection")
+
+    lint = sub.add_parser(
+        "lint", help="AST determinism lint over simulation sources")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to lint (default: the "
+                           "installed repro package)")
 
     tr = sub.add_parser("trace",
                         help="analyze a span export (--trace-spans file)")
@@ -295,6 +328,11 @@ def _cmd_run(args) -> int:
         overrides["sync_delta"] = True
     if args.no_fast_paths:
         overrides["fast_paths"] = False
+    if args.check or args.check_strict:
+        overrides["check_enabled"] = True
+        overrides["check_strict"] = args.check_strict
+        if args.check_interval is not None:
+            overrides["check_interval_s"] = args.check_interval
     overrides.update(_obs_overrides(args))
     result = run_experiment(maker(args.dps, **overrides))
     print(result.summary())
@@ -302,6 +340,10 @@ def _cmd_run(args) -> int:
         stats = result.resilience_stats()
         print("chaos/resilience: "
               + " ".join(f"{k}={v}" for k, v in stats.items()))
+    if result.checker is not None:
+        print(result.checker.summary())
+        _print_obs(args, result)
+        return 1 if result.checker.violations else 0
     _print_obs(args, result)
     return 0
 
@@ -353,6 +395,19 @@ def _cmd_report(args) -> int:
     return report_main(argv)
 
 
+def _cmd_diff(args) -> int:
+    from repro.check import run_pair
+    report = run_pair(args.pair, duration_s=args.duration, seed=args.seed,
+                      inject=args.inject)
+    print(report.describe())
+    return 0 if report.identical else 1
+
+
+def _cmd_lint(args) -> int:
+    from repro.check.lint import main as lint_main
+    return lint_main(args.paths or None)
+
+
 def _cmd_trace(args) -> int:
     from repro.obs.span_analysis import (
         analyze_report,
@@ -384,6 +439,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "run": _cmd_run,
     "chaos": _cmd_chaos,
+    "diff": _cmd_diff,
+    "lint": _cmd_lint,
     "trace": _cmd_trace,
 }
 

@@ -93,6 +93,11 @@ class DecisionPoint(Endpoint):
         self.restarts = 0
         self.resync_records = 0
         self.resync_failures = 0
+        #: Callbacks invoked after this decision point comes back up
+        #: (the reconfiguration observer re-arms saturation watches
+        #: here).  Invoked over a copy: callbacks may deregister
+        #: themselves.
+        self.on_restart: list = []
 
         # Server-side selector for the one-phase protocol variant.
         from repro.core.selectors import LeastUsedSelector
@@ -159,6 +164,8 @@ class DecisionPoint(Endpoint):
         self.sim.metrics.counter("dp.restarts").inc()
         if self.sim.trace.enabled:
             self.sim.trace.emit("dp.restart", node=self.node_id, resync=resync)
+        for cb in list(self.on_restart):
+            cb()
         if resync and self.neighbors:
             self.sim.process(self._resync_from_peers(),
                              name=f"resync:{self.node_id}")

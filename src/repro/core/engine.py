@@ -37,6 +37,7 @@ class GruberEngine:
         self.usla_store = usla_store if usla_store is not None else UslaStore(owner)
         self.usla_aware = usla_aware
         self._policy_cache: Optional[PolicyEngine] = None
+        self._policy_mutations = -1
         self._seq = itertools.count(1)
         self.queries_served = 0
         self.dispatches_recorded = 0
@@ -45,15 +46,27 @@ class GruberEngine:
         #: wires in its simulator's instances.
         self.tracer = tracer
         self.metrics = metrics
+        #: Optional differential-replay journal
+        #: (:class:`repro.check.digest.EventJournal`); installed by
+        #: ``install_probes`` for ``digruber diff`` runs.  One attribute
+        #: check per dispatch/merge when unset.
+        self.journal = None
 
     # -- policy ----------------------------------------------------------
     def _policy(self) -> PolicyEngine:
-        if self._policy_cache is None:
+        # Self-invalidating: the store's mutation counter moves on any
+        # publish/remove/merge, including paths that never knew about
+        # this cache (a negotiator publishing straight into the store
+        # left availability queries answering from stale entitlements).
+        if (self._policy_cache is None
+                or self._policy_mutations != self.usla_store.mutations):
             self._policy_cache = self.usla_store.policy_engine()
+            self._policy_mutations = self.usla_store.mutations
         return self._policy_cache
 
     def invalidate_policy_cache(self) -> None:
-        """Call after the USLA store changes (publish/merge)."""
+        """Force a rebuild (kept for callers; the mutation counter
+        already makes the cache self-invalidating)."""
         self._policy_cache = None
 
     # -- availability queries ------------------------------------------------
@@ -116,6 +129,10 @@ class GruberEngine:
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.emit("engine.dispatch", node=self.owner, site=site,
                              vo=vo, cpus=cpus, seq=rec.seq)
+        if self.journal is not None:
+            self.journal.record(
+                now, "rec.local",
+                f"{self.owner}|{site}|{vo}|cpus={int(cpus)}|seq={rec.seq}")
         return rec
 
     #: Sync-propagation lag buckets (seconds): 0.25 s … 8192 s.  Lag is
@@ -135,6 +152,7 @@ class GruberEngine:
         ``sync.lag_s`` histogram, the measured counterpart to the
         paper's epoch-interval sufficiency claim.
         """
+        adopted_keys = [] if self.journal is not None else None
         if now is not None and self.metrics is not None:
             lag_hist = self.metrics.histogram(
                 "sync.lag_s", bounds=self.SYNC_LAG_BOUNDS_S)
@@ -143,8 +161,24 @@ class GruberEngine:
                 if self.view.apply_record(rec, now=now):
                     adopted += 1
                     lag_hist.observe(max(now - rec.time, 0.0))
+                    if adopted_keys is not None:
+                        adopted_keys.append(rec.key)
+        elif adopted_keys is not None:
+            adopted = 0
+            for rec in records:
+                if self.view.apply_record(rec, now=now):
+                    adopted += 1
+                    adopted_keys.append(rec.key)
         else:
             adopted = self.view.apply_records(records, now=now)
+        if adopted_keys is not None and adopted:
+            # Sorted key set: the indexed and legacy views hand the sync
+            # plane the same record sets in different internal order,
+            # which must not register as divergence.
+            keys = ",".join(f"{o}:{s}" for o, s in sorted(adopted_keys))
+            self.journal.record(
+                now if now is not None else self.view.latest_time,
+                "rec.adopt", f"{self.owner}|{keys}")
         if self.metrics is not None:
             self.metrics.counter("engine.records_adopted").inc(adopted)
             self.metrics.counter("engine.records_offered").inc(len(records))

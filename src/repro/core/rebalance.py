@@ -51,6 +51,7 @@ class ReconfigurationObserver:
         self.move_fraction = move_fraction
         self.events: list[ReconfigurationEvent] = []
         self._last_action_at = -float("inf")
+        self._pending_rewatch: set[str] = set()
         detector.listeners.append(self.on_signal)
 
     @property
@@ -106,6 +107,24 @@ class ReconfigurationObserver:
         self._last_action_at = self.sim.now
 
     def _failover(self, signal: SaturationSignal) -> None:
+        # First, stop probing the dead broker — before any early return
+        # below: even with nothing to evacuate, a watched dead decision
+        # point re-emits "down" every sampling pass (event-log and
+        # counter spam, and actioning each one re-runs this path).  The
+        # watch re-arms itself when the decision point restarts.
+        dead = self.deployment.decision_points.get(signal.decision_point)
+        if dead is not None:
+            self.detector.unwatch(dead)
+            dp_id = str(dead.node_id)
+            if dp_id not in self._pending_rewatch:
+                self._pending_rewatch.add(dp_id)
+
+                def _rewatch(dp=dead, dp_id=dp_id):
+                    self._pending_rewatch.discard(dp_id)
+                    self.detector.watch(dp)
+                    dp.on_restart.remove(_rewatch)
+
+                dead.on_restart.append(_rewatch)
         victims = self.deployment.clients_of(signal.decision_point)
         if not victims:
             return

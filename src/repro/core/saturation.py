@@ -64,8 +64,25 @@ class SaturationDetector:
         self._handle = None
 
     def watch(self, dp: DecisionPoint) -> None:
-        """Add a decision point (dynamic reconfiguration grows the set)."""
-        self.decision_points.append(dp)
+        """Add a decision point (dynamic reconfiguration grows the set).
+
+        Idempotent: re-watching an already-watched decision point (a
+        restart racing a manual re-add) must not double its samples.
+        """
+        if not any(d is dp for d in self.decision_points):
+            self.decision_points.append(dp)
+
+    def unwatch(self, dp) -> None:
+        """Drop a decision point (by object or node id) from sampling.
+
+        Failover calls this for a dead broker: keeping it watched would
+        re-raise a "down" signal on every sampling pass forever, and a
+        decision point later re-added under the same id would inherit
+        the stale watch entry alongside its new one.
+        """
+        node_id = str(getattr(dp, "node_id", dp))
+        self.decision_points = [d for d in self.decision_points
+                                if str(d.node_id) != node_id]
 
     def start(self) -> None:
         if self._handle is not None:

@@ -398,6 +398,60 @@ class GridStateView:
             return None
         return max(now - t, 0.0)
 
+    def audit(self) -> list[str]:
+        """Internal-consistency check; returns problem descriptions.
+
+        Strictly read-only (the invariant checker calls this between
+        events): unlike the query surface, it never expires records, so
+        a checked run stays event-identical to an unchecked one — an
+        :meth:`expire` here would perturb subsequent sync payloads for
+        relayed records.  CPU counts are ints, so the incremental sums
+        must match their ground truth *exactly*.
+        """
+        problems: list[str] = []
+        live_keys = set(self._live_rec)
+        if live_keys != self._seen:
+            problems.append(
+                f"seen/live mismatch: {len(self._seen)} seen vs "
+                f"{len(live_keys)} live")
+        if live_keys != set(self._learned_at):
+            problems.append(
+                f"learned_at/live mismatch: {len(self._learned_at)} "
+                f"learn stamps vs {len(live_keys)} live")
+        vo_sums: dict[str, float] = {}
+        for (site, consumer), busy in self._vo_busy.items():
+            if busy <= 0.0:
+                problems.append(
+                    f"non-positive vo_busy[{site},{consumer}]={busy}")
+            if "." not in consumer:  # plain VO; groups mirror their VO
+                vo_sums[site] = vo_sums.get(site, 0.0) + busy
+        for site, heap in self._records.items():
+            extra = sum(rec.cpus for _, _, rec in heap)
+            if extra != self._extra_busy[site]:
+                problems.append(
+                    f"extra_busy[{site}]={self._extra_busy[site]} but site "
+                    f"heap holds {extra} CPUs")
+            if vo_sums.get(site, 0.0) != self._extra_busy[site]:
+                problems.append(
+                    f"vo_busy sum {vo_sums.get(site, 0.0)} != "
+                    f"extra_busy[{site}]={self._extra_busy[site]}")
+            cap = self.capacities[site]
+            base = self._base_busy[site]
+            if not (0.0 <= base <= cap):
+                problems.append(
+                    f"base_busy[{site}]={base} outside [0, {cap}]")
+            if self.indexed:
+                busy = min(max(base + self._extra_busy[site], 0.0), cap)
+                if self._free_cache[site] != cap - busy:
+                    problems.append(
+                        f"free_cache[{site}]={self._free_cache[site]} != "
+                        f"recomputed {cap - busy}")
+        if len(self._learn_log) < len(live_keys):
+            problems.append(
+                f"learn ring holds {len(self._learn_log)} entries for "
+                f"{len(live_keys)} live records")
+        return problems
+
     @property
     def n_sites(self) -> int:
         return len(self.capacities)

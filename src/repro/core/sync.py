@@ -24,6 +24,7 @@ information travels one hop per tick.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.state import DispatchRecord
@@ -64,9 +65,15 @@ class SyncProtocol:
         self.records_adopted = 0
         self.kb_sent = 0.0
         self._handle = None
-        # Relay horizon: resend anything learned in the last two ticks
-        # so multi-hop overlays keep flooding records outward.
-        self._horizon_factor = 2.0
+        # Relay horizon: resend anything learned since two ticks ago so
+        # multi-hop overlays keep flooding records outward.  The cutoff
+        # derives from the *actual* previous tick times — a fixed
+        # ``now - 2*interval`` horizon silently drops records whenever
+        # jitter spaces consecutive ticks further apart than that (the
+        # ring/line-overlay relay bug).  Seeded two ticks in the past so
+        # the first real tick floods everything learned since t=0.
+        self._last_ticks: deque[float] = deque(
+            [-float("inf"), -float("inf")], maxlen=2)
         # Delta mode: per-peer learn-sequence watermarks, so each tick
         # ships only what that peer has not been sent yet instead of
         # re-flooding the whole horizon.  Changes payload sizes (hence
@@ -105,7 +112,11 @@ class SyncProtocol:
         if self.delta:
             self._tick_delta()
             return
-        cutoff = dp.sim.now - self.interval_s * self._horizon_factor
+        # Everything learned since two ticks ago: each record is
+        # flooded on exactly two consecutive rounds regardless of the
+        # jittered spacing between them.
+        cutoff = self._last_ticks[0]
+        self._last_ticks.append(dp.sim.now)
         records = dp.engine.view.pending_records(newer_than=cutoff)
         if getattr(dp, "private", False):
             records = [r for r in records if r.origin != dp.engine.owner]

@@ -56,7 +56,9 @@ class DagMan:
         seen = 0
         children: dict[str, list[str]] = {n: [] for n in self.nodes}
         for n, node in self.nodes.items():
-            for p in set(node.parents):
+            # dict.fromkeys dedupes while keeping declaration order
+            # (set iteration order is hash-randomized).
+            for p in dict.fromkeys(node.parents):
                 children[p].append(n)
         while queue:
             n = queue.pop()

@@ -95,6 +95,19 @@ class ExperimentConfig:
     # opt-in rather than part of ``fast_paths``.
     fast_paths: bool = True
     sync_delta: bool = False
+    # Decouple the state-view index from the other fast paths for
+    # differential replay (indexed vs legacy view under identical
+    # kernel behaviour).  None = follow ``fast_paths``.
+    state_index: Optional[bool] = None
+
+    # Correctness plane (repro.check).  The online invariant checker
+    # rides the run as a periodic checkpoint pass — opt-in because it
+    # costs per-checkpoint work; zero-cost when off (nothing is
+    # constructed).  ``check_strict`` raises on the first violation
+    # (tests); otherwise violations count + trace and the run finishes.
+    check_enabled: bool = False
+    check_interval_s: float = 30.0
+    check_strict: bool = False
 
     # Observability (repro.obs).  Counters/histograms are always on;
     # the structured trace is opt-in because it costs per-event work.
@@ -134,6 +147,8 @@ class ExperimentConfig:
             raise ValueError("dp_queue_bound must be >= 0 or None")
         if self.spans_sample < 1:
             raise ValueError("spans_sample must be >= 1")
+        if self.check_interval_s <= 0:
+            raise ValueError("check_interval_s must be > 0")
 
     def with_(self, **overrides) -> "ExperimentConfig":
         """A modified copy (sweeps use this)."""

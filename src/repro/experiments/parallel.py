@@ -18,6 +18,7 @@ them (``summary.to_trace()``).
 from __future__ import annotations
 
 import os
+import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
@@ -29,7 +30,7 @@ from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.metrics.report import SummaryStats
 from repro.workloads.trace import TraceRecorder
 
-__all__ = ["RunSummary", "summarize", "run_parallel"]
+__all__ = ["RunSummary", "summarize", "summary_digest", "run_parallel"]
 
 
 @dataclass(frozen=True)
@@ -138,6 +139,38 @@ def summarize(result: ExperimentResult, window_s: float = 60.0) -> RunSummary:
         fallbacks=result.client_fallbacks(),
         query_rows=list(result.trace._queries),
     )
+
+
+def summary_digest(summary: RunSummary) -> str:
+    """Stable content digest of a summary (worker-count independence).
+
+    Covers everything semantically meaningful — job count, table rows,
+    summary stats, every series sample, fallback tallies, and the raw
+    query rows — via repr of plain floats/ints, which round-trips
+    exactly, so two digests agree iff the runs produced bitwise-equal
+    results regardless of which process computed them.
+    """
+    crc = 0
+
+    def feed(text: str) -> None:
+        nonlocal crc
+        crc = zlib.crc32(text.encode(), crc)
+
+    feed(f"{summary.config.name}|{summary.n_jobs}")
+    for cat in sorted(summary.table_rows):
+        row = summary.table_rows[cat]
+        feed(cat + "|" + "|".join(f"{k}={row[k]!r}" for k in sorted(row)))
+    feed("|".join(repr(v) for v in summary.response_stats.row()))
+    feed("|".join(repr(v) for v in summary.throughput_stats.row()))
+    for times, values in (summary.load_series, summary.response_series,
+                          summary.throughput_series):
+        feed("|".join(repr(float(t)) for t in times))
+        feed("|".join(repr(float(v)) for v in values))
+    feed("|".join(f"{k}={summary.fallbacks[k]!r}"
+                  for k in sorted(summary.fallbacks)))
+    for row in summary.query_rows:
+        feed("|".join(repr(x) for x in row))
+    return f"{crc:08x}"
 
 
 def _worker(config: ExperimentConfig) -> RunSummary:

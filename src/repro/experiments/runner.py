@@ -47,6 +47,7 @@ class ExperimentResult:
     network: Optional[Network] = field(default=None, repr=False)
     injector: Optional[object] = field(default=None, repr=False)
     failover: Optional[object] = field(default=None, repr=False)
+    checker: Optional[object] = field(default=None, repr=False)
     _jobs: dict = field(default=None, repr=False)  # type: ignore[assignment]
 
     def __post_init__(self):
@@ -246,7 +247,8 @@ def run_experiment(config: ExperimentConfig,
         assumed_job_lifetime_s=config.job_model.duration_mean_s,
         dp_queue_bound=config.dp_queue_bound,
         sync_delta=config.sync_delta,
-        state_index=config.fast_paths)
+        state_index=(config.state_index if config.state_index is not None
+                     else config.fast_paths))
 
     hosts = [f"host{i:03d}" for i in range(config.n_clients)]
     ramp = RampSchedule(n_clients=config.n_clients, span_s=config.ramp_span_s)
@@ -300,6 +302,18 @@ def run_experiment(config: ExperimentConfig,
                                  rng.stream("faults"), deployment=deployment)
         injector.arm()
 
+    checker = None
+    if config.check_enabled:
+        from repro.check import InvariantChecker
+        checker = InvariantChecker(sim, interval_s=config.check_interval_s,
+                                   strict=config.check_strict)
+        checker.watch_deployment(deployment)
+        for site in grid.sites.values():
+            checker.watch_site(site)
+        for client in clients:
+            checker.watch_client(client)
+        checker.install()
+
     deployment.start()
     if failover is not None:
         failover.start()
@@ -310,6 +324,11 @@ def run_experiment(config: ExperimentConfig,
                         grid=grid, rng=rng)
 
     sim.run(until=config.duration_s)
+
+    if checker is not None:
+        # One final checkpoint at end-of-run state, after the last
+        # scheduled check.
+        checker.check()
 
     if trace_sink is not None:
         # Detach before closing: generator finalizers can still spawn
@@ -337,4 +356,5 @@ def run_experiment(config: ExperimentConfig,
                             client_ends=client_ends, grid=grid,
                             deployment=deployment, clients=clients,
                             sim=sim, network=network,
-                            injector=injector, failover=failover)
+                            injector=injector, failover=failover,
+                            checker=checker)

@@ -57,6 +57,7 @@ class Site:
         self._queue: Deque[Job] = deque()
         self._running: dict[int, Job] = {}
         # Observers: called with the job on each transition.
+        self.on_job_dispatched: list[Callable[[Job], None]] = []
         self.on_job_started: list[Callable[[Job], None]] = []
         self.on_job_completed: list[Callable[[Job], None]] = []
         # CPU-seconds integral for Util computations.
@@ -64,8 +65,14 @@ class Site:
         self._last_change = 0.0
         # Cumulative per-VO CPU-seconds delivered (USLA verification input).
         self.vo_cpu_seconds: dict[str, float] = {}
+        # Conservation ledger: every job counted in ``jobs_dispatched``
+        # is, at any instant, exactly one of completed / failed /
+        # running / queued.  Oversized submissions never enter the
+        # ledger — they are rejected at the door (``jobs_rejected``).
         self.jobs_dispatched = 0
         self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_rejected = 0
 
     # -- public API --------------------------------------------------------
     @property
@@ -88,6 +95,8 @@ class Site:
             return
         job.mark_dispatched(self.sim.now, self.name)
         self.jobs_dispatched += 1
+        for cb in self.on_job_dispatched:
+            cb(job)
         self._queue.append(job)
         self._drain()
 
@@ -156,10 +165,18 @@ class Site:
         self._running[job.jid] = job
         for cb in self.on_job_started:
             cb(job)
-        self.sim.schedule(job.duration_s, lambda: self._complete(job))
+        self.sim.schedule(job.duration_s,
+                          lambda: self._complete(job, started=now))
 
-    def _complete(self, job: Job) -> None:
-        if job.jid not in self._running:  # pragma: no cover - guard
+    def _complete(self, job: Job, started: Optional[float] = None) -> None:
+        if job.jid not in self._running:
+            return
+        if started is not None and job.started_at != started:
+            # Stale timer from a preempted incarnation: the job was
+            # failed and re-planned back onto this site, and the new
+            # start scheduled its own completion.  Without this guard
+            # the dead timer completed the new run early, truncating
+            # its execution to the old deadline.
             return
         del self._running[job.jid]
         self._advance_integral()
@@ -174,6 +191,7 @@ class Site:
 
     def _fail(self, job: Job) -> None:
         job.mark_failed(self.sim.now)
+        self.jobs_rejected += 1
         for cb in self.on_job_completed:
             cb(job)
 
@@ -185,6 +203,13 @@ class Site:
         self._advance_integral()
         self.busy_cpus -= job.cpus
         job.mark_failed(self.sim.now)
+        self.jobs_failed += 1
+        # The job held CPUs from start to preemption; credit the partial
+        # run to its VO or the busy integral no longer decomposes into
+        # delivered CPU-seconds (the invariant checker's site.cpu_seconds
+        # rule caught exactly this omission).
+        self.vo_cpu_seconds[job.vo] = (self.vo_cpu_seconds.get(job.vo, 0.0)
+                                       + job.cpu_seconds)
         for cb in self.on_job_completed:
             cb(job)
         self._drain()

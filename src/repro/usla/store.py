@@ -25,6 +25,13 @@ class UslaStore:
     def __init__(self, owner: str = ""):
         self.owner = owner
         self._agreements: dict[str, Agreement] = {}
+        #: Monotone mutation counter.  Consumers that cache derived
+        #: views (the engine's flattened policy) compare against it
+        #: instead of relying on every mutation site to remember a
+        #: manual invalidation call — the negotiation path published
+        #: straight into the store and left a decision point answering
+        #: availability queries from a stale entitlement cache.
+        self.mutations = 0
 
     # -- publish / retrieve ------------------------------------------------
     def publish(self, agreement: Agreement) -> None:
@@ -35,6 +42,7 @@ class UslaStore:
                 f"agreement {agreement.name!r} v{agreement.version} does not "
                 f"supersede stored v{existing.version}")
         self._agreements[agreement.name] = agreement
+        self.mutations += 1
 
     def get(self, name: str) -> Agreement:
         try:
@@ -43,7 +51,8 @@ class UslaStore:
             raise KeyError(f"no agreement named {name!r}") from None
 
     def remove(self, name: str) -> None:
-        self._agreements.pop(name, None)
+        if self._agreements.pop(name, None) is not None:
+            self.mutations += 1
 
     def __len__(self) -> int:
         return len(self._agreements)
@@ -87,6 +96,8 @@ class UslaStore:
             if existing is None or ag.version > existing.version:
                 self._agreements[ag.name] = ag
                 adopted += 1
+        if adopted:
+            self.mutations += 1
         return adopted
 
     def export(self) -> list[dict]:

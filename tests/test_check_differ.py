@@ -1,0 +1,91 @@
+"""Integration tests for differential replay (`digruber diff`).
+
+Each named pair is an equivalence claim made by an earlier change;
+these smokes hold every claim to "zero divergence, or name the first
+divergent event".  Durations are short — the point is exercising the
+machinery, not soak coverage (CI runs longer pairs).
+"""
+
+import pytest
+
+from repro.check import PAIRS, run_pair
+from repro.check.differ import _diff_config, _run_journaled
+
+
+class TestPairsIdentical:
+    def test_fast_paths_pair_identical(self):
+        report = run_pair("fast-paths", duration_s=120.0)
+        assert report.identical, report.describe()
+        # A silent no-op journal would also "match"; require real events.
+        assert len(report.journal_a) > 50
+        assert report.journal_a.digest == report.journal_b.digest
+
+    def test_indexed_view_pair_identical(self):
+        report = run_pair("indexed-view", duration_s=120.0)
+        assert report.identical, report.describe()
+        assert len(report.journal_a) > 50
+
+    def test_spans_pair_identical_with_ctx_only_on_one_side(self):
+        report = run_pair("spans", duration_s=120.0)
+        assert report.identical, report.describe()
+        # Side A runs spans-off, side B spans-on: digests agree even
+        # though only B's entries carry span context.
+        assert not any(e.ctx for e in report.journal_a.entries)
+        assert any(e.ctx for e in report.journal_b.entries)
+
+    def test_workers_pair_identical(self):
+        # Satellite: run_parallel with 1 worker vs 4 workers produces
+        # identical per-run summary digests, in deterministic order.
+        report = run_pair("workers", duration_s=90.0)
+        assert report.identical, report.describe()
+        kinds = [e.kind for e in report.journal_a.entries]
+        assert kinds and set(kinds) == {"run.summary"}
+        names_a = [e.detail.split("|")[0] for e in report.journal_a.entries]
+        names_b = [e.detail.split("|")[0] for e in report.journal_b.entries]
+        assert names_a == names_b  # result order == input order
+
+    def test_delta_sync_pair_converges(self):
+        report = run_pair("delta-sync", duration_s=160.0)
+        assert report.identical, report.describe()
+        assert all(e.kind == "dp.final" for e in report.journal_a.entries)
+        assert len(report.journal_a) == 4  # one terminal digest per DP
+
+
+class TestInjection:
+    def test_injected_divergence_is_named_with_span_context(self):
+        report = run_pair("fast-paths", duration_s=120.0, inject=40)
+        assert not report.identical
+        ea, eb = report.divergence
+        assert ea.index == eb.index == 40
+        assert eb.detail.endswith("|INJECTED")
+        # _diff_config runs spans-on, so the report names the causal
+        # span of the first divergent event.
+        text = report.describe()
+        assert "DIVERGED" in text
+        assert "#40" in text
+
+    def test_identical_report_text(self):
+        report = run_pair("delta-sync", duration_s=160.0)
+        assert "IDENTICAL" in report.describe()
+
+
+class TestApi:
+    def test_unknown_pair_rejected(self):
+        with pytest.raises(ValueError, match="unknown pair"):
+            run_pair("no-such-pair")
+
+    def test_pair_registry_matches_cli(self):
+        assert sorted(PAIRS) == ["delta-sync", "fast-paths",
+                                 "indexed-view", "spans", "workers"]
+
+    def test_same_config_reruns_identically(self):
+        # The foundation the pairs stand on: the journaled run itself
+        # is deterministic.
+        a = _run_journaled(_diff_config(90.0, seed=3))
+        b = _run_journaled(_diff_config(90.0, seed=3))
+        assert a.digest == b.digest and len(a) == len(b) > 0
+
+    def test_seed_changes_the_run(self):
+        a = _run_journaled(_diff_config(90.0, seed=3))
+        b = _run_journaled(_diff_config(90.0, seed=4))
+        assert a.digest != b.digest

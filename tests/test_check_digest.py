@@ -1,0 +1,122 @@
+"""Tests for the chained event digest and divergence bisection."""
+
+import pytest
+
+from repro.check import EventJournal, first_divergence
+from repro.check.differ import inject_divergence
+
+
+def journal_of(events):
+    j = EventJournal()
+    for time, kind, detail in events:
+        j.record(time, kind, detail)
+    return j
+
+
+EVENTS = [(float(i), "evt", f"payload-{i}") for i in range(50)]
+
+
+class TestJournal:
+    def test_digest_chains(self):
+        a = journal_of(EVENTS)
+        b = journal_of(EVENTS)
+        assert a.digest == b.digest
+        assert len(a) == 50
+
+    def test_digest_depends_on_order(self):
+        a = journal_of(EVENTS)
+        b = journal_of(list(reversed(EVENTS)))
+        assert a.digest != b.digest
+
+    def test_empty_digest_is_zero(self):
+        assert EventJournal().digest == 0
+        assert EventJournal().crc_at(0) == 0
+
+    def test_crc_at_matches_prefix_replay(self):
+        full = journal_of(EVENTS)
+        for n in (0, 1, 7, 25, 50):
+            prefix = journal_of(EVENTS[:n])
+            assert full.crc_at(n) == prefix.digest
+
+    def test_ctx_excluded_from_digest(self):
+        a = EventJournal()
+        a.record(1.0, "evt", "x", ctx="trace=abc span=def")
+        b = EventJournal()
+        b.record(1.0, "evt", "x")
+        assert a.digest == b.digest
+
+    def test_ctx_surfaces_in_describe(self):
+        j = EventJournal()
+        e = j.record(1.0, "evt", "x", ctx="trace=abc span=def")
+        assert "[trace=abc span=def]" in e.describe()
+
+
+class TestFirstDivergence:
+    def test_identical_returns_none(self):
+        assert first_divergence(journal_of(EVENTS), journal_of(EVENTS)) is None
+
+    def test_both_empty(self):
+        assert first_divergence(EventJournal(), EventJournal()) is None
+
+    def test_mid_divergence_located_exactly(self):
+        a = journal_of(EVENTS)
+        mutated = list(EVENTS)
+        mutated[23] = (23.0, "evt", "corrupted")
+        b = journal_of(mutated)
+        ea, eb = first_divergence(a, b)
+        assert ea.index == eb.index == 23
+        assert ea.detail == "payload-23"
+        assert eb.detail == "corrupted"
+
+    def test_divergence_at_first_entry(self):
+        a = journal_of(EVENTS)
+        mutated = [(0.0, "evt", "different")] + EVENTS[1:]
+        ea, eb = first_divergence(a, journal_of(mutated))
+        assert ea.index == 0 and eb.detail == "different"
+
+    def test_divergence_at_last_entry(self):
+        a = journal_of(EVENTS)
+        mutated = EVENTS[:-1] + [(49.0, "evt", "tail")]
+        ea, eb = first_divergence(a, journal_of(mutated))
+        assert ea.index == 49 and eb.detail == "tail"
+
+    def test_strict_prefix_b_shorter(self):
+        a = journal_of(EVENTS)
+        b = journal_of(EVENTS[:30])
+        ea, eb = first_divergence(a, b)
+        assert eb is None
+        assert ea.index == 30
+
+    def test_strict_prefix_a_shorter(self):
+        ea, eb = first_divergence(journal_of(EVENTS[:10]),
+                                  journal_of(EVENTS))
+        assert ea is None
+        assert eb.index == 10
+
+    def test_time_differences_diverge(self):
+        # Same payload at a different simulated time is a divergence:
+        # event *timing* is part of run identity.
+        a = journal_of([(1.0, "evt", "x")])
+        b = journal_of([(1.5, "evt", "x")])
+        assert first_divergence(a, b) is not None
+
+
+class TestInjectDivergence:
+    def test_injection_diverges_at_index(self):
+        a = journal_of(EVENTS)
+        b = inject_divergence(journal_of(EVENTS), 17)
+        ea, eb = first_divergence(a, b)
+        assert ea.index == eb.index == 17
+        assert eb.detail.endswith("|INJECTED")
+
+    def test_injection_preserves_length_and_ctx(self):
+        src = EventJournal()
+        for t, k, d in EVENTS:
+            src.record(t, k, d, ctx=f"span-{int(t)}")
+        b = inject_divergence(src, 5)
+        assert len(b) == len(src)
+        assert b.entries[5].ctx == "span-5"
+
+    def test_injection_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            inject_divergence(journal_of(EVENTS), 5000)

@@ -1,0 +1,308 @@
+"""Tests for the online invariant checker (`run --check`)."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.check import InvariantChecker, InvariantViolation
+from repro.core import DecisionPoint, DIGruberDeployment
+from repro.grid import Cluster, GridBuilder, Job, Site
+from repro.net import ConstantLatency, GT3_PROFILE, Network
+from repro.sim import RngRegistry, Simulator
+from repro.usla import Agreement, AgreementContext, ServiceTerm
+from repro.usla.fairshare import FairShareRule, ShareKind
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def make_site(sim, cpus=8, name="s0"):
+    return Site(sim, name, [Cluster(f"{name}-c0", cpus)])
+
+
+def make_job(cpus=1, duration=50.0, vo="vo0"):
+    return Job(vo=vo, group="g0", user="u0", cpus=cpus, duration_s=duration)
+
+
+def rules_of(violations):
+    return [v.rule for v in violations]
+
+
+class TestWiring:
+    def test_bad_interval_rejected(self, sim):
+        with pytest.raises(ValueError):
+            InvariantChecker(sim, interval_s=0.0)
+
+    def test_double_install_rejected(self, sim):
+        c = InvariantChecker(sim)
+        c.install()
+        with pytest.raises(RuntimeError):
+            c.install()
+
+    def test_install_runs_periodic_checkpoints(self, sim):
+        c = InvariantChecker(sim, interval_s=10.0)
+        c.install()
+        sim.run(until=45.0)
+        assert c.checks_run == 4  # t=10, 20, 30, 40
+        assert c.violations == []
+
+    def test_uninstall_stops_checkpoints(self, sim):
+        c = InvariantChecker(sim, interval_s=10.0)
+        c.install()
+        sim.run(until=25.0)
+        c.uninstall()
+        sim.run(until=100.0)
+        assert c.checks_run == 2
+
+
+class TestSiteInvariants:
+    def test_clean_site_passes(self, sim):
+        c = InvariantChecker(sim)
+        site = make_site(sim)
+        c.watch_site(site)
+        site.submit(make_job(cpus=2))
+        site.submit(make_job(cpus=2, duration=200.0))
+        sim.run(until=100.0)
+        assert c.check() == []
+
+    def test_busy_sum_violation_detected(self, sim):
+        c = InvariantChecker(sim)
+        site = make_site(sim)
+        c.watch_site(site)
+        site.submit(make_job(cpus=2, duration=500.0))
+        sim.run(until=10.0)
+        site.busy_cpus += 1  # corrupt: no running job holds this CPU
+        found = rules_of(c.check())
+        assert "site.busy_sum" in found
+
+    def test_busy_bounds_violation_detected(self, sim):
+        c = InvariantChecker(sim)
+        site = make_site(sim, cpus=2)
+        c.watch_site(site)
+        site.busy_cpus = -1
+        assert "site.busy_bounds" in rules_of(c.check())
+
+    def test_job_conservation_violation_detected(self, sim):
+        c = InvariantChecker(sim)
+        site = make_site(sim)
+        c.watch_site(site)
+        site.submit(make_job())
+        sim.run()
+        site.jobs_completed += 1  # phantom completion
+        assert "site.job_conservation" in rules_of(c.check())
+
+    def test_uncredited_cpu_seconds_detected(self, sim):
+        # The exact shape of the preemption-accounting bug: CPU-seconds
+        # delivered but never credited to any VO.
+        c = InvariantChecker(sim)
+        site = make_site(sim)
+        c.watch_site(site)
+        site.submit(make_job(cpus=4, duration=50.0))
+        sim.run()
+        site.vo_cpu_seconds["vo0"] -= 25.0
+        assert "site.cpu_seconds" in rules_of(c.check())
+
+    def test_preempted_job_accounting_passes(self, sim):
+        c = InvariantChecker(sim)
+        site = make_site(sim)
+        c.watch_site(site)
+        job = make_job(cpus=4, duration=100.0)
+        site.submit(job)
+        sim.run(until=30.0)
+        site.fail_running_job(job.jid)
+        sim.run(until=60.0)
+        assert c.check() == []
+
+
+class TestKernelInvariants:
+    def test_clock_monotone_rule(self, sim):
+        c = InvariantChecker(sim)
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        c._last_now = sim.now + 5.0  # simulate a clock that jumped back
+        assert "kernel.clock_monotone" in rules_of(c.check())
+
+    def test_heap_dead_rule(self, sim):
+        c = InvariantChecker(sim)
+        sim._dead = len(sim._heap) + 7
+        assert "kernel.heap_dead" in rules_of(c.check())
+
+
+class TestClientInvariants:
+    def _client(self, n_jobs=2, duration=50.0, run_for=None):
+        jobs = []
+        for i in range(n_jobs):
+            j = make_job(duration=duration)
+            j.mark_dispatched(0.0, "s0")
+            j.mark_running(0.0)
+            j.mark_completed(duration if run_for is None else run_for)
+            jobs.append(j)
+        return SimpleNamespace(
+            node_id="h0", jobs=jobs, busy=False, backlog_len=0,
+            n_handled=n_jobs, n_fallback_timeout=0, n_abandoned=0,
+            n_retries=0, backlog_peak=0,
+            workload=SimpleNamespace(
+                arrivals=np.zeros(n_jobs, dtype=float)))
+
+    def test_clean_client_passes(self, sim):
+        c = InvariantChecker(sim)
+        c.watch_client(self._client())
+        assert c.check() == []
+
+    def test_job_conservation_violation(self, sim):
+        c = InvariantChecker(sim)
+        client = self._client()
+        client.n_handled -= 2  # two jobs unaccounted for
+        c.watch_client(client)
+        assert "client.job_conservation" in rules_of(c.check())
+
+    def test_truncated_execution_detected(self, sim):
+        # The stale-completion-timer bug signature: a COMPLETED job
+        # whose measured execution time undershoots its duration.
+        c = InvariantChecker(sim)
+        client = self._client(duration=100.0, run_for=60.0)
+        c.watch_client(client)
+        assert "client.job_duration" in rules_of(c.check())
+
+    def test_negative_counter_detected(self, sim):
+        c = InvariantChecker(sim)
+        client = self._client()
+        client.n_retries = -1
+        c.watch_client(client)
+        assert "client.counter_bounds" in rules_of(c.check())
+
+
+def make_dp(sim, rng, net, grid, node_id="dp0", **kw):
+    defaults = dict(monitor_interval_s=600.0, sync_interval_s=60.0)
+    defaults.update(kw)
+    return DecisionPoint(sim, net, node_id, grid, GT3_PROFILE,
+                         rng.stream(f"dp:{node_id}"), **defaults)
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    rng = RngRegistry(11)
+    net = Network(sim, ConstantLatency(0.05))
+    grid = GridBuilder(sim, rng.stream("grid")).uniform(
+        n_sites=4, cpus_per_site=16)
+    return sim, rng, net, grid
+
+
+class TestDecisionPointInvariants:
+    def test_clean_dp_passes(self, env):
+        sim, rng, net, grid = env
+        dp = make_dp(sim, rng, net, grid)
+        c = InvariantChecker(sim)
+        c.watch_dp(dp)
+        dp.engine.record_local_dispatch(site=grid.site_names[0], vo="vo0",
+                                        cpus=2, now=0.0)
+        assert c.check() == []
+
+    def test_watermark_bound_violation(self, env):
+        sim, rng, net, grid = env
+        dp = make_dp(sim, rng, net, grid)
+        c = InvariantChecker(sim)
+        c.watch_dp(dp)
+        dp.sync._peer_marks["dp9"] = 999  # beyond anything learned
+        assert "sync.watermark_bound" in rules_of(c.check())
+
+    def test_watermark_monotone_violation(self, env):
+        sim, rng, net, grid = env
+        dp = make_dp(sim, rng, net, grid)
+        c = InvariantChecker(sim)
+        c.watch_dp(dp)
+        c._last_marks[("dp0", "dp9")] = 5
+        dp.sync._peer_marks["dp9"] = 0
+        assert "sync.watermark_monotone" in rules_of(c.check())
+
+    def test_policy_cache_incoherence_detected(self, env):
+        sim, rng, net, grid = env
+        dp = make_dp(sim, rng, net, grid, usla_aware=True)
+        site = grid.site_names[0]
+        dp.engine.usla_store.publish(Agreement(
+            name="a1", context=AgreementContext(provider=site,
+                                                consumer="vo0"),
+            terms=[ServiceTerm("cpu-share",
+                               FairShareRule(site, "vo0", 40.0,
+                                             ShareKind.UPPER_LIMIT))]))
+        dp.engine._policy()  # build + cache the flattened policy
+        c = InvariantChecker(sim)
+        c.watch_dp(dp)
+        assert c.check() == []
+        # Corrupt the cache while leaving the mutation counters in
+        # agreement: exactly the state the self-invalidation cannot see.
+        from repro.usla.policy import PolicyEngine
+        dp.engine._policy_cache = PolicyEngine()
+        assert "usla.policy_coherence" in rules_of(c.check())
+
+    def test_deployment_watch_is_live(self, env):
+        # Decision points added mid-run by the reconfiguration observer
+        # must be checked too; a construction-time snapshot misses them.
+        sim, rng, net, grid = env
+        dep = DIGruberDeployment(sim, net, grid, GT3_PROFILE, rng,
+                                 n_decision_points=1)
+        c = InvariantChecker(sim)
+        c.watch_deployment(dep)
+        assert c.check() == []
+        added = dep.add_decision_point()
+        added.sync._peer_marks["dpX"] = 123
+        found = c.check()
+        assert "sync.watermark_bound" in rules_of(found)
+        assert found[0].subject == str(added.node_id)
+
+
+class TestReporting:
+    def test_strict_mode_raises(self, sim):
+        c = InvariantChecker(sim, strict=True)
+        site = make_site(sim)
+        c.watch_site(site)
+        site.busy_cpus = -3
+        with pytest.raises(InvariantViolation, match="site.busy_bounds"):
+            c.check()
+
+    def test_nonstrict_counts_and_traces(self, sim):
+        c = InvariantChecker(sim)
+        site = make_site(sim)
+        c.watch_site(site)
+        site.busy_cpus = -3
+        c.check()
+        assert len(c.violations) >= 1
+        assert sim.metrics.counter("check.violations").value >= 1
+
+    def test_summary_formats(self, sim):
+        c = InvariantChecker(sim)
+        c.check()
+        assert "1 checkpoint(s), OK" in c.summary()
+        site = make_site(sim)
+        c.watch_site(site)
+        site.busy_cpus = -3
+        c.check()
+        assert "violation(s)" in c.summary()
+        assert "site.busy_bounds" in c.summary()
+
+
+class TestCheckedExperiment:
+    def test_smoke_run_has_zero_violations_strict(self):
+        # The acceptance bar: a canonical smoke run under the strict
+        # checker completes with every invariant holding throughout.
+        from repro.experiments.configs import smoke_config
+        from repro.experiments.runner import run_experiment
+        config = smoke_config(decision_points=3, n_clients=10,
+                              duration_s=300.0, sync_interval_s=30.0,
+                              check_enabled=True, check_strict=True,
+                              check_interval_s=30.0)
+        result = run_experiment(config)
+        assert result.checker is not None
+        assert result.checker.violations == []
+        assert result.checker.checks_run >= 10
+        assert result.n_jobs > 0
+
+    def test_checker_off_by_default(self):
+        from repro.experiments.configs import smoke_config
+        from repro.experiments.runner import run_experiment
+        result = run_experiment(smoke_config(duration_s=60.0))
+        assert result.checker is None

@@ -1,0 +1,154 @@
+"""Tests for the AST determinism lint (`repro.check.lint`)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check.lint import lint_paths, lint_source, main
+
+
+def rules(source):
+    return [f.rule for f in lint_source(source)]
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert rules("import time\nt = time.time()\n") == ["wall-clock"]
+
+    def test_monotonic_and_perf_counter_flagged(self):
+        src = "import time\na = time.monotonic()\nb = time.perf_counter()\n"
+        assert rules(src) == ["wall-clock", "wall-clock"]
+
+    def test_datetime_now_flagged(self):
+        src = "import datetime\nd = datetime.datetime.now()\n"
+        assert rules(src) == ["wall-clock"]
+
+    def test_utcnow_flagged(self):
+        src = "from datetime import datetime\nd = datetime.utcnow()\n"
+        assert rules(src) == ["wall-clock"]
+
+    def test_sim_clock_not_flagged(self):
+        # The simulated clock is the deterministic alternative.
+        assert rules("now = sim.now\nt = self.sim.now\n") == []
+
+
+class TestAmbientRandom:
+    def test_import_random_flagged(self):
+        assert rules("import random\n") == ["ambient-random"]
+
+    def test_from_random_import_flagged(self):
+        assert rules("from random import choice\n") == ["ambient-random"]
+
+    def test_unrelated_import_ok(self):
+        assert rules("import itertools\nfrom math import sqrt\n") == []
+
+
+class TestUnseededNumpy:
+    def test_bare_default_rng_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules(src) == ["unseeded-numpy"]
+
+    def test_seeded_default_rng_ok(self):
+        src = ("import numpy as np\n"
+               "a = np.random.default_rng(42)\n"
+               "b = np.random.default_rng(seed=7)\n")
+        assert rules(src) == []
+
+    def test_np_random_seed_flagged(self):
+        src = "import numpy as np\nnp.random.seed(1)\n"
+        assert rules(src) == ["unseeded-numpy"]
+
+    def test_module_level_draw_flagged(self):
+        src = "import numpy as np\nx = np.random.uniform(0, 1)\n"
+        assert rules(src) == ["unseeded-numpy"]
+
+    def test_generator_machinery_ok(self):
+        src = ("import numpy as np\n"
+               "g = np.random.Generator(np.random.PCG64(3))\n"
+               "s = np.random.SeedSequence(9)\n")
+        assert rules(src) == []
+
+    def test_instance_draw_ok(self):
+        # Draws on an explicit Generator instance are the sanctioned
+        # pattern (rng.uniform is not numpy.random.uniform).
+        assert rules("x = rng.uniform(0, 1)\n") == []
+
+
+class TestSetIteration:
+    def test_for_over_set_call_flagged(self):
+        assert rules("for x in set(items):\n    use(x)\n") == \
+            ["set-iteration"]
+
+    def test_for_over_set_literal_flagged(self):
+        assert rules("for x in {1, 2, 3}:\n    use(x)\n") == \
+            ["set-iteration"]
+
+    def test_comprehension_over_set_flagged(self):
+        assert rules("out = [f(x) for x in frozenset(items)]\n") == \
+            ["set-iteration"]
+
+    def test_set_algebra_flagged(self):
+        src = "for x in set(a) | set(b):\n    use(x)\n"
+        assert rules(src) == ["set-iteration"]
+
+    def test_sorted_set_ok(self):
+        assert rules("for x in sorted(set(items)):\n    use(x)\n") == []
+
+    def test_list_iteration_ok(self):
+        assert rules("for x in list(items):\n    use(x)\n") == []
+
+    def test_plain_name_not_flagged(self):
+        # A bare name might be a set, but flagging every name would
+        # drown the signal; the lint targets the syntactically certain.
+        assert rules("for x in items:\n    use(x)\n") == []
+
+
+class TestSuppression:
+    def test_marker_suppresses(self):
+        src = "import time\nt = time.time()  # det: ok\n"
+        assert rules(src) == []
+
+    def test_marker_is_per_line(self):
+        src = ("import time\n"
+               "a = time.time()  # det: ok\n"
+               "b = time.time()\n")
+        assert rules(src) == ["wall-clock"]
+
+
+class TestPaths:
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "bad.py").write_text("import random\n")
+        (tmp_path / "good.py").write_text("x = 1\n")
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "worse.py").write_text("import time\nt = time.time()\n")
+        findings = lint_paths([str(tmp_path)])
+        assert sorted(f.rule for f in findings) == \
+            ["ambient-random", "wall-clock"]
+
+    def test_single_file(self, tmp_path):
+        f = tmp_path / "one.py"
+        f.write_text("from random import random\n")
+        assert [x.rule for x in lint_paths([str(f)])] == ["ambient-random"]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        assert main([str(clean)]) == 0
+        assert main([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "ambient-random" in out
+
+    def test_finding_str_is_clickable(self):
+        f = lint_source("import random\n", path="src/x.py")[0]
+        assert str(f).startswith("src/x.py:1: [ambient-random]")
+
+
+class TestRepoIsClean:
+    def test_simulation_package_has_zero_findings(self):
+        """The CI gate in test form: src/repro stays determinism-clean."""
+        pkg = Path(__file__).resolve().parents[1] / "src" / "repro"
+        findings = lint_paths([str(pkg)])
+        assert findings == [], "\n".join(str(f) for f in findings)

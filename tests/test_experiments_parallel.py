@@ -68,3 +68,26 @@ class TestRunParallel:
         out = run_parallel(list(reversed(configs)), max_workers=3)
         assert [s.config.name for s in out] == \
             ["par-3dp", "par-2dp", "par-1dp"]
+
+
+class TestSummaryDigest:
+    def test_digest_is_deterministic(self, configs):
+        from repro.experiments.parallel import summary_digest
+        a = summary_digest(summarize(run_experiment(configs[0])))
+        b = summary_digest(summarize(run_experiment(configs[0])))
+        assert a == b and len(a) == 8
+
+    def test_digest_separates_configs(self, configs):
+        from repro.experiments.parallel import summary_digest
+        digests = [summary_digest(s) for s in
+                   run_parallel(configs, max_workers=2)]
+        assert len(set(digests)) == len(digests)
+
+    def test_worker_count_does_not_change_digests(self, configs):
+        # The `digruber diff --pair workers` claim in unit form.
+        from repro.experiments.parallel import summary_digest
+        one = [summary_digest(s) for s in
+               run_parallel(configs, max_workers=1)]
+        four = [summary_digest(s) for s in
+                run_parallel(configs, max_workers=4)]
+        assert one == four
