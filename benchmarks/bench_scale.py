@@ -18,18 +18,28 @@ optimized-over-baseline *speedups* cell-by-cell (speedups are robust to
 absolute machine speed where raw events/sec are not) and fails on a
 >15% regression.
 
+The full sweep also measures the *shard axis*: the space-parallel
+sharded runtime (``repro.sim.sharded``) on the headline (k=10, 10 DP)
+cell at 1/2/4 shards plus a k=100 row, recording events/s, the
+run digest per shard count (they must all agree — grouping
+independence), and speedups against both serial variants
+(``speedup_vs_base``, ``speedup_vs_opt``).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_scale.py           # full sweep
     PYTHONPATH=src python benchmarks/bench_scale.py --quick   # CI subset
     PYTHONPATH=src python benchmarks/bench_scale.py --quick \
         --check BENCH_scale.json                              # regression gate
+    PYTHONPATH=src python benchmarks/bench_scale.py --quick \
+        --shards-only                                         # CI shard gate
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -57,6 +67,32 @@ REGRESSION_TOLERANCE = 0.85
 #: Acceptance floor: the optimized stack must be at least this much
 #: faster than the pre-change baseline at k=10.
 K10_SPEEDUP_FLOOR = 2.0
+#: Sharded axis: shard counts measured on the headline (k=10, 10 DP)
+#: cell, plus a 4-shard worker-mode row for the parallel path.
+SHARD_COUNTS = (1, 2, 4)
+#: Acceptance floor for the sharded runtime on the k=10 cell: events/s
+#: at 4 shards vs the *serial baseline* cost model (the same
+#: denominator every ``speedup`` column in this file uses).  The
+#: structural ratio — neighborhood-local views, epoch-batched sync —
+#: is core-count independent, so CI can gate on it from a 1-core
+#: runner.
+SHARD4_SPEEDUP_FLOOR = 2.0
+
+
+def _cell_env() -> dict:
+    """Subprocess environment for measured cells, pinned.
+
+    Committed BENCH numbers must not drift with the invoking shell:
+    ``PYTHONHASHSEED`` is pinned (hash-dependent set/dict iteration
+    order in *any* future code path would otherwise vary per process),
+    and the repo's ``REPRO_*`` toggles (bench durations, obs/trace
+    switches) are stripped so a cell measures exactly what the sweep
+    parameters say.
+    """
+    env = {k: v for k, v in os.environ.items()
+           if not k.startswith("REPRO_")}
+    env["PYTHONHASHSEED"] = "0"
+    return env
 
 
 def run_cell(multiplier: int, dps: int, duration_s: float,
@@ -98,17 +134,103 @@ def run_cell(multiplier: int, dps: int, duration_s: float,
     }
 
 
-def _run_cell_isolated(params: dict) -> dict:
+def _run_cell_isolated(params: dict, entry: str = "--cell") -> dict:
     """Run one cell in a fresh interpreter (honest per-cell peak RSS)."""
     proc = subprocess.run(
         [sys.executable, str(Path(__file__).resolve()),
-         "--cell", json.dumps(params)],
-        capture_output=True, text=True)
+         entry, json.dumps(params)],
+        capture_output=True, text=True, env=_cell_env())
     if proc.returncode != 0:
         # Isolation failed (constrained environments): fall back inline.
         sys.stderr.write(proc.stderr)
-        return run_cell(**params)
+        runner = run_shard_cell if entry == "--shard-cell" else run_cell
+        return runner(**params)
     return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def run_shard_cell(multiplier: int, dps: int, duration_s: float,
+                   n_shards: int, mode: str = "lockstep") -> dict:
+    """One sharded run of the k-scaled grid; returns metrics + digest."""
+    import resource
+
+    from repro.experiments.configs import scale_config
+    from repro.sim.sharded import run_sharded
+
+    config = scale_config(
+        multiplier=multiplier, decision_points=dps, duration_s=duration_s,
+        name=f"scale-{multiplier}x-{dps}dp-sharded")
+    result = run_sharded(config, n_shards=n_shards, mode=mode)
+    ru = resource.getrusage(resource.RUSAGE_SELF)
+    return {
+        "multiplier": multiplier,
+        "dps": dps,
+        "duration_s": duration_s,
+        "n_shards": n_shards,
+        "mode": mode,
+        "wall_s": round(result.wall_s, 3),
+        "events": result.total_events,
+        "events_per_s": round(result.events_per_s, 1),
+        "heap_peak": result.heap_peak,
+        "requests": result.n_jobs,
+        "digest": result.digest,
+        "rss_peak_mb": round(ru.ru_maxrss / 1024.0, 1),  # Linux: KB
+    }
+
+
+def run_shard_sweep(shard_rows, duration_s: float, serial_rows=(),
+                    isolate: bool = True) -> list[dict]:
+    """The shard-count axis: one row per (k, dps) with all shard runs.
+
+    ``serial_rows`` supplies the serial reference cells already
+    measured by :func:`run_sweep`; a (k, dps) row without a serial
+    reference gets one fresh optimized serial run for its
+    ``speedup_vs_opt`` (the k=100 cell, where a serial *baseline*
+    run is unaffordable by construction — that is the point).
+    """
+    by_cell = {(c["multiplier"], c["dps"]): c for c in serial_rows}
+    rows = []
+    for multiplier, dps, shard_specs in shard_rows:
+        runs = []
+        for n_shards, mode in shard_specs:
+            params = dict(multiplier=multiplier, dps=dps,
+                          duration_s=duration_s, n_shards=n_shards,
+                          mode=mode)
+            r = (_run_cell_isolated(params, entry="--shard-cell")
+                 if isolate else run_shard_cell(**params))
+            runs.append(r)
+            print(f"k={multiplier:>3} dps={dps:>2} shards={n_shards} "
+                  f"[{mode:>8}]: {r['events_per_s']:>9,.0f} ev/s   "
+                  f"events {r['events']:,}   digest {r['digest']}")
+        row: dict = {"multiplier": multiplier, "dps": dps, "runs": runs}
+        row["digest_consistent"] = len({r["digest"] for r in runs}) == 1
+        serial = by_cell.get((multiplier, dps))
+        best4 = max((r["events_per_s"] for r in runs
+                     if r["n_shards"] == max(s for s, _ in shard_specs)),
+                    default=None)
+        if serial is None and best4 is not None:
+            # No serial cell in this sweep: measure an optimized serial
+            # reference so the row still carries a comparable ratio.
+            params = dict(multiplier=multiplier, dps=dps,
+                          duration_s=duration_s, optimized=True)
+            opt = (_run_cell_isolated(params) if isolate
+                   else run_cell(**params))
+            row["serial_opt"] = opt
+            serial = {"optimized": opt}
+        if serial is not None and best4 is not None:
+            opt_eps = serial["optimized"]["events_per_s"]
+            row["speedup_vs_opt"] = round(best4 / opt_eps, 2)
+            if "baseline" in serial:
+                base_eps = serial["baseline"]["events_per_s"]
+                row["speedup_vs_base"] = round(best4 / base_eps, 2)
+        rows.append(row)
+        msg = [f"k={multiplier:>3} dps={dps:>2} shard row:",
+               f"digests {'consistent' if row['digest_consistent'] else 'DIVERGED'}"]
+        if "speedup_vs_base" in row:
+            msg.append(f"vs serial-base {row['speedup_vs_base']:.2f}x")
+        if "speedup_vs_opt" in row:
+            msg.append(f"vs serial-opt {row['speedup_vs_opt']:.2f}x")
+        print("  " + "   ".join(msg))
+    return rows
 
 
 def run_sweep(cells, duration_s: float, isolate: bool = True) -> list[dict]:
@@ -174,18 +296,35 @@ def measure_heap_bound(n_rpcs: int = 10_000) -> dict:
     return out
 
 
-def build_report(rows: list[dict], quick: bool) -> dict:
+def shard_gate(shard_rows: list[dict]) -> tuple[bool, list[str]]:
+    """The sharded acceptance gate: digest equality + speedup floor."""
+    problems = []
+    for row in shard_rows:
+        key = f"k={row['multiplier']} dps={row['dps']}"
+        if not row["digest_consistent"]:
+            problems.append(f"{key}: shard-count digests diverged")
+        floor_ratio = row.get("speedup_vs_base")
+        if floor_ratio is not None and floor_ratio < SHARD4_SPEEDUP_FLOOR:
+            problems.append(
+                f"{key}: sharded {floor_ratio:.2f}x vs serial baseline, "
+                f"below the {SHARD4_SPEEDUP_FLOOR:.0f}x floor")
+    return (not problems), problems
+
+
+def build_report(rows: list[dict], quick: bool,
+                 shard_rows: list[dict] | None = None) -> dict:
     k10 = [c for c in rows if c["multiplier"] == 10]
     k10_speedup = min((c["speedup"] for c in k10), default=None)
     heap_bound = measure_heap_bound()
     ok = ((k10_speedup is None or k10_speedup >= K10_SPEEDUP_FLOOR)
           and heap_bound["bounded"])
-    return {
+    report = {
         "bench": "scale",
         "quick": quick,
         "unix_time": int(time.time()),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
         "cell_duration_s": CELL_DURATION_S,
         "cells": rows,
         "heap_bound": heap_bound,
@@ -193,6 +332,13 @@ def build_report(rows: list[dict], quick: bool) -> dict:
         "k10_speedup_floor": K10_SPEEDUP_FLOOR,
         "pass_scale_floor": ok,
     }
+    if shard_rows is not None:
+        shard_ok, shard_problems = shard_gate(shard_rows)
+        report["shard_cells"] = shard_rows
+        report["shard4_speedup_floor"] = SHARD4_SPEEDUP_FLOOR
+        report["pass_shard_gate"] = shard_ok
+        report["shard_gate_problems"] = shard_problems
+    return report
 
 
 def check_regression(rows: list[dict], committed_path: Path) -> list[str]:
@@ -246,16 +392,43 @@ def main(argv=None) -> int:
     parser.add_argument("--no-isolate", action="store_true",
                         help="run cells in-process (faster, but peak RSS "
                              "becomes a process-wide high-water mark)")
+    parser.add_argument("--shards-only", action="store_true",
+                        help="run only the shard axis (CI shard job): "
+                             "serial k=10 reference + sharded runs, "
+                             "gating on digest equality and the shard "
+                             "speedup floor")
     parser.add_argument("--cell", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--shard-cell", default=None, help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
 
     if args.cell:  # subprocess entry: one cell, JSON on stdout
         print(json.dumps(run_cell(**json.loads(args.cell))))
         return 0
+    if args.shard_cell:
+        print(json.dumps(run_shard_cell(**json.loads(args.shard_cell))))
+        return 0
+
+    isolate = not args.no_isolate
+
+    if args.shards_only:
+        serial_rows = run_sweep([(10, 10)], CELL_DURATION_S, isolate=isolate)
+        specs = ([(10, 10, [(1, "lockstep"), (4, "lockstep")])]
+                 if args.quick else
+                 [(10, 10, [(n, "lockstep") for n in SHARD_COUNTS]
+                   + [(4, "workers")])])
+        shard_rows = run_shard_sweep(specs, CELL_DURATION_S,
+                                     serial_rows=serial_rows,
+                                     isolate=isolate)
+        shard_ok, problems = shard_gate(shard_rows)
+        for problem in problems:
+            print(f"  SHARD GATE: {problem}")
+        print(f"shard gate (digest equality + >= "
+              f"{SHARD4_SPEEDUP_FLOOR:.0f}x vs serial baseline) -> "
+              f"{'PASS' if shard_ok else 'FAIL'}")
+        return 0 if shard_ok else 1
 
     cells = QUICK_CELLS if args.quick else FULL_CELLS
-    rows = run_sweep(cells, CELL_DURATION_S, isolate=not args.no_isolate)
-    report = build_report(rows, quick=args.quick)
+    rows = run_sweep(cells, CELL_DURATION_S, isolate=isolate)
 
     if args.check:
         problems = check_regression(rows, Path(args.check))
@@ -265,13 +438,33 @@ def main(argv=None) -> int:
         print(f"scale regression gate vs {args.check} -> {verdict}")
         return 1 if problems else 0
 
+    shard_rows = None
+    if not args.quick:
+        shard_specs = [
+            (10, 10, [(n, "lockstep") for n in SHARD_COUNTS]
+             + [(4, "workers")]),
+            # The k=100 row: a grid one hundred times Grid3/OSG.  No
+            # serial-baseline reference — that run is unaffordable,
+            # which is what the sharded runtime exists to fix — so the
+            # row carries a fresh optimized-serial reference instead.
+            (100, 10, [(4, "lockstep")]),
+        ]
+        shard_rows = run_shard_sweep(shard_specs, CELL_DURATION_S,
+                                     serial_rows=rows, isolate=isolate)
+    report = build_report(rows, quick=args.quick, shard_rows=shard_rows)
+
     out = Path(args.out) if args.out else _ROOT / "BENCH_scale.json"
     out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     verdict = "PASS" if report["pass_scale_floor"] else "FAIL"
     print(f"k=10 speedup floor ({K10_SPEEDUP_FLOOR:.0f}x): "
           f"min {report['k10_speedup_min']} -> {verdict}")
+    passed = report["pass_scale_floor"]
+    if shard_rows is not None:
+        shard_verdict = "PASS" if report["pass_shard_gate"] else "FAIL"
+        print(f"shard gate: {shard_verdict}")
+        passed = passed and report["pass_shard_gate"]
     print(f"wrote {out}")
-    return 0 if report["pass_scale_floor"] else 1
+    return 0 if passed else 1
 
 
 if __name__ == "__main__":

@@ -26,6 +26,10 @@ Pair semantics:
   **convergence**, checked on a scripted harness with no clients:
   scripted dispatches, then quiescence, then every decision point's
   final live record set must match between the two modes.
+* ``sharded-2`` / ``sharded-4`` — the space-parallel kernel's
+  partition-independence claim: ``run_sharded`` over one shard vs two
+  (or four), comparing the canonically merged per-neighborhood event
+  journals.  Any shard grouping must replay to the same chained digest.
 """
 
 from __future__ import annotations
@@ -167,6 +171,28 @@ def _pair_workers(duration_s: float, seed: int) -> DiffReport:
     return _report("workers", "1-worker", ja, "4-workers", jb)
 
 
+def _pair_sharded(n_shards: int, duration_s: float, seed: int) -> DiffReport:
+    """1 shard vs ``n_shards`` over the same 4-neighborhood config.
+
+    ``run_sharded`` journals every neighborhood and merges the streams
+    canonically (sorted by time, hood, per-hood index), so the chained
+    digests must match entry-for-entry regardless of grouping.  Spans
+    stay off: hood sub-configs force per-sim observability off anyway.
+    """
+    from repro.experiments.configs import smoke_config
+    from repro.sim.sharded import run_sharded
+
+    config = smoke_config(
+        decision_points=4, n_clients=16, n_sites=16, total_cpus=800,
+        duration_s=duration_s, sync_interval_s=30.0,
+        monitor_interval_s=60.0, seed=seed, name="diff-sharded")
+    serial = run_sharded(config, n_shards=1, journal=True)
+    sharded = run_sharded(config, n_shards=n_shards, journal=True)
+    return _report(f"sharded-{n_shards}",
+                   "1-shard", serial.journal,
+                   f"{n_shards}-shards", sharded.journal)
+
+
 def _pair_delta_sync(duration_s: float, seed: int) -> DiffReport:
     ja = _scripted_sync_run(duration_s, seed, delta=False)
     jb = _scripted_sync_run(duration_s, seed, delta=True)
@@ -239,6 +265,8 @@ PAIRS: dict[str, Callable[[float, int], DiffReport]] = {
     "spans": _pair_spans,
     "workers": _pair_workers,
     "delta-sync": _pair_delta_sync,
+    "sharded-2": lambda d, s: _pair_sharded(2, d, s),
+    "sharded-4": lambda d, s: _pair_sharded(4, d, s),
 }
 
 

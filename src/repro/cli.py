@@ -10,8 +10,10 @@ shell::
     digruber grubsim --profile gt3
     digruber run --dps 3 --clients 60 --duration 900
     digruber run --dps 3 --check --check-strict
+    digruber run --dps 4 --shards 4 --duration 900
     digruber chaos --scenario partition2 --duration 900
     digruber diff --pair fast-paths
+    digruber diff --pair sharded-4
     digruber lint src/repro
 """
 
@@ -124,6 +126,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--check-strict", action="store_true",
                      help="raise on the first invariant violation "
                      "instead of counting")
+    run.add_argument("--shards", type=int, default=None, metavar="N",
+                     help="space-parallel run: partition the grid into "
+                     "one neighborhood per decision point and execute "
+                     "them on N kernel shards with conservative epoch "
+                     "sync (results are shard-count independent)")
+    run.add_argument("--shard-workers", action="store_true",
+                     help="with --shards, run each shard in its own OS "
+                     "process instead of lockstep in-process")
     add_obs(run)
 
     chaos = sub.add_parser(
@@ -144,7 +154,8 @@ def build_parser() -> argparse.ArgumentParser:
                      "to the first divergent event")
     diff.add_argument("--pair", default="fast-paths",
                       choices=("fast-paths", "indexed-view", "spans",
-                               "workers", "delta-sync"),
+                               "workers", "delta-sync", "sharded-2",
+                               "sharded-4"),
                       help="equivalence claim to check (default: "
                            "fast-paths)")
     diff.add_argument("--duration", type=float, default=300.0,
@@ -333,6 +344,8 @@ def _cmd_run(args) -> int:
         overrides["check_strict"] = args.check_strict
         if args.check_interval is not None:
             overrides["check_interval_s"] = args.check_interval
+    if args.shards is not None:
+        return _run_sharded_cmd(args, maker, overrides)
     overrides.update(_obs_overrides(args))
     result = run_experiment(maker(args.dps, **overrides))
     print(result.summary())
@@ -345,6 +358,21 @@ def _cmd_run(args) -> int:
         _print_obs(args, result)
         return 1 if result.checker.violations else 0
     _print_obs(args, result)
+    return 0
+
+
+def _run_sharded_cmd(args, maker, overrides) -> int:
+    """``digruber run --shards=N``: the space-parallel kernel path."""
+    from repro.sim.sharded import run_sharded
+    if (args.trace is not None or args.trace_spans is not None
+            or args.obs):
+        raise SystemExit(
+            "error: --shards forces per-sim observability off in every "
+            "neighborhood; drop --trace/--trace-spans/--obs")
+    config = maker(args.dps, **overrides)
+    mode = "workers" if args.shard_workers else "lockstep"
+    result = run_sharded(config, n_shards=args.shards, mode=mode)
+    print(result.describe())
     return 0
 
 

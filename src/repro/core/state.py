@@ -301,6 +301,25 @@ class GridStateView:
         for site, busy in busy_by_site.items():
             self.refresh_site(site, busy, now)
 
+    def extend_capacities(self, site_capacities: dict[str, int]) -> None:
+        """Add static knowledge of more sites (no usage yet).
+
+        The sharded runtime uses this to give every DP neighborhood the
+        paper's "complete static knowledge about available resources"
+        across the whole grid while its monitor only refreshes local
+        sites; peer usage arrives as epoch-synced dispatch records.
+        Already-known sites are left untouched.
+        """
+        for site, cap in site_capacities.items():
+            if site in self.capacities:
+                continue
+            self.capacities[site] = cap
+            self._base_busy[site] = 0.0
+            self._base_time[site] = -float("inf")
+            self._records[site] = []
+            self._extra_busy[site] = 0.0
+            self._free_cache[site] = float(cap)
+
     # -- queries ---------------------------------------------------------------
     def estimated_busy(self, site: str, now: Optional[float] = None) -> float:
         if now is not None:
@@ -330,6 +349,20 @@ class GridStateView:
         if self.indexed:
             return dict(self._free_cache)
         return {s: self.estimated_free(s) for s in self.capacities}
+
+    def free_subset(self, sites, now: Optional[float] = None) -> dict[str, float]:
+        """Like :meth:`free_map`, restricted to ``sites`` — O(len(sites)).
+
+        The sharded runtime's availability answers stay neighborhood-
+        local even when the view carries grid-wide static knowledge.
+        Values are bit-identical to the :meth:`free_map` entries.
+        """
+        if now is not None:
+            self.expire(now)
+        if self.indexed:
+            cache = self._free_cache
+            return {s: cache[s] for s in sites}
+        return {s: self.estimated_free(s) for s in sites}
 
     def pending_records(self, newer_than: float) -> list[DispatchRecord]:
         """Live records this node *learned* after the cutoff.

@@ -124,6 +124,10 @@ class ExperimentConfig:
     # Reproducibility.
     seed: int = 20050101
     name: str = "experiment"
+    # Job ids are dense per run starting at ``1 + jid_offset``.  The
+    # sharded runtime gives every DP neighborhood a disjoint id block
+    # so per-hood traces can be merged without collisions.
+    jid_offset: int = 0
 
     def __post_init__(self):
         if self.decision_points < 1:
@@ -149,6 +153,8 @@ class ExperimentConfig:
             raise ValueError("spans_sample must be >= 1")
         if self.check_interval_s <= 0:
             raise ValueError("check_interval_s must be > 0")
+        if self.jid_offset < 0:
+            raise ValueError("jid_offset must be >= 0")
 
     def with_(self, **overrides) -> "ExperimentConfig":
         """A modified copy (sweeps use this)."""

@@ -20,6 +20,7 @@ from __future__ import annotations
 import os
 import zlib
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -30,7 +31,8 @@ from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.metrics.report import SummaryStats
 from repro.workloads.trace import TraceRecorder
 
-__all__ = ["RunSummary", "summarize", "summary_digest", "run_parallel"]
+__all__ = ["FailedCell", "RunSummary", "summarize", "summary_digest",
+           "run_parallel"]
 
 
 @dataclass(frozen=True)
@@ -177,8 +179,46 @@ def _worker(config: ExperimentConfig) -> RunSummary:
     return summarize(run_experiment(config))
 
 
+@dataclass(frozen=True)
+class FailedCell:
+    """Placeholder for a sweep cell whose worker process died.
+
+    Returned in the cell's slot so surviving results keep their input
+    positions; sweeps that expect clean runs should check
+    ``isinstance(result, FailedCell)`` before using a slot.
+    """
+
+    config: ExperimentConfig
+    error: str
+
+    def __bool__(self) -> bool:
+        return False
+
+
+def _run_pool(configs_by_slot: dict[int, ExperimentConfig], workers: int,
+              results: dict[int, RunSummary]) -> dict[int, ExperimentConfig]:
+    """One pool generation; returns the slots the pool lost.
+
+    A worker that dies (OOM kill, segfault, interpreter exit) breaks
+    the whole :class:`ProcessPoolExecutor`: every outstanding future
+    fails with :class:`BrokenProcessPool`, including cells that never
+    ran.  Completed futures keep their results, so only the broken
+    remainder is handed back for the retry generation.
+    """
+    lost: dict[int, ExperimentConfig] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {slot: pool.submit(_worker, cfg)
+                   for slot, cfg in configs_by_slot.items()}
+        for slot, future in futures.items():
+            try:
+                results[slot] = future.result()
+            except BrokenProcessPool:
+                lost[slot] = configs_by_slot[slot]
+    return lost
+
+
 def run_parallel(configs: Sequence[ExperimentConfig],
-                 max_workers: Optional[int] = None) -> list[RunSummary]:
+                 max_workers: Optional[int] = None) -> list:
     """Run every configuration, fanning out across processes.
 
     Results come back in input order.  ``max_workers`` defaults to
@@ -186,6 +226,12 @@ def run_parallel(configs: Sequence[ExperimentConfig],
     everything runs in-process, which keeps small sweeps cheap and
     makes the parallel path a pure optimization (results are identical
     either way — the simulations are deterministic).
+
+    A worker process dying no longer aborts the sweep: completed cells
+    keep their summaries, the cells stranded in the broken pool are
+    resubmitted once to a fresh pool, and anything that fails again is
+    reported in place as a :class:`FailedCell` instead of raising away
+    every finished result.
     """
     if not configs:
         return []
@@ -193,5 +239,23 @@ def run_parallel(configs: Sequence[ExperimentConfig],
         min(len(configs), os.cpu_count() or 1)
     if workers <= 1 or len(configs) == 1:
         return [_worker(cfg) for cfg in configs]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_worker, configs))
+    results: dict[int, RunSummary] = {}
+    pending = dict(enumerate(configs))
+    lost = _run_pool(pending, workers, results)
+    if lost:
+        # One retry, each lost cell in its *own* single-worker pool:
+        # transient deaths (a stray OOM kill) recover, and a cell that
+        # reliably kills its worker cannot break a shared retry pool
+        # and strand innocent neighbors a second time.  A cell that
+        # dies twice is reported as permanently failed.
+        for slot, cfg in sorted(lost.items()):
+            _run_pool({slot: cfg}, 1, results)
+    out: list = []
+    for slot, cfg in enumerate(configs):
+        if slot in results:
+            out.append(results[slot])
+        else:
+            out.append(FailedCell(
+                config=cfg,
+                error="worker process died (twice) running this cell"))
+    return out

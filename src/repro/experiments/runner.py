@@ -29,7 +29,8 @@ from repro.sim.rng import RngRegistry
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.trace import TraceRecorder
 
-__all__ = ["ExperimentResult", "run_experiment"]
+__all__ = ["BuiltExperiment", "ExperimentResult", "build_experiment",
+           "finalize_experiment", "run_experiment"]
 
 
 @dataclass
@@ -190,15 +191,46 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
-def run_experiment(config: ExperimentConfig,
-                   deployment_hook=None) -> ExperimentResult:
-    """Build and run one experiment to completion.
+@dataclass
+class BuiltExperiment:
+    """A fully constructed, started-but-not-run experiment.
 
-    ``deployment_hook(sim, deployment, detector_args...)`` — optional
-    callable invoked after deployment construction and before the run;
-    the dynamic-reconfiguration benches attach observers through it.
+    ``build_experiment`` returns one of these with every component
+    started (deployment, failover, clients) and zero simulated seconds
+    elapsed; the caller decides how the clock advances.  The plain
+    runner calls ``sim.run(until=duration)`` once; the sharded runtime
+    (:mod:`repro.sim.sharded`) advances many of these in lockstep epoch
+    windows on a shared simulator.
     """
-    sim = Simulator(fast=config.fast_paths)
+
+    config: ExperimentConfig
+    sim: Simulator
+    rng: RngRegistry
+    network: Network
+    grid: Grid
+    deployment: DIGruberDeployment
+    clients: list[GruberClient]
+    hosts: list[str]
+    offsets: dict
+    trace: TraceRecorder
+    injector: Optional[object] = None
+    failover: Optional[object] = None
+    checker: Optional[object] = None
+    trace_sink: Optional[object] = None
+
+
+def build_experiment(config: ExperimentConfig,
+                     sim: Optional[Simulator] = None) -> BuiltExperiment:
+    """Construct and start one experiment without running the clock.
+
+    ``sim`` lets several experiments share one simulator (the sharded
+    lockstep executor builds every neighborhood of a shard on the same
+    event heap); sharing requires per-sim observability (trace/spans)
+    to stay off in ``config``, which the sharded config derivation
+    enforces.
+    """
+    if sim is None:
+        sim = Simulator(fast=config.fast_paths)
     rng = RngRegistry(config.seed)
 
     trace_sink = None
@@ -271,7 +303,9 @@ def run_experiment(config: ExperimentConfig,
                                    config.resilience)
 
     clients = []
-    next_jid = 1  # run-deterministic job ids, dense across the fleet
+    # Run-deterministic job ids, dense across the fleet; the offset
+    # gives sharded neighborhoods disjoint id blocks.
+    next_jid = 1 + config.jid_offset
     for host in hosts:
         workload = generator.host_workload(
             host, duration_s=config.duration_s - offsets[host],
@@ -319,22 +353,29 @@ def run_experiment(config: ExperimentConfig,
         failover.start()
     for client in clients:
         client.start()
-    if deployment_hook is not None:
-        deployment_hook(sim=sim, deployment=deployment, network=network,
-                        grid=grid, rng=rng)
 
-    sim.run(until=config.duration_s)
+    return BuiltExperiment(config=config, sim=sim, rng=rng, network=network,
+                           grid=grid, deployment=deployment, clients=clients,
+                           hosts=hosts, offsets=offsets, trace=trace,
+                           injector=injector, failover=failover,
+                           checker=checker, trace_sink=trace_sink)
 
-    if checker is not None:
+
+def finalize_experiment(built: BuiltExperiment) -> ExperimentResult:
+    """Close out a run whose clock has reached ``config.duration_s``."""
+    config, sim, trace = built.config, built.sim, built.trace
+    clients, hosts, offsets = built.clients, built.hosts, built.offsets
+
+    if built.checker is not None:
         # One final checkpoint at end-of-run state, after the last
         # scheduled check.
-        checker.check()
+        built.checker.check()
 
-    if trace_sink is not None:
+    if built.trace_sink is not None:
         # Detach before closing: generator finalizers can still spawn
         # (and trace) processes after the run window.
-        sim.trace.remove_sink(trace_sink)
-        trace_sink.close()
+        sim.trace.remove_sink(built.trace_sink)
+        built.trace_sink.close()
 
     if config.spans_path:
         # Spans still open here (suspended brokering generators, jobs
@@ -353,8 +394,25 @@ def run_experiment(config: ExperimentConfig,
 
     return ExperimentResult(config=config, trace=trace,
                             client_starts=client_starts,
-                            client_ends=client_ends, grid=grid,
-                            deployment=deployment, clients=clients,
-                            sim=sim, network=network,
-                            injector=injector, failover=failover,
-                            checker=checker)
+                            client_ends=client_ends, grid=built.grid,
+                            deployment=built.deployment, clients=clients,
+                            sim=sim, network=built.network,
+                            injector=built.injector, failover=built.failover,
+                            checker=built.checker)
+
+
+def run_experiment(config: ExperimentConfig,
+                   deployment_hook=None) -> ExperimentResult:
+    """Build and run one experiment to completion.
+
+    ``deployment_hook(sim, deployment, detector_args...)`` — optional
+    callable invoked after deployment construction and before the run;
+    the dynamic-reconfiguration benches attach observers through it.
+    """
+    built = build_experiment(config)
+    if deployment_hook is not None:
+        deployment_hook(sim=built.sim, deployment=built.deployment,
+                        network=built.network, grid=built.grid,
+                        rng=built.rng)
+    built.sim.run(until=config.duration_s)
+    return finalize_experiment(built)

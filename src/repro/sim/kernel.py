@@ -480,15 +480,35 @@ class Simulator:
 
     # -- heap hygiene -----------------------------------------------------
     def _note_cancelled(self) -> None:
-        """One live heap entry just went dead; compact when they dominate."""
+        """One live heap entry just went dead; compact when they dominate.
+
+        Accounting contract: a cancel is noted iff its entry is still
+        *in the heap* (``ScheduledCall._sim`` is cleared the moment an
+        entry leaves — popped or compacted away), so ``_dead`` counts a
+        subset of heap entries and can never exceed the heap size.  The
+        guard turns any double-note / late-note bug into a loud failure
+        instead of silently skewed compaction behaviour.
+        """
         self._dead += 1
+        if self._dead > len(self._heap):
+            raise AssertionError(
+                f"cancel accounting skewed: {self._dead} dead entries "
+                f"noted for a heap of {len(self._heap)}")
         if (self.fast and self._dead >= self._compact_min
                 and 2 * self._dead >= len(self._heap)):
             self._compact()
 
     def _compact(self) -> None:
         """Rebuild the heap without cancelled entries (order-preserving)."""
-        live = [entry for entry in self._heap if not entry[2].cancelled]
+        live = []
+        for entry in self._heap:
+            if entry[2].cancelled:
+                # Left the heap; clear the back-reference so the entry
+                # upholds the same contract as a popped one (and does
+                # not pin the simulator alive from stray handles).
+                entry[2]._sim = None
+            else:
+                live.append(entry)
         heapq.heapify(live)
         self._heap = live
         self._dead = 0
@@ -588,7 +608,12 @@ class Simulator:
         while self._heap:
             time, _seq, call = heapq.heappop(self._heap)
             if call.cancelled:
+                call._sim = None
                 self._dead -= 1
+                if self._dead < 0:
+                    raise AssertionError(
+                        "cancel accounting skewed: popped more cancelled "
+                        "entries than were ever noted")
                 continue
             if time < self.now:  # pragma: no cover - heap invariant guard
                 raise RuntimeError("event heap produced a past timestamp")
@@ -617,7 +642,12 @@ class Simulator:
                 break
             heapq.heappop(self._heap)
             if call.cancelled:
+                call._sim = None
                 self._dead -= 1
+                if self._dead < 0:
+                    raise AssertionError(
+                        "cancel accounting skewed: popped more cancelled "
+                        "entries than were ever noted")
                 continue
             call._sim = None  # left the heap; late cancels don't count
             self.now = time

@@ -76,7 +76,14 @@ class TestApi:
 
     def test_pair_registry_matches_cli(self):
         assert sorted(PAIRS) == ["delta-sync", "fast-paths",
-                                 "indexed-view", "spans", "workers"]
+                                 "indexed-view", "sharded-2", "sharded-4",
+                                 "spans", "workers"]
+        # The CLI's --pair choices must stay in lockstep with the
+        # registry (an unlisted pair is unreachable from the shell).
+        from repro.cli import build_parser
+        parser = build_parser()
+        args = parser.parse_args(["diff", "--pair", "sharded-4"])
+        assert args.pair == "sharded-4"
 
     def test_same_config_reruns_identically(self):
         # The foundation the pairs stand on: the journaled run itself

@@ -91,3 +91,86 @@ class TestSummaryDigest:
         four = [summary_digest(s) for s in
                 run_parallel(configs, max_workers=4)]
         assert one == four
+
+
+
+# -- broken-pool recovery ----------------------------------------------------
+# Pool workers pickle the submitted callable by qualified name, so the
+# poison stand-ins must live at module level; the fork start method
+# (asserted in the fixture) carries the monkeypatched module globals
+# into the worker processes.
+
+_FLAKY_MARKER = None  # set per-test; a path that exists once the cell died
+
+
+def _poison_worker(cfg):
+    from repro.experiments.parallel import summarize
+    if cfg.name.startswith("poison"):
+        import os
+        os._exit(1)  # interpreter death, not an exception
+    if cfg.name == "flaky" and not _FLAKY_MARKER.exists():
+        _FLAKY_MARKER.write_text("x")
+        import os
+        os._exit(1)
+    return summarize(run_experiment(cfg))
+
+
+class TestBrokenPool:
+    """A worker process dying mid-sweep must not abort the whole sweep.
+
+    The poison worker calls ``os._exit`` — an interpreter death, not an
+    exception — which breaks the entire :class:`ProcessPoolExecutor`
+    (every outstanding future raises :class:`BrokenProcessPool`).  The
+    sweep must keep finished cells, retry the stranded ones on a fresh
+    pool, and report the unrecoverable cell in place as a
+    :class:`FailedCell`.
+    """
+
+    @pytest.fixture
+    def poisoned(self, monkeypatch, tmp_path):
+        import multiprocessing
+        assert "fork" in multiprocessing.get_all_start_methods()
+        import repro.experiments.parallel as par
+        monkeypatch.setattr(par, "_worker", _poison_worker)
+        import sys
+        mod = sys.modules[__name__]
+        monkeypatch.setattr(mod, "_FLAKY_MARKER", tmp_path / "died-once")
+
+    def test_surviving_cells_keep_results(self, poisoned):
+        from repro.experiments.parallel import FailedCell, summary_digest
+        base = smoke_config(n_clients=6, duration_s=120.0, seed=1105)
+        configs = [base.with_(name="bp-a"),
+                   base.with_(name="poison", seed=1106),
+                   base.with_(name="bp-c", seed=1107)]
+        out = run_parallel(configs, max_workers=2)
+        assert len(out) == 3
+        assert isinstance(out[1], FailedCell)
+        assert not out[1]  # falsy placeholder
+        assert out[1].config.name == "poison"
+        assert "died" in out[1].error
+        # The survivors are real summaries, bit-identical to clean
+        # serial runs of the same seed-pinned configs.
+        for slot in (0, 2):
+            assert isinstance(out[slot], RunSummary)
+            clean = summarize(run_experiment(configs[slot]))
+            assert summary_digest(out[slot]) == summary_digest(clean)
+
+    def test_transient_death_recovers_on_retry(self, poisoned):
+        """A cell that kills only its *first* worker (a stray OOM kill)
+        comes back clean from the one-shot retry pool."""
+        from repro.experiments.parallel import summary_digest
+        base = smoke_config(n_clients=6, duration_s=120.0, seed=1105)
+        configs = [base.with_(name="bp-a"),
+                   base.with_(name="flaky", seed=1106)]
+        out = run_parallel(configs, max_workers=2)
+        assert all(isinstance(s, RunSummary) for s in out)
+        clean = summarize(run_experiment(configs[1]))
+        assert summary_digest(out[1]) == summary_digest(clean)
+
+    def test_in_process_path_unaffected(self):
+        """max_workers=1 never enters a pool, so nothing to recover."""
+        from repro.experiments.parallel import FailedCell
+        base = smoke_config(n_clients=6, duration_s=120.0, seed=1105)
+        out = run_parallel([base], max_workers=1)
+        assert isinstance(out[0], RunSummary)
+        assert not isinstance(out[0], FailedCell)

@@ -380,3 +380,89 @@ class TestPeriodic:
     def test_every_rejects_nonpositive_interval(self, sim):
         with pytest.raises(ValueError):
             sim.every(0.0, lambda: None)
+
+
+class TestCancelAccounting:
+    """The ``_dead`` counter is a subset-of-heap invariant: a cancel is
+    noted iff its entry is still in the heap (``_sim`` cleared on every
+    exit path — pop or compaction), so late cancels can never skew the
+    compaction trigger."""
+
+    def test_cancel_from_inside_own_callback(self, sim):
+        """A callback cancelling its own (already-popped) handle must
+        not count as a dead heap entry."""
+        fired = []
+        holder = {}
+
+        def fn():
+            fired.append(sim.now)
+            holder["call"].cancel()
+
+        holder["call"] = sim.schedule(5.0, fn)
+        sim.run()
+        assert fired == [5.0]
+        assert sim._dead == 0
+
+    def test_late_cancel_after_run_not_counted(self, sim):
+        call = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)  # keep the heap non-trivial
+        sim.run(until=1.5)
+        call.cancel()  # entry already left the heap
+        assert sim._dead == 0
+        sim.run()
+
+    def test_periodic_self_cancel_from_tick(self, sim):
+        """A periodic timer cancelling itself from inside its own tick:
+        the chain stops, and the cancel of the just-popped entry leaves
+        the accounting untouched."""
+        ticks = []
+        handles = {}
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 3:
+                handles["h"].cancel()
+
+        handles["h"] = sim.every(1.0, tick)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert sim._dead == 0
+
+    def test_compact_clears_backrefs_on_dropped_entries(self):
+        """Entries removed by compaction uphold the popped-entry
+        contract (``_sim`` cleared), so a double ``cancel()`` on a
+        handle the compactor already dropped cannot re-note."""
+        sim = Simulator(fast=True, compact_min=4)
+        calls = [sim.schedule(100.0 + i, lambda: None) for i in range(8)]
+        for call in calls:
+            call.cancel()
+        assert sim.compactions >= 1
+        assert sim._dead == 0
+        assert all(call._sim is None for call in calls)
+        # Forcing a second cancel must be a no-op (idempotent flag),
+        # and even a fresh cancel-note on an out-of-heap entry is
+        # unreachable because the back-reference is gone.
+        for call in calls:
+            call.cancel()
+        assert sim._dead == 0
+
+    def test_double_note_trips_the_guard(self, sim):
+        """Any future path that notes a cancel for an entry outside the
+        heap must fail loudly, not silently skew compaction."""
+        from repro.sim.kernel import ScheduledCall
+
+        stray = ScheduledCall(0.0, lambda: None, sim)  # never heap-pushed
+        with pytest.raises(AssertionError, match="cancel accounting"):
+            stray.cancel()
+
+    def test_cancelled_pops_drain_the_counter(self, sim):
+        """Both pop paths (step and bounded run) decrement ``_dead``
+        for each cancelled entry they skip."""
+        calls = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+        calls[0].cancel()
+        calls[2].cancel()
+        assert sim._dead == 2
+        sim.run(until=2.5)   # pops entries at t=1 (dead) and t=2 (live)
+        assert sim._dead == 1
+        sim.run()            # drains t=3 (dead) and t=4 (live)
+        assert sim._dead == 0
