@@ -48,14 +48,27 @@ _POLICY_KEYS = ("retries", "breaker_fastfail", "failovers", "rebinds",
 
 
 def run_cell(scenario: str, resilient: bool,
-             duration_s: float = CHAOS_DURATION_S) -> dict:
+             duration_s: float = CHAOS_DURATION_S,
+             autoscale: bool = False) -> dict:
     """One (scenario, policy) cell: run it and distill the numbers."""
-    result = run_experiment(chaos_smoke_config(
-        scenario=scenario, resilient=resilient, duration_s=duration_s))
+    config = chaos_smoke_config(
+        scenario=scenario, resilient=resilient, duration_s=duration_s)
+    if autoscale:
+        # Elasticity under fire: the closed-loop controller rides the
+        # crash/restart scenario on a breathing (diurnal) workload, so
+        # planner-driven membership changes interleave with
+        # chaos-driven ones on the same topology stream.
+        from repro.control import AutoscaleConfig
+        config = config.with_(
+            autoscale=AutoscaleConfig(interval_s=30.0, cooldown_s=60.0,
+                                      max_dps=4),
+            workload_profile="diurnal",
+            name=config.name + "-autoscale")
+    result = run_experiment(config)
     fb = result.client_fallbacks()
     stats = result.resilience_stats()
     m = result.sim.metrics
-    return {
+    cell = {
         "requests": result.n_jobs,
         "handled": fb["handled"],
         "timeout": fb["timeout"],
@@ -65,16 +78,35 @@ def run_cell(scenario: str, resilient: bool,
         "unhandled_failures": m.counter_value("kernel.unhandled_failures"),
         "periodic_errors": m.counter_value("kernel.periodic_errors"),
     }
+    cs = result.control_stats()
+    if cs is not None:
+        cell["autoscale_actions"] = cs["actions"]
+        cell["autoscale_final_dps"] = cs["final_dps"]
+        cell["autoscale_moved"] = cs["clients_moved"]
+    return cell
+
+
+#: Scenario that additionally runs a third, autoscaled cell: elastic
+#: control must coexist with chaos-driven membership churn.
+AUTOSCALED_SCENARIO = "dp_crash_restart"
 
 
 def run_matrix(scenarios=None, duration_s: float = CHAOS_DURATION_S) -> dict:
-    """The full sweep: ``{scenario: {"baseline": ..., "resilient": ...}}``."""
+    """The full sweep: ``{scenario: {"baseline": ..., "resilient": ...}}``
+    plus an ``autoscale`` cell on the crash/restart scenario."""
     scenarios = list(scenarios) if scenarios else scenario_names()
-    return {s: {"baseline": run_cell(s, resilient=False,
-                                     duration_s=duration_s),
-                "resilient": run_cell(s, resilient=True,
-                                      duration_s=duration_s)}
-            for s in scenarios}
+    matrix = {}
+    for s in scenarios:
+        cells = {"baseline": run_cell(s, resilient=False,
+                                      duration_s=duration_s),
+                 "resilient": run_cell(s, resilient=True,
+                                       duration_s=duration_s)}
+        if s == AUTOSCALED_SCENARIO:
+            cells["autoscale"] = run_cell(s, resilient=True,
+                                          duration_s=duration_s,
+                                          autoscale=True)
+        matrix[s] = cells
+    return matrix
 
 
 def check_invariants(matrix: dict) -> list[str]:

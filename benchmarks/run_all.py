@@ -18,6 +18,11 @@ Runs two regression baselines and writes one JSON file each:
   (``bench_scale``): optimized (fast paths + delta sync) vs pre-change
   baseline per cell; ``pass_scale_floor`` asserts the optimized stack
   is at least 2x faster at k=10.
+* ``BENCH_autoscale.json`` — the closed-loop autoscale bench
+  (``bench_autoscale``): 10x-OSG and 100x diurnal runs starting from
+  one decision point; ``pass_autoscale`` asserts convergence to the
+  paper's 4-5 decision points at 10x, strictly more at 100x, and
+  bit-identical same-seed event journals.
 
 Compare a fresh run to the committed baselines before merging kernel,
 transport, fault, or resilience changes.
@@ -53,6 +58,10 @@ DISABLED_BUDGET_PCT = 2.0
 #: Quick-mode chaos sweep: one scenario per fault family, shorter runs.
 QUICK_CHAOS_SCENARIOS = ("dp_crash_restart", "partition2", "flaky_dp")
 QUICK_CHAOS_DURATION_S = 600.0
+
+#: Quick-mode autoscale bench: short horizon, still enough control
+#: windows to converge at 10x (the 100x cell runs half of this).
+QUICK_AUTOSCALE_DURATION_S = 1200.0
 
 
 def run_kernel_bench(args) -> bool:
@@ -181,6 +190,54 @@ def run_scale_bench(args) -> bool:
     return report["pass_scale_floor"]
 
 
+def run_autoscale_bench(args) -> bool:
+    """Autoscale convergence -> BENCH_autoscale.json; True on pass."""
+    from benchmarks.bench_autoscale import (
+        DURATION_S,
+        TARGET_10X,
+        run_bench,
+    )
+
+    duration_s = QUICK_AUTOSCALE_DURATION_S if args.quick else DURATION_S
+    det_s = QUICK_AUTOSCALE_DURATION_S if args.quick else 900.0
+    t0 = time.time()
+    result = run_bench(duration_s=duration_s,
+                       determinism_duration_s=det_s)
+    wall_s = time.time() - t0
+
+    report = {
+        "bench": "autoscale",
+        "quick": args.quick,
+        "unix_time": int(t0),
+        "wall_s": round(wall_s, 2),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "duration_s": duration_s,
+        **result,
+    }
+
+    out = Path(args.autoscale_out) if args.autoscale_out else \
+        Path(__file__).resolve().parent.parent / "BENCH_autoscale.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    for name, cell in result["cells"].items():
+        print(f"{name:>10}: {cell['clients']} clients, "
+              f"dps {cell['initial_dps']} -> {cell['converged_dps']} "
+              f"(resp median {cell['response_median_s']}s, "
+              f"moved {cell['clients_moved']})")
+    det = result["determinism"]
+    print(f"determinism: {'IDENTICAL' if det['identical'] else 'DIVERGED'} "
+          f"({det['run_a']['events']} events, "
+          f"{det['ctl_entries_journaled']} ctl.scale entries)")
+    verdict = "PASS" if result["pass_autoscale"] else "FAIL"
+    print(f"autoscale convergence (10x in {TARGET_10X}, 100x strictly "
+          f"more, journals identical) -> {verdict}")
+    for problem in result["problems"]:
+        print(f"  VIOLATION: {problem}")
+    print(f"wrote {out}")
+    return result["pass_autoscale"]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="benchmark regression harness (kernel + chaos + scale)")
@@ -197,12 +254,17 @@ def main(argv=None) -> int:
     parser.add_argument("--scale-out", default=None, metavar="PATH",
                         help="scale report path (default: BENCH_scale.json "
                              "in the repo root)")
+    parser.add_argument("--autoscale-out", default=None, metavar="PATH",
+                        help="autoscale report path (default: "
+                             "BENCH_autoscale.json in the repo root)")
     parser.add_argument("--skip-kernel", action="store_true",
                         help="skip the kernel/tracing micro-bench")
     parser.add_argument("--skip-chaos", action="store_true",
                         help="skip the chaos matrix sweep")
     parser.add_argument("--skip-scale", action="store_true",
                         help="skip the scale sweep")
+    parser.add_argument("--skip-autoscale", action="store_true",
+                        help="skip the autoscale convergence bench")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when any budget or invariant is missed")
     args = parser.parse_args(argv)
@@ -214,6 +276,8 @@ def main(argv=None) -> int:
         ok = run_chaos_bench(args) and ok
     if not args.skip_scale:
         ok = run_scale_bench(args) and ok
+    if not args.skip_autoscale:
+        ok = run_autoscale_bench(args) and ok
     return 1 if (args.strict and not ok) else 0
 
 

@@ -193,6 +193,26 @@ def _pair_sharded(n_shards: int, duration_s: float, seed: int) -> DiffReport:
                    f"{n_shards}-shards", sharded.journal)
 
 
+def _pair_autoscale_frozen(duration_s: float, seed: int) -> DiffReport:
+    """Frozen controller vs no controller at all.
+
+    The elastic-plane safety claim: the control loop's *observation*
+    path (SignalBus sampling, gauges, hysteresis bookkeeping) draws no
+    randomness and schedules only its own tick, so a controller that
+    never acts (policy ``frozen``) must be event-identical to a run
+    with no controller.  Any divergence means sampling perturbed the
+    simulation — exactly the class of bug this pair exists to catch.
+    """
+    from repro.control import AutoscaleConfig
+    base = _diff_config(duration_s, seed).with_(seed=seed)
+    frozen = base.with_(autoscale=AutoscaleConfig(policy="frozen",
+                                                  interval_s=30.0))
+    return _report(
+        "autoscale-frozen",
+        "no-controller", _run_journaled(base),
+        "frozen-controller", _run_journaled(frozen))
+
+
 def _pair_delta_sync(duration_s: float, seed: int) -> DiffReport:
     ja = _scripted_sync_run(duration_s, seed, delta=False)
     jb = _scripted_sync_run(duration_s, seed, delta=True)
@@ -265,6 +285,7 @@ PAIRS: dict[str, Callable[[float, int], DiffReport]] = {
     "spans": _pair_spans,
     "workers": _pair_workers,
     "delta-sync": _pair_delta_sync,
+    "autoscale-frozen": _pair_autoscale_frozen,
     "sharded-2": lambda d, s: _pair_sharded(2, d, s),
     "sharded-4": lambda d, s: _pair_sharded(4, d, s),
 }

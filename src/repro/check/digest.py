@@ -162,6 +162,12 @@ def install_probes(journal: EventJournal, *, deployment=None,
     if deployment is not None:
         for dp in deployment.decision_points.values():
             dp.engine.journal = journal
+        # Decision points created mid-run (observer growth, autoscale)
+        # pick the journal up from here — see ``_create_dp``.
+        deployment.journal = journal
+        controller = getattr(deployment, "controller", None)
+        if controller is not None:
+            controller.journal = journal
 
     def _job_ctx(job) -> str:
         # The dispatch span context the client stamped on the job, when

@@ -88,6 +88,7 @@ class InvariantChecker:
         self._clients: list["GruberClient"] = []
         self._dps: list["DecisionPoint"] = []
         self._deployments: list = []
+        self._controllers: list = []
         # Monotonicity baselines, keyed per watched object.
         self._last_now = -float("inf")
         self._last_events = -1
@@ -114,6 +115,10 @@ class InvariantChecker:
         unchecked.
         """
         self._deployments.append(deployment)
+
+    def watch_controller(self, planner) -> None:
+        """Gate the autoscale planner like any other simulation object."""
+        self._controllers.append(planner)
 
     def install(self) -> None:
         """Schedule the checkpoint chain on the simulator.
@@ -159,6 +164,8 @@ class InvariantChecker:
         for deployment in self._deployments:
             for dp in deployment.decision_points.values():
                 self._check_dp(dp)
+        for planner in self._controllers:
+            self._check_controller(planner)
         return self.violations[before:]
 
     # -- kernel ------------------------------------------------------------
@@ -185,6 +192,32 @@ class InvariantChecker:
             self._flag("kernel.heap_peak", "sim",
                        f"peak {sim.heap_peak} below current size "
                        f"{len(heap)}")
+
+    # -- controller --------------------------------------------------------
+    def _check_controller(self, planner) -> None:
+        cfg = planner.config
+        deployment = planner.deployment
+        n_live = len(deployment.live_dp_ids)
+        if not (cfg.min_dps <= n_live <= cfg.max_dps):
+            self._flag("control.fleet_bounds", "autoscale",
+                       f"live decision points {n_live} outside "
+                       f"[{cfg.min_dps}, {cfg.max_dps}]")
+        known = set(deployment.decision_points)
+        for client in deployment.clients:
+            if str(client.decision_point) not in known:
+                self._flag("control.client_binding", str(client.node_id),
+                           f"bound to unknown decision point "
+                           f"{client.decision_point!r}")
+        for dp_id in deployment.retired:
+            dp = deployment.decision_points.get(dp_id)
+            if dp is not None and dp.online:
+                self._flag("control.retired_online", dp_id,
+                           "retired decision point is still online")
+        recorded = sum(a.clients_moved for a in planner.actuator.actions)
+        if planner.actuator.clients_moved != recorded:
+            self._flag("control.migration_accounting", "autoscale",
+                       f"actuator moved {planner.actuator.clients_moved} "
+                       f"clients but actions record {recorded}")
 
     # -- sites -------------------------------------------------------------
     def _check_site(self, site: "Site") -> None:

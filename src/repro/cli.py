@@ -126,6 +126,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--check-strict", action="store_true",
                      help="raise on the first invariant violation "
                      "instead of counting")
+    run.add_argument("--autoscale", nargs="?", const="model", default=None,
+                     metavar="POLICY",
+                     help="closed-loop decision-point autoscaling "
+                     "(repro.control); optional policy: model (default), "
+                     "reactive, frozen")
+    run.add_argument("--placement", default=None,
+                     choices=("consistent_hash", "least_loaded"),
+                     help="with --autoscale, the dynamic client-placement "
+                     "strategy")
+    run.add_argument("--workload", default=None,
+                     choices=("steady", "diurnal", "bursty"),
+                     help="named arrival profile "
+                     "(repro.workloads.profiles); default steady")
     run.add_argument("--shards", type=int, default=None, metavar="N",
                      help="space-parallel run: partition the grid into "
                      "one neighborhood per decision point and execute "
@@ -154,8 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
                      "to the first divergent event")
     diff.add_argument("--pair", default="fast-paths",
                       choices=("fast-paths", "indexed-view", "spans",
-                               "workers", "delta-sync", "sharded-2",
-                               "sharded-4"),
+                               "workers", "delta-sync", "autoscale-frozen",
+                               "sharded-2", "sharded-4"),
                       help="equivalence claim to check (default: "
                            "fast-paths)")
     diff.add_argument("--duration", type=float, default=300.0,
@@ -344,11 +357,30 @@ def _cmd_run(args) -> int:
         overrides["check_strict"] = args.check_strict
         if args.check_interval is not None:
             overrides["check_interval_s"] = args.check_interval
+    if args.workload is not None:
+        overrides["workload_profile"] = args.workload
+    if args.autoscale is not None:
+        if args.shards is not None:
+            raise SystemExit(
+                "error: --autoscale needs one live deployment; the sharded "
+                "runtime partitions it (drop --shards)")
+        from repro.control import AutoscaleConfig, scale_rule_names
+        if args.autoscale not in scale_rule_names():
+            raise SystemExit(
+                f"error: unknown autoscale policy {args.autoscale!r}; "
+                f"choose from {', '.join(scale_rule_names())}")
+        kw = {"policy": args.autoscale}
+        if args.placement is not None:
+            kw["placement"] = args.placement
+        overrides["autoscale"] = AutoscaleConfig(**kw)
     if args.shards is not None:
         return _run_sharded_cmd(args, maker, overrides)
     overrides.update(_obs_overrides(args))
     result = run_experiment(maker(args.dps, **overrides))
     print(result.summary())
+    cs = result.control_stats()
+    if cs is not None:
+        print("control: " + " ".join(f"{k}={v}" for k, v in cs.items()))
     if args.chaos is not None or args.resilient:
         stats = result.resilience_stats()
         print("chaos/resilience: "

@@ -1,0 +1,37 @@
+"""repro.control: closed-loop decision-point autoscaling (paper §5.1).
+
+The elastic brokering plane: a :class:`~repro.control.signals.SignalBus`
+samples live signals on the DES clock, pluggable scale rules
+(:mod:`repro.control.policy`) turn them into a desired decision-point
+count, and the :class:`~repro.control.actuator.Actuator` applies it
+through the deployment's retire/revive machinery with bounded dynamic
+client placement (:mod:`repro.control.placement`).  The
+:class:`~repro.control.planner.AutoscalePlanner` ties the loop together
+under hysteresis and cooldowns, journaling every action.
+"""
+
+from repro.control.actuator import Actuator, ControlAction
+from repro.control.placement import (ConsistentHashPlacement,
+                                     LeastLoadedPlacement, PlacementStep,
+                                     make_placement, migration_bound)
+from repro.control.planner import AutoscalePlanner
+from repro.control.policy import (SCALE_RULES, AutoscaleConfig,
+                                  scale_rule_names)
+from repro.control.signals import ControlSample, DPSignal, SignalBus
+
+__all__ = [
+    "Actuator",
+    "ControlAction",
+    "AutoscaleConfig",
+    "AutoscalePlanner",
+    "ConsistentHashPlacement",
+    "ControlSample",
+    "DPSignal",
+    "LeastLoadedPlacement",
+    "PlacementStep",
+    "SCALE_RULES",
+    "SignalBus",
+    "make_placement",
+    "migration_bound",
+    "scale_rule_names",
+]

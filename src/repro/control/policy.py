@@ -1,0 +1,171 @@
+"""Autoscale policy: hysteresis, cooldowns, pluggable scale rules.
+
+The paper answers "how many decision points does a grid need?" offline
+(GRUB-SIM replays a query trace against DiPerF-calibrated performance
+models, §5.2/Table 3).  This module turns that sizing math into a
+*runtime* rule: every control interval a scale rule maps the current
+:class:`~repro.control.signals.ControlSample` to a desired live
+decision-point count, and the planner applies hysteresis (consecutive
+agreeing windows), cooldowns, and bounded steps before acting.
+
+Rules are pluggable via :data:`SCALE_RULES`:
+
+* ``model`` — the GRUB-SIM sizing rule driven by *measured* activity:
+  ``demand_qps = active_clients / target_response_s`` (a client at
+  adequate response issues one brokering op per target window) and
+  ``desired = ceil(demand / (headroom * capacity_qps))``.  Converges to
+  the paper's 4-5 decision points at 10x-OSG by construction, because
+  it is the paper's own model fed live signals.
+* ``reactive`` — model-free hysteresis on the saturation signals
+  themselves: scale up when any live decision point runs at the
+  DiPerF-calibrated capacity bound with a standing queue (or the queue
+  alone breaches the hard bound), scale down when the remaining fleet
+  could absorb the measured rate below the low-water mark with queues
+  drained.
+* ``frozen`` — always returns the current count.  The controller runs
+  end to end (sampling, gauges, hysteresis) but never acts; the
+  ``autoscale-frozen`` differential-replay pair proves this is
+  event-identical to not running a controller at all.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.control.signals import ControlSample
+
+__all__ = ["AutoscaleConfig", "SCALE_RULES", "scale_rule_names"]
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Tuning knobs of the closed-loop controller (frozen, sweepable)."""
+
+    #: Scale-rule name (see :data:`SCALE_RULES`).
+    policy: str = "model"
+    #: Placement algorithm: "consistent_hash" | "least_loaded".
+    placement: str = "consistent_hash"
+    #: Control interval on the DES clock, seconds.
+    interval_s: float = 60.0
+    #: Usable fraction of a decision point's calibrated capacity (the
+    #: GRUB-SIM headroom: never plan to run brokers at 100%).
+    headroom: float = 0.85
+    #: Adequate-response bound: the client timeout.  A client answered
+    #: slower than this falls back to random placement, i.e. the
+    #: brokering effectively failed (paper §4.3).
+    target_response_s: float = 15.0
+    min_dps: int = 1
+    max_dps: int = 64
+    #: Hysteresis: consecutive control windows that must agree before
+    #: the planner acts (down is slower than up by default — shedding
+    #: capacity is cheap to defer, saturation is not).
+    up_consecutive: int = 2
+    down_consecutive: int = 5
+    #: Quiet period after any scale action, seconds.
+    cooldown_s: float = 120.0
+    #: Per-action step bounds (up may jump, down drains one at a time).
+    max_step_up: int = 4
+    max_step_down: int = 1
+    #: Per-action voluntary client-migration bound, as a multiple of
+    #: ceil(K/N); forced moves (evacuating a dead/retired broker) are
+    #: exempt — those clients cannot stay where they are.
+    migration_bound_factor: float = 1.0
+    #: Virtual nodes per decision point on the consistent-hash ring.
+    vnodes: int = 64
+    #: Reactive-rule watermarks.
+    up_load_factor: float = 0.9
+    down_load_factor: float = 0.6
+    queue_threshold: int = 10
+
+    def __post_init__(self):
+        if self.policy not in SCALE_RULES:
+            raise ValueError(f"unknown autoscale policy {self.policy!r}; "
+                             f"expected one of {scale_rule_names()}")
+        if self.placement not in ("consistent_hash", "least_loaded"):
+            raise ValueError(
+                f"unknown placement {self.placement!r}; expected "
+                f"'consistent_hash' or 'least_loaded'")
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        if not (0.0 < self.headroom <= 1.0):
+            raise ValueError("headroom must be in (0, 1]")
+        if self.target_response_s <= 0:
+            raise ValueError("target_response_s must be > 0")
+        if not (1 <= self.min_dps <= self.max_dps):
+            raise ValueError("need 1 <= min_dps <= max_dps")
+        if self.up_consecutive < 1 or self.down_consecutive < 1:
+            raise ValueError("hysteresis window counts must be >= 1")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        if self.max_step_up < 1 or self.max_step_down < 1:
+            raise ValueError("step bounds must be >= 1")
+        if self.migration_bound_factor <= 0:
+            raise ValueError("migration_bound_factor must be > 0")
+        if self.vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        if not (0.0 < self.down_load_factor < self.up_load_factor <= 1.0):
+            raise ValueError(
+                "need 0 < down_load_factor < up_load_factor <= 1")
+
+    def clamp(self, n: int) -> int:
+        return max(self.min_dps, min(self.max_dps, n))
+
+
+def rule_model(sample: "ControlSample", cfg: AutoscaleConfig,
+               current: int) -> int:
+    """GRUB-SIM's sizing formula on live activity measurements.
+
+    ``active_clients`` is the trailing-window count of clients with
+    work (an arrival, a served query, or a standing backlog), so a
+    diurnal workload breathes through it; the formula is exactly
+    :meth:`repro.grubsim.model.DPPerformanceModel.required_dps` with
+    the static fleet size replaced by the measured one.
+    """
+    usable = cfg.headroom * sample.capacity_qps
+    if usable <= 0:
+        return current
+    demand_qps = sample.active_clients / cfg.target_response_s
+    return cfg.clamp(max(1, math.ceil(demand_qps / usable)))
+
+
+def rule_reactive(sample: "ControlSample", cfg: AutoscaleConfig,
+                  current: int) -> int:
+    """Model-free watermarks on the saturation signals themselves."""
+    live = [d for d in sample.dps.values() if d.live]
+    if not live:
+        return current
+    capacity = sample.capacity_qps
+    hot = any((d.ops_rate >= cfg.up_load_factor * capacity
+               and d.queue_len > 0)
+              or d.queue_len >= cfg.queue_threshold
+              for d in live)
+    if hot:
+        return cfg.clamp(current + 1)
+    if current > cfg.min_dps and capacity > 0:
+        total_rate = sum(d.ops_rate for d in live)
+        queues_dry = all(d.queue_len == 0 for d in live)
+        if queues_dry and \
+                total_rate / (current - 1) < cfg.down_load_factor * capacity:
+            return cfg.clamp(current - 1)
+    return current
+
+
+def rule_frozen(sample: "ControlSample", cfg: AutoscaleConfig,
+                current: int) -> int:
+    """Observe everything, change nothing (the diff-pair control arm)."""
+    return current
+
+
+SCALE_RULES: dict[str, Callable[["ControlSample", AutoscaleConfig, int],
+                                int]] = {
+    "model": rule_model,
+    "reactive": rule_reactive,
+    "frozen": rule_frozen,
+}
+
+
+def scale_rule_names() -> tuple[str, ...]:
+    return tuple(sorted(SCALE_RULES))

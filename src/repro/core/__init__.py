@@ -23,7 +23,7 @@
   that grows/rebalances the decision-point set.
 """
 
-from repro.core.broker import DIGruberDeployment
+from repro.core.broker import DIGruberDeployment, TopologyEvent
 from repro.core.client import GruberClient
 from repro.core.decision_point import DecisionPoint
 from repro.core.engine import GruberEngine
@@ -61,5 +61,6 @@ __all__ = [
     "SiteMonitor",
     "SiteSelector",
     "SyncProtocol",
+    "TopologyEvent",
     "make_selector",
 ]

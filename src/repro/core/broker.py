@@ -8,7 +8,8 @@ enhancement).
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.core.client import GruberClient
 from repro.core.decision_point import DecisionPoint
@@ -21,7 +22,26 @@ from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.usla.agreement import Agreement
 
-__all__ = ["DIGruberDeployment"]
+__all__ = ["DIGruberDeployment", "TopologyEvent"]
+
+
+@dataclass(frozen=True)
+class TopologyEvent:
+    """One structured decision-point join/leave on the overlay.
+
+    The single channel every membership change flows through — manual
+    ``add_decision_point``, the reconfiguration observer's actions, and
+    the autoscale actuator all emit here, so any consumer (placement,
+    tests, the planner) sees one ordered stream instead of scraping
+    trace lines.
+    """
+
+    time: float
+    action: str        # "join" | "leave"
+    dp_id: str
+    n_live: int        # live (online, non-retired) DPs after the change
+    source: str = ""   # "manual" | "observer" | "autoscale"
+    revived: bool = False  # join of a previously retired/crashed DP
 
 
 class DIGruberDeployment:
@@ -63,6 +83,22 @@ class DIGruberDeployment:
         self.state_index = state_index
         self.decision_points: dict[str, DecisionPoint] = {}
         self.clients: list[GruberClient] = []
+        #: Administratively retired decision points (scale-down).  They
+        #: stay in ``decision_points`` (ids are never reused) but are
+        #: excluded from the overlay until revived.
+        self.retired: set[str] = set()
+        #: Structured membership stream + listeners (see
+        #: :class:`TopologyEvent`).  Listeners are invoked synchronously
+        #: on each join/leave, over a copy so they may deregister.
+        self.topology_events: list[TopologyEvent] = []
+        self.on_topology_change: list[Callable[[TopologyEvent], None]] = []
+        #: Set by :func:`repro.check.digest.install_probes` on journaled
+        #: runs; :meth:`_create_dp` propagates it to decision points
+        #: deployed mid-run so their records land in the same chain.
+        self.journal = None
+        #: The :class:`~repro.control.planner.AutoscalePlanner` driving
+        #: this deployment, when one is attached.
+        self.controller = None
         self._started = False
         for _ in range(n_decision_points):
             self._create_dp()
@@ -84,16 +120,45 @@ class DIGruberDeployment:
             sync_delta=self.sync_delta,
             state_index=self.state_index)
         self.decision_points[dp_id] = dp
+        if self.journal is not None:
+            dp.engine.journal = self.journal
         return dp
 
     def _rewire(self) -> None:
-        topo = BrokerTopology(list(self.decision_points), kind=self.topology_kind)
+        """Rebuild the overlay over non-retired decision points.
+
+        Crashed (but not retired) decision points stay wired: peers
+        keep addressing them and their messages go unanswered, exactly
+        like a real outage.  Retired ones left the membership
+        deliberately and are unwired until revived.
+        """
+        members = [d for d in self.decision_points if d not in self.retired]
+        topo = BrokerTopology(members, kind=self.topology_kind)
         for dp_id, dp in self.decision_points.items():
-            dp.set_neighbors(topo.neighbors(dp_id))
+            dp.set_neighbors(topo.neighbors(dp_id) if dp_id in members else [])
+
+    def _emit_topology(self, action: str, dp_id: str, source: str,
+                       revived: bool = False) -> None:
+        event = TopologyEvent(time=self.sim.now, action=action, dp_id=dp_id,
+                              n_live=len(self.live_dp_ids), source=source,
+                              revived=revived)
+        self.topology_events.append(event)
+        self.sim.metrics.counter(f"topology.{action}").inc()
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("topology.change", action=action, node=dp_id,
+                                n_live=event.n_live, source=source)
+        for listener in list(self.on_topology_change):
+            listener(event)
 
     @property
     def dp_ids(self) -> list[str]:
         return list(self.decision_points)
+
+    @property
+    def live_dp_ids(self) -> list[str]:
+        """Decision points that are up and serving (online, not retired)."""
+        return [d for d, dp in self.decision_points.items()
+                if d not in self.retired and dp.online]
 
     def dp(self, dp_id: str) -> DecisionPoint:
         return self.decision_points[dp_id]
@@ -134,12 +199,51 @@ class DIGruberDeployment:
         return [c for c in self.clients if c.decision_point == dp_id]
 
     # -- dynamic reconfiguration (§5) --------------------------------------------
-    def add_decision_point(self) -> DecisionPoint:
+    def add_decision_point(self, source: str = "manual") -> DecisionPoint:
         """Deploy one more decision point into the running overlay."""
         dp = self._create_dp()
         self._rewire()
         if self._started:
             dp.start()
+        self._emit_topology("join", str(dp.node_id), source)
+        return dp
+
+    def retire_decision_point(self, dp_id: str,
+                              source: str = "manual") -> DecisionPoint:
+        """Administratively remove a decision point from the overlay.
+
+        Scale-down, not a crash: the service stops cleanly, keeps its
+        learned state in memory, and can be revived later.  Callers
+        evacuate clients *before* retiring (the actuator does); any
+        still bound afterwards degrade as if the broker were down.
+        """
+        if dp_id not in self.decision_points:
+            raise KeyError(f"unknown decision point {dp_id!r}")
+        if dp_id in self.retired:
+            raise ValueError(f"decision point {dp_id!r} already retired")
+        if len(self.live_dp_ids) <= 1:
+            raise ValueError("cannot retire the last live decision point")
+        dp = self.decision_points[dp_id]
+        self.retired.add(dp_id)
+        dp.retire()
+        self._rewire()
+        self._emit_topology("leave", dp_id, source)
+        return dp
+
+    def revive_decision_point(self, dp_id: str, source: str = "manual",
+                              resync: bool = True) -> DecisionPoint:
+        """Bring a retired decision point back into the overlay.
+
+        Rewires first so the restart's peer resync (the PR-2 machinery)
+        sees its new neighbors, then restarts the service.
+        """
+        if dp_id not in self.retired:
+            raise ValueError(f"decision point {dp_id!r} is not retired")
+        dp = self.decision_points[dp_id]
+        self.retired.discard(dp_id)
+        self._rewire()
+        dp.restart(resync=resync)
+        self._emit_topology("join", dp_id, source, revived=True)
         return dp
 
     def rebalance_clients(self, from_dp: str, to_dp: str,

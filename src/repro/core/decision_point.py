@@ -90,6 +90,7 @@ class DecisionPoint(Endpoint):
         self._decide_hist = sim.metrics.histogram(f"dp.decide_s.{node_id}")
         self.started = False
         self.crashes = 0
+        self.retirements = 0
         self.restarts = 0
         self.resync_records = 0
         self.resync_failures = 0
@@ -144,6 +145,28 @@ class DecisionPoint(Endpoint):
         self.sim.metrics.counter("dp.crashes").inc()
         if self.sim.trace.enabled:
             self.sim.trace.emit("dp.crash", node=self.node_id)
+
+    def retire(self) -> None:
+        """Administrative scale-down: stop serving, keep state, revivable.
+
+        Unlike :meth:`crash` this is a *planned* leave — it counts under
+        ``dp.retirements`` (not ``dp.crashes``) so chaos accounting and
+        control-plane accounting stay separable.  Idempotent; a crashed
+        decision point can also be retired (it only marks the counter).
+        :meth:`restart` revives either way.
+        """
+        was_online = self.online
+        self.online = False
+        if self.started:
+            self.monitor.stop()
+            self.sync.stop()
+            self.started = False
+        if not was_online:
+            return
+        self.retirements += 1
+        self.sim.metrics.counter("dp.retirements").inc()
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("dp.retire", node=self.node_id)
 
     def restart(self, resync: bool = True) -> None:
         """Bring the service back; optionally re-sync state from peers.

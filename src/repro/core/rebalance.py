@@ -79,7 +79,7 @@ class ReconfigurationObserver:
         if self.sim.now - self._last_action_at < self.cooldown_s:
             return
         if len(self.deployment.decision_points) < self.max_decision_points:
-            new_dp = self.deployment.add_decision_point()
+            new_dp = self.deployment.add_decision_point(source="observer")
             self.detector.watch(new_dp)
             moved = self.deployment.rebalance_clients(
                 signal.decision_point, str(new_dp.node_id),
@@ -118,10 +118,18 @@ class ReconfigurationObserver:
             dp_id = str(dead.node_id)
             if dp_id not in self._pending_rewatch:
                 self._pending_rewatch.add(dp_id)
+                # Surface the departure as a *structured* topology event
+                # (not just a trace line) so the autoscale actuator and
+                # tests consume the same membership stream.
+                self.deployment._emit_topology("leave", dp_id,
+                                               source="observer")
 
                 def _rewatch(dp=dead, dp_id=dp_id):
                     self._pending_rewatch.discard(dp_id)
                     self.detector.watch(dp)
+                    self.deployment._emit_topology("join", dp_id,
+                                                   source="observer",
+                                                   revived=True)
                     dp.on_restart.remove(_rewatch)
 
                 dead.on_restart.append(_rewatch)

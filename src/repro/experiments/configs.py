@@ -15,7 +15,10 @@ numerals were lost to the OCR; see DESIGN.md for the derivation):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.control.policy import AutoscaleConfig
 
 from repro.core.sync import DisseminationStrategy
 from repro.net.container import ContainerProfile, GT3_PROFILE, GT4_PROFILE
@@ -86,6 +89,16 @@ class ExperimentConfig:
     # (None = unbounded, the paper's behaviour).
     dp_queue_bound: Optional[int] = None
 
+    # Control plane (repro.control): closed-loop decision-point
+    # autoscaling with dynamic client placement (None = static fleet,
+    # the paper's behaviour).  ``decision_points`` is the *initial*
+    # fleet; the planner grows/shrinks it within the policy's bounds.
+    autoscale: Optional["AutoscaleConfig"] = None
+    # Named arrival profile (repro.workloads.profiles): "steady" is the
+    # paper's fixed cadence; "diurnal"/"bursty" make demand move so the
+    # autoscaler has something to track.
+    workload_profile: str = "steady"
+
     # Scale plane.  ``fast_paths`` gates the result-preserving kernel
     # and state-view optimizations (heap compaction, pooled timeouts,
     # indexed view) — off reproduces the pre-optimization cost model
@@ -149,6 +162,13 @@ class ExperimentConfig:
                     f"expected one of {scenario_names()}")
         if self.dp_queue_bound is not None and self.dp_queue_bound < 0:
             raise ValueError("dp_queue_bound must be >= 0 or None")
+        if self.autoscale is not None:
+            from repro.control.policy import AutoscaleConfig
+            if not isinstance(self.autoscale, AutoscaleConfig):
+                raise ValueError("autoscale must be an AutoscaleConfig")
+        if self.workload_profile:
+            from repro.workloads.profiles import arrival_profile
+            arrival_profile(self.workload_profile)  # raises on unknown
         if self.spans_sample < 1:
             raise ValueError("spans_sample must be >= 1")
         if self.check_interval_s <= 0:

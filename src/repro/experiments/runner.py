@@ -49,6 +49,7 @@ class ExperimentResult:
     injector: Optional[object] = field(default=None, repr=False)
     failover: Optional[object] = field(default=None, repr=False)
     checker: Optional[object] = field(default=None, repr=False)
+    planner: Optional[object] = field(default=None, repr=False)
     _jobs: dict = field(default=None, repr=False)  # type: ignore[assignment]
 
     def __post_init__(self):
@@ -174,6 +175,12 @@ class ExperimentResult:
                                 if self.injector is not None else 0),
         }
 
+    def control_stats(self) -> Optional[dict]:
+        """Planner tallies for autoscaled runs (None when static)."""
+        if self.planner is None:
+            return None
+        return self.planner.stats()
+
     def summary(self) -> str:
         d = self.diperf()
         fb = self.client_fallbacks()
@@ -188,6 +195,15 @@ class ExperimentResult:
             f"accuracy(handled)={self.accuracy('handled'):.1%} "
             f"qtime(all)={self.qtime('all'):.1f}s",
         ]
+        cs = self.control_stats()
+        if cs is not None:
+            lines.append(
+                f"autoscale[{cs['policy']}/{cs['placement']}]: "
+                f"dps {self.config.decision_points}->{cs['final_dps']} "
+                f"(converged {cs['converged_dps']}), "
+                f"ups={cs['scale_ups']} downs={cs['scale_downs']} "
+                f"rebalances={cs['rebalances']} "
+                f"moved={cs['clients_moved']}")
         return "\n".join(lines)
 
 
@@ -216,6 +232,7 @@ class BuiltExperiment:
     injector: Optional[object] = None
     failover: Optional[object] = None
     checker: Optional[object] = None
+    planner: Optional[object] = None
     trace_sink: Optional[object] = None
 
 
@@ -293,6 +310,12 @@ def build_experiment(config: ExperimentConfig,
 
     generator = WorkloadGenerator(grid.vos, config.job_model,
                                   rng.stream("workload"))
+    # "steady" stays on the exact legacy draw path (profile=None makes
+    # zero extra RNG calls), so existing seeds reproduce bit-identically.
+    profile = None
+    if config.workload_profile and config.workload_profile != "steady":
+        from repro.workloads.profiles import arrival_profile
+        profile = arrival_profile(config.workload_profile)
     trace = TraceRecorder()
     state_kb = config.n_sites * config.site_state_kb
 
@@ -309,7 +332,8 @@ def build_experiment(config: ExperimentConfig,
     for host in hosts:
         workload = generator.host_workload(
             host, duration_s=config.duration_s - offsets[host],
-            interarrival_s=config.interarrival_s, start_s=offsets[host])
+            interarrival_s=config.interarrival_s, start_s=offsets[host],
+            profile=profile)
         workload.jid_base = next_jid
         next_jid += len(workload)
         client = GruberClient(
@@ -336,6 +360,12 @@ def build_experiment(config: ExperimentConfig,
                                  rng.stream("faults"), deployment=deployment)
         injector.arm()
 
+    planner = None
+    if config.autoscale is not None:
+        from repro.control import AutoscalePlanner
+        planner = AutoscalePlanner(sim, deployment, config.autoscale,
+                                   rng.stream("autoscale"))
+
     checker = None
     if config.check_enabled:
         from repro.check import InvariantChecker
@@ -346,11 +376,15 @@ def build_experiment(config: ExperimentConfig,
             checker.watch_site(site)
         for client in clients:
             checker.watch_client(client)
+        if planner is not None:
+            checker.watch_controller(planner)
         checker.install()
 
     deployment.start()
     if failover is not None:
         failover.start()
+    if planner is not None:
+        planner.start()
     for client in clients:
         client.start()
 
@@ -358,7 +392,8 @@ def build_experiment(config: ExperimentConfig,
                            grid=grid, deployment=deployment, clients=clients,
                            hosts=hosts, offsets=offsets, trace=trace,
                            injector=injector, failover=failover,
-                           checker=checker, trace_sink=trace_sink)
+                           checker=checker, planner=planner,
+                           trace_sink=trace_sink)
 
 
 def finalize_experiment(built: BuiltExperiment) -> ExperimentResult:
@@ -398,7 +433,7 @@ def finalize_experiment(built: BuiltExperiment) -> ExperimentResult:
                             deployment=built.deployment, clients=clients,
                             sim=sim, network=built.network,
                             injector=built.injector, failover=built.failover,
-                            checker=built.checker)
+                            checker=built.checker, planner=built.planner)
 
 
 def run_experiment(config: ExperimentConfig,

@@ -28,6 +28,7 @@ stale USLA usage) visible in the run summary.
 
 from repro.obs.counters import (
     Counter,
+    Gauge,
     Histogram,
     LATENCY_BUCKETS_S,
     MetricsRegistry,
@@ -37,6 +38,7 @@ from repro.obs.trace import JsonlSink, TraceEvent, Tracer
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
     "JsonlSink",
     "LATENCY_BUCKETS_S",

@@ -14,7 +14,8 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Optional, Sequence
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry", "LATENCY_BUCKETS_S"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "LATENCY_BUCKETS_S"]
 
 #: Default latency buckets (seconds): 1 ms … 512 s, exponential.
 #: Spans LAN sub-millisecond chatter up to multi-minute WAN timeouts.
@@ -39,6 +40,36 @@ class Counter:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A named point-in-time level (queue depth, client count, live DPs).
+
+    Unlike a :class:`Counter` it moves in both directions; the control
+    plane samples system levels into gauges so the autoscale planner
+    and ``digruber trace analyze`` read one signal path instead of each
+    re-deriving depth from spans.  ``updated_at`` carries the sim time
+    of the last ``set`` so a stale sample is distinguishable from a
+    current one.
+    """
+
+    __slots__ = ("name", "value", "updated_at")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.updated_at: Optional[float] = None
+
+    def set(self, value: float, at: Optional[float] = None) -> None:
+        self.value = value
+        if at is not None:
+            self.updated_at = at
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Gauge {self.name}={self.value}>"
 
 
 class Histogram:
@@ -122,12 +153,13 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named counters + histograms for one simulator instance."""
+    """Named counters + gauges + histograms for one simulator instance."""
 
-    __slots__ = ("counters", "histograms")
+    __slots__ = ("counters", "gauges", "histograms")
 
     def __init__(self) -> None:
         self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
@@ -135,6 +167,16 @@ class MetricsRegistry:
         if c is None:
             c = self.counters[name] = Counter(name)
         return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        g = self.gauges.get(name)
+        return float(g.value) if g is not None else default
 
     def histogram(self, name: str,
                   bounds: Sequence[float] = LATENCY_BUCKETS_S) -> Histogram:
@@ -151,6 +193,7 @@ class MetricsRegistry:
         """Plain-dict view (JSON-ready) of everything recorded."""
         return {
             "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
             "histograms": {n: h.summary()
                            for n, h in sorted(self.histograms.items())},
         }

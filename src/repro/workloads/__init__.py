@@ -19,14 +19,21 @@ from repro.workloads.generator import (
     workload_from_job_trace,
 )
 from repro.workloads.models import JobModel
+from repro.workloads.profiles import (ARRIVAL_PROFILES, ArrivalProfile,
+                                      arrival_profile,
+                                      arrival_profile_names)
 from repro.workloads.trace import QUERY_FIELDS, JOB_FIELDS, TraceRecorder
 
 __all__ = [
+    "ARRIVAL_PROFILES",
+    "ArrivalProfile",
     "HostWorkload",
     "JOB_FIELDS",
     "JobModel",
     "QUERY_FIELDS",
     "TraceRecorder",
     "WorkloadGenerator",
+    "arrival_profile",
+    "arrival_profile_names",
     "workload_from_job_trace",
 ]

@@ -11,13 +11,16 @@ as the simulation consumes them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
 import numpy as np
 
 from repro.grid.job import Job
 from repro.grid.vo import VORegistry
 from repro.workloads.models import JobModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workloads.profiles import ArrivalProfile
 
 __all__ = ["HostWorkload", "WorkloadGenerator"]
 
@@ -101,7 +104,9 @@ class WorkloadGenerator:
                       start_s: float = 0.0,
                       poisson: bool = False,
                       diurnal_amplitude: float = 0.0,
-                      diurnal_period_s: float = 86400.0) -> HostWorkload:
+                      diurnal_period_s: float = 86400.0,
+                      profile: Optional["ArrivalProfile"] = None
+                      ) -> HostWorkload:
         """The job stream one submission host issues during the run.
 
         Fixed cadence by default ("jobs were submitted every second
@@ -111,11 +116,31 @@ class WorkloadGenerator:
         (production grids see strong day/night submission cycles) —
         mean rate is preserved at the peak, and off-peak arrivals are
         dropped with probability ``amplitude * (1 - cos) / 2``.
+
+        ``profile`` (an :class:`~repro.workloads.profiles.ArrivalProfile`)
+        overrides the shape knobs wholesale and adds periodic burst
+        windows: arrivals are drawn dense at ``interarrival /
+        burst_factor`` and thinned to the base rate outside bursts.
         """
+        burst_factor, burst_period_s, burst_duty = 1.0, 0.0, 0.25
+        if profile is not None:
+            resolved = profile.resolve(duration_s)
+            poisson = resolved.poisson
+            interarrival_s = interarrival_s * resolved.interarrival_scale
+            diurnal_amplitude = resolved.diurnal_amplitude
+            if resolved.diurnal_period_s > 0:
+                diurnal_period_s = resolved.diurnal_period_s
+            burst_factor = resolved.burst_factor
+            burst_period_s = resolved.burst_period_s
+            burst_duty = resolved.burst_duty
         if duration_s <= 0 or interarrival_s <= 0:
             raise ValueError("duration_s and interarrival_s must be > 0")
         if not (0.0 <= diurnal_amplitude < 1.0):
             raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if burst_factor > 1.0 and burst_period_s > 0:
+            # Dense draw at the in-burst rate; off-burst arrivals are
+            # thinned back down to the base rate below.
+            interarrival_s = interarrival_s / burst_factor
         if poisson:
             # Draw enough exponential gaps to cover the window.
             est = int(duration_s / interarrival_s * 1.5) + 10
@@ -128,6 +153,12 @@ class WorkloadGenerator:
             phase = 2.0 * np.pi * arrivals / diurnal_period_s
             drop_p = diurnal_amplitude * (1.0 - np.cos(phase)) / 2.0
             keep = self.rng.random(len(arrivals)) >= drop_p
+            arrivals = arrivals[keep]
+        if burst_factor > 1.0 and burst_period_s > 0 and len(arrivals):
+            in_burst = (arrivals % burst_period_s) < \
+                burst_duty * burst_period_s
+            keep = in_burst | \
+                (self.rng.random(len(arrivals)) < 1.0 / burst_factor)
             arrivals = arrivals[keep]
         n = len(arrivals)
         picks = self.rng.integers(0, len(self._triples), size=n)
@@ -150,14 +181,16 @@ class WorkloadGenerator:
     def fleet(self, hosts: Sequence[str], duration_s: float,
               interarrival_s: float = 1.0,
               start_offsets: Optional[dict[str, float]] = None,
-              poisson: bool = False) -> dict[str, HostWorkload]:
+              poisson: bool = False,
+              profile: Optional["ArrivalProfile"] = None
+              ) -> dict[str, HostWorkload]:
         """Workloads for a whole client fleet (DiPerF ramps set offsets)."""
         offsets = start_offsets or {}
         return {
             h: self.host_workload(h, duration_s=duration_s,
                                   interarrival_s=interarrival_s,
                                   start_s=offsets.get(h, 0.0),
-                                  poisson=poisson)
+                                  poisson=poisson, profile=profile)
             for h in hosts
         }
 

@@ -1,0 +1,93 @@
+"""Named arrival profiles: steady, diurnal, bursty.
+
+The paper's workloads are steady (one job per second per host).  The
+elastic brokering plane needs load that *moves*: production grids see
+strong day/night submission cycles and flash crowds, and an autoscaler
+only earns its keep when demand breathes.  A profile is a small frozen
+recipe over the :class:`~repro.workloads.generator.WorkloadGenerator`
+knobs — Poisson vs fixed cadence, sinusoidal diurnal thinning, and
+periodic burst windows — resolved against the run horizon so "one
+day/night cycle" means one cycle of *this* run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+__all__ = ["ArrivalProfile", "ARRIVAL_PROFILES", "arrival_profile",
+           "arrival_profile_names"]
+
+
+@dataclass(frozen=True)
+class ArrivalProfile:
+    """One named arrival-pattern recipe (frozen, sweepable)."""
+
+    name: str
+    #: Exponential gaps instead of the paper's fixed cadence.
+    poisson: bool = False
+    #: Multiplies the experiment's base interarrival (>1 = lighter).
+    interarrival_scale: float = 1.0
+    #: Sinusoidal thinning depth in [0, 1): 0.9 means the trough keeps
+    #: ~10% of peak arrivals.
+    diurnal_amplitude: float = 0.0
+    #: Cycle length; <= 0 resolves to the run horizon (one full cycle).
+    diurnal_period_s: float = 0.0
+    #: Rate multiplier inside burst windows (1 = no bursts).
+    burst_factor: float = 1.0
+    #: Burst cycle length; <= 0 resolves to 1/6 of the run horizon.
+    burst_period_s: float = 0.0
+    #: Fraction of each burst cycle spent bursting.
+    burst_duty: float = 0.25
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("profile needs a name")
+        if self.interarrival_scale <= 0:
+            raise ValueError("interarrival_scale must be > 0")
+        if not (0.0 <= self.diurnal_amplitude < 1.0):
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+        if not (0.0 < self.burst_duty < 1.0):
+            raise ValueError("burst_duty must be in (0, 1)")
+
+    @property
+    def bursty(self) -> bool:
+        return self.burst_factor > 1.0
+
+    def resolve(self, duration_s: float) -> "ArrivalProfile":
+        """Pin run-relative periods against a concrete horizon."""
+        if duration_s <= 0:
+            raise ValueError("duration_s must be > 0")
+        diurnal = self.diurnal_period_s
+        if self.diurnal_amplitude > 0 and diurnal <= 0:
+            diurnal = float(duration_s)
+        burst = self.burst_period_s
+        if self.bursty and burst <= 0:
+            burst = max(1.0, math.floor(duration_s / 6.0))
+        return replace(self, diurnal_period_s=diurnal, burst_period_s=burst)
+
+
+#: The named registry.  ``steady`` is the paper's workload; ``diurnal``
+#: breathes through one day/night cycle per run (trough at mid-run);
+#: ``bursty`` rides 4x flash crowds a quarter of the time.
+ARRIVAL_PROFILES: dict[str, ArrivalProfile] = {
+    "steady": ArrivalProfile(name="steady"),
+    "diurnal": ArrivalProfile(name="diurnal", poisson=True,
+                              diurnal_amplitude=0.9),
+    "bursty": ArrivalProfile(name="bursty", poisson=True,
+                             burst_factor=4.0, burst_duty=0.25),
+}
+
+
+def arrival_profile(name: str) -> ArrivalProfile:
+    try:
+        return ARRIVAL_PROFILES[name]
+    except KeyError:
+        raise ValueError(f"unknown workload profile {name!r}; expected one "
+                         f"of {arrival_profile_names()}") from None
+
+
+def arrival_profile_names() -> tuple[str, ...]:
+    return tuple(sorted(ARRIVAL_PROFILES))

@@ -75,9 +75,9 @@ class TestApi:
             run_pair("no-such-pair")
 
     def test_pair_registry_matches_cli(self):
-        assert sorted(PAIRS) == ["delta-sync", "fast-paths",
-                                 "indexed-view", "sharded-2", "sharded-4",
-                                 "spans", "workers"]
+        assert sorted(PAIRS) == ["autoscale-frozen", "delta-sync",
+                                 "fast-paths", "indexed-view", "sharded-2",
+                                 "sharded-4", "spans", "workers"]
         # The CLI's --pair choices must stay in lockstep with the
         # registry (an unlisted pair is unreachable from the shell).
         from repro.cli import build_parser

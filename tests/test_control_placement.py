@@ -1,0 +1,142 @@
+"""Property-based tests for dynamic client placement (repro.control)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.placement import (ConsistentHashPlacement,
+                                     LeastLoadedPlacement, make_placement,
+                                     migration_bound)
+
+dp_sets = st.integers(min_value=1, max_value=12)
+client_counts = st.integers(min_value=1, max_value=120)
+
+
+def _dps(n):
+    return [f"dp{i}" for i in range(n)]
+
+
+def _clients(k):
+    return [f"host{i:03d}" for i in range(k)]
+
+
+# -- migration bound ---------------------------------------------------------
+
+@given(k=client_counts, n=dp_sets)
+def test_migration_bound_is_ceil_k_over_n(k, n):
+    assert migration_bound(k, n) == max(1, math.ceil(k / n))
+
+
+def test_migration_bound_no_dps_is_zero():
+    assert migration_bound(10, 0) == 0
+
+
+# -- consistent hashing ------------------------------------------------------
+
+@given(k=client_counts, n=dp_sets)
+@settings(max_examples=50, deadline=None)
+def test_consistent_hash_join_moves_at_most_bound(k, n):
+    """A single join moves at most ceil(K/N) clients per rebalance step.
+
+    The issue's contract: the bound is *enforced* (voluntary moves are
+    truncated), and for a ring a join only claims segments from its
+    successors, so the demand itself is small too.
+    """
+    placement = ConsistentHashPlacement(vnodes=32)
+    clients = _clients(k)
+    before = placement.assign(clients, _dps(n))
+    grown = _dps(n + 1)
+    step = placement.rebalance(before, grown)
+    bound = migration_bound(k, len(grown))
+    assert not step.forced            # nobody was stranded
+    assert len(step.moves) <= bound
+    # Every voluntary move lands on the ring's true target.
+    for client, target in step.moves.items():
+        assert target == placement.assign_one(client, grown)
+
+
+@given(k=client_counts, n=st.integers(min_value=2, max_value=12))
+@settings(max_examples=50, deadline=None)
+def test_consistent_hash_leave_forces_exactly_the_orphans(k, n):
+    """Removing a decision point forces exactly its clients, no others."""
+    placement = ConsistentHashPlacement(vnodes=32)
+    clients = _clients(k)
+    dps = _dps(n)
+    before = placement.assign(clients, dps)
+    gone = dps[0]
+    survivors = dps[1:]
+    step = placement.rebalance(before, survivors)
+    orphans = {c for c, d in before.items() if d == gone}
+    assert set(step.forced) == orphans
+    # Minimal disruption: survivors' clients keep their owner.
+    for client, target in step.moves.items():
+        assert before[client] in survivors  # voluntary ⇒ wasn't orphaned
+    for client, target in step.forced.items():
+        assert target in survivors
+
+
+@given(k=client_counts, n=dp_sets)
+@settings(max_examples=30, deadline=None)
+def test_consistent_hash_is_process_stable(k, n):
+    """Two independent ring instances agree on every assignment."""
+    a = ConsistentHashPlacement(vnodes=16)
+    b = ConsistentHashPlacement(vnodes=16)
+    clients, dps = _clients(k), _dps(n)
+    assert a.assign(clients, dps) == b.assign(clients, dps)
+
+
+# -- least-loaded ------------------------------------------------------------
+
+@given(k=client_counts, n=dp_sets, seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_least_loaded_deterministic_under_seed_pinning(k, n, seed):
+    placement = LeastLoadedPlacement()
+    clients, dps = _clients(k), _dps(n)
+    a = placement.assign(clients, dps, rng=np.random.default_rng(seed))
+    b = placement.assign(clients, dps, rng=np.random.default_rng(seed))
+    assert a == b
+    # Balanced by construction: counts differ by at most one.
+    counts = {d: 0 for d in dps}
+    for d in a.values():
+        counts[d] += 1
+    assert max(counts.values()) - min(counts.values()) <= 1
+
+
+@given(k=client_counts, n=st.integers(min_value=2, max_value=12),
+       seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_least_loaded_rebalance_respects_bound_and_levels(k, n, seed):
+    placement = LeastLoadedPlacement()
+    clients, dps = _clients(k), _dps(n)
+    # Pathological start: everyone piled on one decision point.
+    before = {c: dps[0] for c in clients}
+    bound = migration_bound(k, n)
+    step = placement.rebalance(before, dps, rng=np.random.default_rng(seed))
+    assert not step.forced
+    assert len(step.moves) <= bound
+    # Whatever was withheld is declared, not silently dropped.
+    after = dict(before)
+    after.update(step.moves)
+    counts = {d: 0 for d in dps}
+    for d in after.values():
+        counts[d] += 1
+    residual = max(counts.values()) - min(counts.values()) - 1
+    assert step.deferred == max(0, residual)
+
+
+def test_least_loaded_evacuates_dead_dps_unbounded():
+    placement = LeastLoadedPlacement()
+    clients = _clients(30)
+    before = {c: "dead" for c in clients}
+    step = placement.rebalance(before, ["dp0", "dp1"], max_moves=1)
+    # Forced moves are exempt from the voluntary bound.
+    assert len(step.forced) == 30
+    assert set(step.forced.values()) <= {"dp0", "dp1"}
+
+
+def test_make_placement_rejects_unknown():
+    import pytest
+    with pytest.raises(ValueError):
+        make_placement("nope")

@@ -1,0 +1,221 @@
+"""Integration tests for the elastic brokering plane (repro.control)."""
+
+import pytest
+
+from repro.check.differ import run_pair
+from repro.check.digest import EventJournal, install_probes
+from repro.control import AutoscaleConfig, AutoscalePlanner
+from repro.core.broker import TopologyEvent
+from repro.experiments.configs import smoke_config
+from repro.experiments.runner import run_experiment
+
+
+def _autoscaled(n_clients=40, duration_s=600.0, dps=1, **cfg_kw):
+    kw = dict(interval_s=30.0, cooldown_s=60.0, max_dps=6)
+    kw.update(cfg_kw)
+    return smoke_config(
+        decision_points=dps, n_clients=n_clients, duration_s=duration_s,
+        n_sites=30, total_cpus=1500,
+        autoscale=AutoscaleConfig(**kw),
+        check_enabled=True, check_strict=True)
+
+
+def test_autoscale_grows_under_load():
+    """40 clients against GT3 capacity need 2 DPs (model rule), and the
+    planner gets there from 1 under the strict invariant checker."""
+    result = run_experiment(_autoscaled())
+    stats = result.control_stats()
+    assert stats["scale_ups"] >= 1
+    assert stats["final_dps"] == 2
+    assert result.planner.converged_dps() == 2
+    assert stats["clients_moved"] > 0
+    # The run summary carries the control line.
+    assert "autoscale[model/consistent_hash]" in result.summary()
+
+
+def test_autoscale_sheds_idle_capacity():
+    """A tiny fleet on an oversized deployment drains down to 1 DP."""
+    result = run_experiment(_autoscaled(
+        n_clients=6, dps=4, down_consecutive=2, cooldown_s=30.0))
+    stats = result.control_stats()
+    assert stats["scale_downs"] >= 1
+    assert stats["final_dps"] < 4
+    deployment = result.deployment
+    # Retired DPs are offline, unwired, and counted separately.
+    assert deployment.retired
+    for dp_id in deployment.retired:
+        dp = deployment.decision_points[dp_id]
+        assert not dp.online
+        assert dp.retirements == 1
+        assert dp.crashes == 0
+    # No client is left bound to a retired decision point.
+    live = set(deployment.live_dp_ids)
+    for client in deployment.clients:
+        assert str(client.decision_point) in live
+
+
+def test_scale_down_then_up_revives_retired_dp():
+    """Scale-up prefers reviving a retired DP over deploying a new one."""
+    result = run_experiment(_autoscaled(
+        n_clients=6, dps=3, down_consecutive=2, cooldown_s=30.0))
+    planner = result.planner
+    assert planner.actuator.actions  # it did shed
+    n_before = len(result.deployment.decision_points)
+    action = planner.actuator.scale_up(1)
+    assert action.kind == "scale_up"
+    # Revived, not created: the dp dict did not grow.
+    assert len(result.deployment.decision_points) == n_before
+    revives = [e for e in result.deployment.topology_events
+               if e.action == "join" and e.revived]
+    assert revives and revives[-1].source == "autoscale"
+
+
+def test_topology_events_are_structured_and_sourced():
+    result = run_experiment(_autoscaled())
+    events = result.deployment.topology_events
+    assert events, "expected at least one scale-up join"
+    for e in events:
+        assert isinstance(e, TopologyEvent)
+        assert e.action in ("join", "leave")
+        assert e.source == "autoscale"
+        assert e.n_live >= 1
+    # The metrics plane counted them too.
+    joins = sum(1 for e in events if e.action == "join")
+    assert result.sim.metrics.counter_value("topology.join") == joins
+
+
+def test_gauges_published_per_dp():
+    result = run_experiment(_autoscaled())
+    metrics = result.sim.metrics
+    snap = metrics.snapshot()
+    gauges = snap["gauges"]
+    assert "control.n_dps" in gauges
+    assert gauges["control.n_dps"] == len(result.deployment.live_dp_ids)
+    for dp_id in result.deployment.live_dp_ids:
+        assert f"dp.queue_depth.{dp_id}" in gauges
+        assert f"dp.clients.{dp_id}" in gauges
+    # Client-assignment gauges sum to the fleet size.
+    total = sum(v for k, v in gauges.items() if k.startswith("dp.clients."))
+    assert total == len(result.deployment.clients)
+
+
+def test_control_actions_are_journaled():
+    """Planner actions land as ctl.scale entries in the event journal."""
+    journal = EventJournal()
+    config = _autoscaled(duration_s=400.0)
+
+    def hook(sim=None, deployment=None, network=None, grid=None, rng=None):
+        install_probes(journal, deployment=deployment,
+                       sites=grid.sites.values(), sim=sim)
+
+    result = run_experiment(config, deployment_hook=hook)
+    ctl = [e for e in journal.entries if e.kind == "ctl.scale"]
+    assert len(ctl) == len(result.planner.actuator.actions)
+    assert any("scale_up|1->2" in e.detail for e in ctl)
+
+
+def test_same_seed_runs_are_journal_identical():
+    digests = []
+    for _ in range(2):
+        journal = EventJournal()
+
+        def hook(sim=None, deployment=None, network=None, grid=None,
+                 rng=None, journal=journal):
+            install_probes(journal, deployment=deployment,
+                           sites=grid.sites.values(), sim=sim)
+
+        run_experiment(_autoscaled(duration_s=400.0), deployment_hook=hook)
+        digests.append((len(journal), journal.digest))
+    assert digests[0] == digests[1]
+
+
+def test_frozen_pair_is_event_identical():
+    report = run_pair("autoscale-frozen", duration_s=120.0)
+    assert report.identical, report.describe()
+
+
+def test_observer_crash_surfaces_structured_leave_and_join():
+    """The reconfiguration observer emits on the same topology stream."""
+    from repro.core.rebalance import ReconfigurationObserver
+    from repro.core.saturation import SaturationDetector
+    from repro.experiments.runner import build_experiment
+    from repro.resilience.policy import ResilienceConfig
+
+    config = smoke_config(
+        decision_points=2, n_clients=10, duration_s=600.0,
+        chaos_scenario="dp_crash_restart",
+        resilience=ResilienceConfig())
+    built = build_experiment(config)
+    detector = SaturationDetector(
+        built.sim, built.deployment.decision_points.values(),
+        interval_s=15.0)
+    ReconfigurationObserver(built.sim, built.deployment, detector,
+                            cooldown_s=120.0, max_decision_points=3)
+    detector.start()
+    built.sim.run(until=config.duration_s)
+    events = built.deployment.topology_events
+    observer_events = [e for e in events if e.source == "observer"]
+    leaves = [e for e in observer_events if e.action == "leave"]
+    joins = [e for e in observer_events
+             if e.action == "join" and e.revived]
+    assert leaves, "crash should surface a structured leave"
+    assert joins, "restart should surface a structured revived join"
+    assert leaves[0].time < joins[0].time
+
+
+def test_actuator_marks_placement_dirty_on_external_change():
+    result = run_experiment(_autoscaled(duration_s=300.0))
+    planner = result.planner
+    assert not planner.actuator.placement_dirty
+    # An out-of-band (manual/observer) membership change dirties the
+    # placement; the planner's own actions do not.
+    result.deployment.add_decision_point(source="manual")
+    assert planner.actuator.placement_dirty
+    planner.tick()
+    assert not planner.actuator.placement_dirty
+
+
+def test_workload_profiles_shape_arrivals():
+    from repro.workloads import arrival_profile
+    from repro.workloads.generator import WorkloadGenerator
+    from repro.grid.builder import GridBuilder
+    from repro.sim.kernel import Simulator
+    from repro.sim.rng import RngRegistry
+
+    sim = Simulator()
+    rng = RngRegistry(7)
+    grid = GridBuilder(sim, rng.stream("grid")).build(
+        n_sites=4, total_cpus=200, n_vos=2, groups_per_vo=2,
+        users_per_group=1, name="profiles")
+    gen = WorkloadGenerator(grid.vos, __import__(
+        "repro.workloads.models", fromlist=["JobModel"]).JobModel(),
+        rng.stream("wl"))
+    duration = 2000.0
+    steady = gen.host_workload("h", duration_s=duration)
+    diurnal = gen.host_workload("h", duration_s=duration,
+                                profile=arrival_profile("diurnal"))
+    bursty = gen.host_workload("h", duration_s=duration,
+                               profile=arrival_profile("bursty"))
+    # Diurnal thins the trough (mid-run): second quarter vs first.
+    q = duration / 4
+    first = ((diurnal.arrivals >= 0) & (diurnal.arrivals < q)).sum()
+    trough = ((diurnal.arrivals >= q) &
+              (diurnal.arrivals < 2 * q)).sum()
+    assert trough < first
+    assert len(diurnal) < len(steady)
+    # Bursty keeps the dense rate inside burst windows: overall volume
+    # exceeds steady's one-per-second baseline.
+    assert len(bursty) > len(steady)
+
+
+def test_autoscale_config_validation():
+    with pytest.raises(ValueError):
+        AutoscaleConfig(policy="nope")
+    with pytest.raises(ValueError):
+        AutoscaleConfig(placement="nope")
+    with pytest.raises(ValueError):
+        AutoscaleConfig(min_dps=5, max_dps=2)
+    with pytest.raises(ValueError):
+        smoke_config(workload_profile="nope")
+    with pytest.raises(ValueError):
+        smoke_config(autoscale="yes")
