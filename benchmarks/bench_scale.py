@@ -2,9 +2,12 @@
 """Scale sweep: does the simulator survive a 10x-Grid3/OSG grid?
 
 Sweeps grid multiplier k in {1, 3, 10} x decision-point count, running
-every cell twice — once with the scale-plane fast paths + delta sync
-(``optimized``) and once with the pre-change cost model
-(``fast_paths=False``, flood sync; ``baseline``) — and records:
+every cell three ways — the pre-change cost model (``fast_paths=False``,
+flood sync; ``baseline``), the scale-plane fast paths + delta sync with
+batch dispatch and vectorized sites pinned OFF (``optimized`` — the
+PR-3 stack; the pins matter because both knobs now default on), and the
+full stack with event-batch dispatch + vectorized site drains
+(``batch``) — and records:
 
 * ``events_per_s``  — kernel events executed per wall second;
 * ``heap_peak``     — peak ``len(sim._heap)`` (boundedness evidence);
@@ -16,7 +19,18 @@ not a process-wide high-water mark.  The committed ``BENCH_scale.json``
 is the regression baseline: ``--check`` compares a fresh sweep's
 optimized-over-baseline *speedups* cell-by-cell (speedups are robust to
 absolute machine speed where raw events/sec are not) and fails on a
->15% regression.
+>15% regression, and holds the batch stack to the parity floor
+(``batch_speedup_vs_opt``).
+
+Honest framing of the batch columns: at the experiment level the
+dispatch loop is ~15% of runtime (callback bodies and the generator
+machinery dominate), so ``batch`` lands at parity with ``optimized``
+within 1-core scheduler noise (±20%).  Where batching does pay is the
+dispatch loop itself: the ``kernel_dispatch`` microbenchmark measures
+it in isolation, in CPU time, at ~1M events/s with batched dispatch a
+few percent ahead on multi-event timestamps.  The gate is therefore a
+*parity* floor (batching must never cost real throughput), not a
+speedup claim the profile cannot support.
 
 The full sweep also measures the *shard axis*: the space-parallel
 sharded runtime (``repro.sim.sharded``) on the headline (k=10, 10 DP)
@@ -67,6 +81,12 @@ REGRESSION_TOLERANCE = 0.85
 #: Acceptance floor: the optimized stack must be at least this much
 #: faster than the pre-change baseline at k=10.
 K10_SPEEDUP_FLOOR = 2.0
+#: Parity floor for the batch stack vs the PR-3 optimized path.  The
+#: two are equal within noise (the dispatch loop is ~15% of experiment
+#: runtime), but 1-core wall-clock jitters by double-digit
+#: percentages, so the floor is set where only a real slowdown — not
+#: scheduler noise — can breach it.
+BATCH_PARITY_FLOOR = 0.6
 #: Sharded axis: shard counts measured on the headline (k=10, 10 DP)
 #: cell, plus a 4-shard worker-mode row for the parallel path.
 SHARD_COUNTS = (1, 2, 4)
@@ -96,17 +116,26 @@ def _cell_env() -> dict:
 
 
 def run_cell(multiplier: int, dps: int, duration_s: float,
-             optimized: bool) -> dict:
-    """One measured run; returns the metrics dict (JSON-safe)."""
+             optimized: bool, batch: bool = False) -> dict:
+    """One measured run; returns the metrics dict (JSON-safe).
+
+    ``batch=True`` measures the full stack (fast paths + delta sync +
+    event-batch dispatch + vectorized sites).  With ``batch=False``
+    both kernel knobs are pinned off explicitly — they default on in
+    ``ExperimentConfig``, so an unpinned "optimized" cell would
+    silently include the batching it is supposed to be the reference
+    for.
+    """
     import resource
 
     from repro.experiments import run_experiment
     from repro.experiments.configs import scale_config
 
-    mode = "opt" if optimized else "base"
+    mode = "batch" if batch else ("opt" if optimized else "base")
     config = scale_config(
         multiplier=multiplier, decision_points=dps, duration_s=duration_s,
-        fast_paths=optimized, sync_delta=optimized,
+        fast_paths=optimized or batch, sync_delta=optimized or batch,
+        batch_dispatch=batch, vectorized_sites=batch,
         name=f"scale-{multiplier}x-{dps}dp-{mode}")
     t0 = time.perf_counter()
     result = run_experiment(config)
@@ -122,6 +151,9 @@ def run_cell(multiplier: int, dps: int, duration_s: float,
         "dps": dps,
         "duration_s": duration_s,
         "optimized": optimized,
+        "batch": batch,
+        "vector_drains": sum(site.vector_drains
+                             for site in result.grid.sites.values()),
         "wall_s": round(wall_s, 3),
         "events": sim.events_executed,
         "events_per_s": round(sim.events_executed / wall_s, 1),
@@ -234,17 +266,23 @@ def run_shard_sweep(shard_rows, duration_s: float, serial_rows=(),
 
 
 def run_sweep(cells, duration_s: float, isolate: bool = True) -> list[dict]:
+    modes = (("baseline", dict(optimized=False)),
+             ("optimized", dict(optimized=True)),
+             ("batch", dict(optimized=True, batch=True)))
     rows = []
     for multiplier, dps in cells:
         cell: dict = {"multiplier": multiplier, "dps": dps}
-        for optimized in (True, False):
+        for key, flags in modes:
             params = dict(multiplier=multiplier, dps=dps,
-                          duration_s=duration_s, optimized=optimized)
-            r = (_run_cell_isolated(params) if isolate
-                 else run_cell(**params))
-            cell["optimized" if optimized else "baseline"] = r
-        opt, base = cell["optimized"], cell["baseline"]
+                          duration_s=duration_s, **flags)
+            cell[key] = (_run_cell_isolated(params) if isolate
+                         else run_cell(**params))
+        opt, base, bat = cell["optimized"], cell["baseline"], cell["batch"]
         cell["speedup"] = round(opt["events_per_s"] / base["events_per_s"], 2)
+        cell["batch_speedup"] = round(
+            bat["events_per_s"] / base["events_per_s"], 2)
+        cell["batch_speedup_vs_opt"] = round(
+            bat["events_per_s"] / opt["events_per_s"], 2)
         cell["sync_kb_ratio"] = (
             round(opt["sync_kb"] / base["sync_kb"], 3)
             if base["sync_kb"] > 0 else None)
@@ -252,9 +290,12 @@ def run_sweep(cells, duration_s: float, isolate: bool = True) -> list[dict]:
         print(f"k={multiplier:>2} dps={dps:>2}: "
               f"base {base['events_per_s']:>9,.0f} ev/s   "
               f"opt {opt['events_per_s']:>9,.0f} ev/s   "
-              f"speedup {cell['speedup']:.2f}x   "
-              f"heap {base['heap_peak']}->{opt['heap_peak']}   "
-              f"sync {base['sync_kb']:.0f}->{opt['sync_kb']:.0f} KB")
+              f"batch {bat['events_per_s']:>9,.0f} ev/s   "
+              f"speedup {cell['speedup']:.2f}x "
+              f"(batch {cell['batch_speedup']:.2f}x, "
+              f"vs opt {cell['batch_speedup_vs_opt']:.2f}x)   "
+              f"heap {base['heap_peak']}->{bat['heap_peak']}   "
+              f"vec drains {bat['vector_drains']}")
     return rows
 
 
@@ -296,6 +337,38 @@ def measure_heap_bound(n_rpcs: int = 10_000) -> dict:
     return out
 
 
+def measure_dispatch_rate(n_events: int = 200_000, per_ts: int = 8) -> dict:
+    """Kernel-level dispatch throughput, batched vs scalar, in CPU time.
+
+    The experiment cells cannot see the dispatch loop — callback bodies
+    dominate — so measure it bare: ``n_events`` no-op events, ``per_ts``
+    per timestamp (the density where batch dispatch amortizes its
+    per-instant head peek).  CPU time (``time.process_time``) is used
+    because the loop runs ~1M events/s and wall-clock jitter on a
+    shared 1-core runner would swamp a few-percent effect.
+    """
+    from repro.sim import Simulator
+
+    out: dict = {}
+    for batched in (True, False):
+        sim = Simulator(batch_dispatch=batched)
+        noop = lambda: None  # noqa: E731
+        for i in range(n_events):
+            sim.schedule(float(i // per_ts), noop)
+        t0 = time.process_time()
+        sim.run()
+        cpu_s = time.process_time() - t0
+        out["batched" if batched else "scalar"] = {
+            "events": n_events,
+            "per_ts": per_ts,
+            "cpu_s": round(cpu_s, 3),
+            "events_per_s": round(n_events / cpu_s, 1),
+        }
+    out["ratio"] = round(out["batched"]["events_per_s"]
+                         / out["scalar"]["events_per_s"], 3)
+    return out
+
+
 def shard_gate(shard_rows: list[dict]) -> tuple[bool, list[str]]:
     """The sharded acceptance gate: digest equality + speedup floor."""
     problems = []
@@ -315,8 +388,12 @@ def build_report(rows: list[dict], quick: bool,
                  shard_rows: list[dict] | None = None) -> dict:
     k10 = [c for c in rows if c["multiplier"] == 10]
     k10_speedup = min((c["speedup"] for c in k10), default=None)
+    batch_parity = min((c["batch_speedup_vs_opt"] for c in rows
+                        if "batch_speedup_vs_opt" in c), default=None)
     heap_bound = measure_heap_bound()
+    kernel_dispatch = measure_dispatch_rate()
     ok = ((k10_speedup is None or k10_speedup >= K10_SPEEDUP_FLOOR)
+          and (batch_parity is None or batch_parity >= BATCH_PARITY_FLOOR)
           and heap_bound["bounded"])
     report = {
         "bench": "scale",
@@ -328,8 +405,11 @@ def build_report(rows: list[dict], quick: bool,
         "cell_duration_s": CELL_DURATION_S,
         "cells": rows,
         "heap_bound": heap_bound,
+        "kernel_dispatch": kernel_dispatch,
         "k10_speedup_min": k10_speedup,
         "k10_speedup_floor": K10_SPEEDUP_FLOOR,
+        "batch_parity_min": batch_parity,
+        "batch_parity_floor": BATCH_PARITY_FLOOR,
         "pass_scale_floor": ok,
     }
     if shard_rows is not None:
@@ -373,6 +453,15 @@ def check_regression(rows: list[dict], committed_path: Path) -> list[str]:
             problems.append(
                 f"k=10 dps={key[1]}: speedup {cell['speedup']:.2f}x below "
                 f"the {K10_SPEEDUP_FLOOR:.0f}x acceptance floor")
+        # Batch-stack parity: an absolute floor, not a ratio against
+        # the committed cell — the committed value is ~1.0 (parity) and
+        # a relative gate at that level would flake on 1-core noise.
+        parity = cell.get("batch_speedup_vs_opt")
+        if parity is not None and parity < BATCH_PARITY_FLOOR:
+            problems.append(
+                f"k={key[0]} dps={key[1]}: batch stack at {parity:.2f}x "
+                f"the optimized path, below the {BATCH_PARITY_FLOOR:.1f}x "
+                f"parity floor")
     if not compared:
         problems.append(f"no comparable cells in {committed_path}")
     return problems

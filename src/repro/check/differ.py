@@ -30,6 +30,11 @@ Pair semantics:
   partition-independence claim: ``run_sharded`` over one shard vs two
   (or four), comparing the canonically merged per-neighborhood event
   journals.  Any shard grouping must replay to the same chained digest.
+* ``batch-dispatch`` — the kernel's event-batch dispatch loop vs the
+  scalar one-event-at-a-time loop, everything else pinned;
+* ``vectorized-sites`` — numpy FIFO drain + bucketed completion timers
+  vs the scalar site scheduler, on a congested grid so deep queues
+  actually engage the vectorized path.
 """
 
 from __future__ import annotations
@@ -135,6 +140,30 @@ def _pair_fast_paths(duration_s: float, seed: int) -> DiffReport:
         "fast-paths",
         "fast", _run_journaled(base.with_(fast_paths=True)),
         "legacy", _run_journaled(base.with_(fast_paths=False)))
+
+
+def _pair_batch_dispatch(duration_s: float, seed: int) -> DiffReport:
+    # Everything but the run loop pinned: same fast paths, same state
+    # index, same site scheduler — the pair isolates the claim that
+    # draining a timestamp as one batch replays the scalar pop order.
+    base = _diff_config(duration_s, seed).with_(seed=seed, state_index=True)
+    return _report(
+        "batch-dispatch",
+        "batched", _run_journaled(base.with_(batch_dispatch=True)),
+        "scalar", _run_journaled(base.with_(batch_dispatch=False)))
+
+
+def _pair_vectorized_sites(duration_s: float, seed: int) -> DiffReport:
+    # Congested variant of the diff smoke (many clients, few CPUs) so
+    # site queues outgrow the vectorization threshold and the numpy
+    # drain prefix path really runs on side A.
+    base = _diff_config(duration_s, seed).with_(
+        seed=seed, state_index=True, n_clients=16, n_sites=6,
+        total_cpus=72, name="diff-vec")
+    return _report(
+        "vectorized-sites",
+        "vectorized", _run_journaled(base.with_(vectorized_sites=True)),
+        "scalar-sites", _run_journaled(base.with_(vectorized_sites=False)))
 
 
 def _pair_indexed_view(duration_s: float, seed: int) -> DiffReport:
@@ -281,6 +310,8 @@ def _scripted_sync_run(duration_s: float, seed: int,
 
 PAIRS: dict[str, Callable[[float, int], DiffReport]] = {
     "fast-paths": _pair_fast_paths,
+    "batch-dispatch": _pair_batch_dispatch,
+    "vectorized-sites": _pair_vectorized_sites,
     "indexed-view": _pair_indexed_view,
     "spans": _pair_spans,
     "workers": _pair_workers,

@@ -116,6 +116,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-fast-paths", action="store_true",
                      help="disable the kernel/state-view fast paths "
                      "(pre-optimization cost model, for A/B benchmarks)")
+    run.add_argument("--no-batch-dispatch", action="store_true",
+                     help="disable the kernel's event-batch dispatch "
+                     "(scalar one-event-at-a-time heap loop)")
+    run.add_argument("--no-vectorized-sites", action="store_true",
+                     help="disable the numpy site scheduler (scalar "
+                     "FIFO drain and per-job completion timers)")
     run.add_argument("--check", action="store_true",
                      help="enable the online invariant checker "
                      "(conservation/accounting assertions at every "
@@ -166,7 +172,8 @@ def build_parser() -> argparse.ArgumentParser:
         "diff", help="differential replay: run a config pair, bisect "
                      "to the first divergent event")
     diff.add_argument("--pair", default="fast-paths",
-                      choices=("fast-paths", "indexed-view", "spans",
+                      choices=("fast-paths", "batch-dispatch",
+                               "vectorized-sites", "indexed-view", "spans",
                                "workers", "delta-sync", "autoscale-frozen",
                                "sharded-2", "sharded-4"),
                       help="equivalence claim to check (default: "
@@ -352,6 +359,10 @@ def _cmd_run(args) -> int:
         overrides["sync_delta"] = True
     if args.no_fast_paths:
         overrides["fast_paths"] = False
+    if args.no_batch_dispatch:
+        overrides["batch_dispatch"] = False
+    if args.no_vectorized_sites:
+        overrides["vectorized_sites"] = False
     if args.check or args.check_strict:
         overrides["check_enabled"] = True
         overrides["check_strict"] = args.check_strict

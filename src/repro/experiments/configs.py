@@ -112,6 +112,15 @@ class ExperimentConfig:
     # differential replay (indexed vs legacy view under identical
     # kernel behaviour).  None = follow ``fast_paths``.
     state_index: Optional[bool] = None
+    # Event-batch dispatch: the kernel drains each timestamp as one
+    # batch instead of re-peeking the heap per event.  Result-identical
+    # to the scalar loop (``digruber diff --pair batch-dispatch``); a
+    # separate flag so the equivalence stays independently testable.
+    batch_dispatch: bool = True
+    # Vectorized site scheduler: numpy FIFO drain prefix + bucketed
+    # completion timers on deep queues.  Result-identical to the scalar
+    # drain (``digruber diff --pair vectorized-sites``).
+    vectorized_sites: bool = True
 
     # Correctness plane (repro.check).  The online invariant checker
     # rides the run as a periodic checkpoint pass — opt-in because it

@@ -247,7 +247,8 @@ def build_experiment(config: ExperimentConfig,
     enforces.
     """
     if sim is None:
-        sim = Simulator(fast=config.fast_paths)
+        sim = Simulator(fast=config.fast_paths,
+                        batch_dispatch=config.batch_dispatch)
     rng = RngRegistry(config.seed)
 
     trace_sink = None
@@ -283,7 +284,7 @@ def build_experiment(config: ExperimentConfig,
         n_sites=config.n_sites, total_cpus=config.total_cpus,
         n_vos=config.n_vos, groups_per_vo=config.groups_per_vo,
         users_per_group=config.users_per_group, name=config.name,
-        backfill=config.backfill)
+        backfill=config.backfill, vectorized=config.vectorized_sites)
 
     deployment = DIGruberDeployment(
         sim=sim, network=network, grid=grid, profile=config.profile,

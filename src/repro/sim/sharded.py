@@ -194,7 +194,13 @@ class _ShardRuntime:
 
     def __init__(self, config: ExperimentConfig, hood_ids: Sequence[int],
                  journal: bool):
-        self.sim = Simulator(fast=config.fast_paths)
+        # Batch windows respect epoch barriers for free: the batched
+        # run loop honors ``until`` per *timestamp*, and barrier
+        # instants bound every window via ``run_window``, so no batch
+        # can straddle a barrier (``sim.run(until=t)`` leaves the clock
+        # exactly at ``t`` either way).
+        self.sim = Simulator(fast=config.fast_paths,
+                             batch_dispatch=config.batch_dispatch)
         self.hoods = [_Hood(self.sim, config, h, journal) for h in hood_ids]
 
     def capacities(self) -> dict[str, int]:

@@ -20,6 +20,18 @@ class TestPairsIdentical:
         assert len(report.journal_a) > 50
         assert report.journal_a.digest == report.journal_b.digest
 
+    def test_batch_dispatch_pair_identical(self):
+        report = run_pair("batch-dispatch", duration_s=120.0)
+        assert report.identical, report.describe()
+        assert len(report.journal_a) > 50
+        assert report.journal_a.digest == report.journal_b.digest
+
+    def test_vectorized_sites_pair_identical(self):
+        report = run_pair("vectorized-sites", duration_s=120.0)
+        assert report.identical, report.describe()
+        assert len(report.journal_a) > 50
+        assert report.journal_a.digest == report.journal_b.digest
+
     def test_indexed_view_pair_identical(self):
         report = run_pair("indexed-view", duration_s=120.0)
         assert report.identical, report.describe()
@@ -75,15 +87,17 @@ class TestApi:
             run_pair("no-such-pair")
 
     def test_pair_registry_matches_cli(self):
-        assert sorted(PAIRS) == ["autoscale-frozen", "delta-sync",
-                                 "fast-paths", "indexed-view", "sharded-2",
-                                 "sharded-4", "spans", "workers"]
+        assert sorted(PAIRS) == ["autoscale-frozen", "batch-dispatch",
+                                 "delta-sync", "fast-paths", "indexed-view",
+                                 "sharded-2", "sharded-4", "spans",
+                                 "vectorized-sites", "workers"]
         # The CLI's --pair choices must stay in lockstep with the
         # registry (an unlisted pair is unreachable from the shell).
         from repro.cli import build_parser
         parser = build_parser()
-        args = parser.parse_args(["diff", "--pair", "sharded-4"])
-        assert args.pair == "sharded-4"
+        for pair in sorted(PAIRS):
+            args = parser.parse_args(["diff", "--pair", pair])
+            assert args.pair == pair
 
     def test_same_config_reruns_identically(self):
         # The foundation the pairs stand on: the journaled run itself

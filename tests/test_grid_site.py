@@ -220,3 +220,85 @@ class TestFaultInjection:
         sim.run(until=10.0)
         s.fail_running_job(j1.jid)
         assert j2.state == JobState.RUNNING
+
+
+class TestUtilizationWindow:
+    def test_until_clamps_the_live_tail(self, sim):
+        # Regression: the live busy segment used to be integrated to
+        # sim.now regardless of ``until``, so a fully-busy 2-CPU site
+        # queried over [0, 10] at now=20 reported utilization 2.0.
+        s = make_site(sim, cpus=2)
+        s.submit(make_job(cpus=2, duration=100.0))
+        sim.run(until=20.0)
+        assert s.utilization(until=10.0) == pytest.approx(1.0)
+        assert s.utilization(until=20.0) == pytest.approx(1.0)
+
+    def test_repeated_queries_at_one_instant_agree(self, sim):
+        # The query must never mutate the integral: asking twice at the
+        # same timestamp returns the same answer.
+        s = make_site(sim, cpus=2)
+        s.submit(make_job(cpus=1, duration=50.0))
+        sim.run(until=30.0)
+        first = s.utilization()
+        assert s.utilization() == pytest.approx(first)
+        assert first == pytest.approx(30.0 / 60.0)
+
+    def test_until_inside_last_segment_stays_bounded(self, sim):
+        # ``until`` inside the last committed segment is answered with
+        # the committed integral (per-segment history is not kept) but
+        # can never exceed 1.0 the way the unclamped tail could.
+        s = make_site(sim, cpus=2)
+        s.submit(make_job(cpus=2, duration=15.0))
+        sim.run(until=40.0)
+        for until in (5.0, 12.0, 15.0, 40.0):
+            assert 0.0 < s.utilization(until=until) <= 1.0 + 1e-12
+
+
+class TestVectorizedDrain:
+    def _run(self, vectorized):
+        sim = Simulator()
+        s = Site(sim, "s", [Cluster("c", 8)], vectorized=vectorized)
+        started = []
+        completed = []
+        s.on_job_started.append(lambda j: started.append((sim.now, j.jid)))
+        s.on_job_completed.append(lambda j: completed.append((sim.now, j.jid)))
+        # A blocker pins the site busy so a deep FIFO backlog builds,
+        # then its completion triggers one deep drain.
+        s.submit(Job(vo="vo0", group="g0", user="u0", cpus=8,
+                     duration_s=10.0, jid=1000))
+        for i in range(40):
+            s.submit(Job(vo="vo0", group="g0", user="u0",
+                         cpus=1 + (i % 3), duration_s=5.0 + i, jid=i))
+        sim.run()
+        return started, completed, s.jobs_completed, s.utilization(
+            until=200.0), s.vector_drains
+
+    def test_matches_scalar_fifo_exactly(self):
+        vec = self._run(vectorized=True)
+        scalar = self._run(vectorized=False)
+        assert vec[:4] == scalar[:4]
+        assert vec[4] > 0 and scalar[4] == 0
+
+    def test_equal_durations_share_one_completion_timer(self):
+        sim = Simulator()
+        s = Site(sim, "s", [Cluster("c", 16)], vectorized=True)
+        s.submit(Job(vo="vo0", group="g0", user="u0", cpus=16,
+                     duration_s=10.0, jid=2000))
+        for i in range(16):
+            s.submit(Job(vo="vo0", group="g0", user="u0", cpus=1,
+                         duration_s=7.0, jid=2001 + i))
+        sim.run(until=10.0)  # blocker done; the 16-job wave starts
+        assert s.running_jobs == 16
+        # One bucketed timer for the whole equal-duration wave (the
+        # scalar path would hold 16 separate heap entries).
+        assert len(sim._heap) == 1
+        sim.run()
+        assert s.jobs_completed == 17
+
+    def test_backfill_keeps_scalar_pass(self, sim):
+        s = Site(sim, "s", [Cluster("c", 4)], backfill=True, vectorized=True)
+        for i in range(30):
+            s.submit(make_job(cpus=2, duration=10.0))
+        sim.run()
+        assert s.vector_drains == 0
+        assert s.jobs_completed == 30

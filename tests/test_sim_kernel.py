@@ -466,3 +466,121 @@ class TestCancelAccounting:
         assert sim._dead == 1
         sim.run()            # drains t=3 (dead) and t=4 (live)
         assert sim._dead == 0
+
+
+class TestDispatchRemoval:
+    def test_sibling_removed_during_dispatch_does_not_fire(self, sim):
+        # Regression: remove_callback was a no-op once dispatch began
+        # (the list was detached), so a callback removing a later
+        # sibling silently let that sibling fire anyway.
+        ev = sim.event()
+        fired = []
+        third = lambda e: fired.append("third")
+        def first(e):
+            fired.append("first")
+            e.remove_callback(third)
+        second = lambda e: fired.append("second")
+        for cb in (first, second, third):
+            ev.add_callback(cb)
+        ev.succeed()
+        sim.run()
+        assert fired == ["first", "second"]
+
+    def test_removal_never_skips_a_neighbour(self, sim):
+        # Sentinel replacement (not list.remove) keeps dispatch indices
+        # stable: removing an adjacent sibling must not skip the one
+        # after it.
+        ev = sim.event()
+        fired = []
+        second = lambda e: fired.append("second")
+        def first(e):
+            fired.append("first")
+            e.remove_callback(second)
+        for i, cb in enumerate([first, second]):
+            ev.add_callback(cb)
+        ev.add_callback(lambda e: fired.append("third"))
+        ev.add_callback(lambda e: fired.append("fourth"))
+        ev.succeed()
+        sim.run()
+        assert fired == ["first", "third", "fourth"]
+
+    def test_removing_self_or_done_callback_is_noop(self, sim):
+        ev = sim.event()
+        fired = []
+        def first(e):
+            fired.append("first")
+        def second(e):
+            fired.append("second")
+            e.remove_callback(first)   # already ran: no-op
+            e.remove_callback(second)  # currently running: no-op
+        ev.add_callback(first)
+        ev.add_callback(second)
+        ev.succeed()
+        sim.run()
+        assert fired == ["first", "second"]
+        ev.remove_callback(first)  # after dispatch: still a no-op
+
+
+class TestBatchDispatch:
+    def test_flag_selects_the_loop(self):
+        assert Simulator().batch_dispatch
+        assert not Simulator(batch_dispatch=False).batch_dispatch
+
+    def test_batched_and_scalar_runs_agree(self):
+        def run(batch):
+            sim = Simulator(batch_dispatch=batch)
+            fired = []
+            for i in range(50):
+                t = float(i % 7)  # dense timestamp collisions
+                sim.schedule(t, lambda i=i: fired.append((sim.now, i)))
+            sim.run(until=5.0)
+            tail_now = sim.now
+            sim.run()
+            return fired, tail_now, sim.now, sim.events_executed
+        assert run(True) == run(False)
+
+    def test_same_instant_reschedule_joins_the_batch(self, sim):
+        fired = []
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(0.0, lambda: chain(n + 1))
+        sim.schedule(1.0, lambda: chain(0))
+        sim.schedule(1.0, lambda: fired.append("peer"))
+        sim.run(until=1.0)
+        # The re-scheduled same-instant calls carry higher seqs, so the
+        # already-queued peer fires between chain(0) and chain(1).
+        assert fired == [0, "peer", 1, 2, 3]
+        assert sim.now == 1.0
+
+    def test_cancel_inside_batch_skips_the_sibling(self, sim):
+        fired = []
+        handles = {}
+        def first():
+            fired.append("first")
+            handles["late"].cancel()
+        handles["late"] = None
+        sim.schedule(2.0, first)
+        handles["late"] = sim.schedule(2.0, lambda: fired.append("late"))
+        sim.run()
+        assert fired == ["first"]
+        assert sim.events_executed == 1
+
+    def test_compaction_during_batch_keeps_future_events(self):
+        # _compact must rebuild the heap *in place*: the batched loop
+        # holds a local alias across callbacks, and a mid-batch
+        # compaction that rebound the list would silently strand every
+        # remaining event.
+        sim = Simulator(compact_min=8)
+        cancelled = [sim.schedule(5.0, lambda: None) for _ in range(64)]
+        fired = []
+        def cancel_storm():
+            fired.append("storm")
+            for h in cancelled:
+                h.cancel()  # trips the compaction threshold mid-batch
+        sim.schedule(1.0, cancel_storm)
+        sim.schedule(1.0, lambda: fired.append("same-instant"))
+        sim.schedule(3.0, lambda: fired.append("future"))
+        sim.run()
+        assert fired == ["storm", "same-instant", "future"]
+        assert sim.compactions >= 1

@@ -99,3 +99,44 @@ def test_heap_determinism_reference_model(entries):
     sim.run()
     expected = [e for e in sorted(entries, key=lambda e: e[0])]
     assert fired == expected
+
+
+@given(n=st.integers(min_value=2, max_value=10),
+       removals=st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                         max_size=8))
+def test_remove_callback_during_dispatch_matches_model(n, removals):
+    """Arbitrary removal patterns during dispatch obey one contract:
+    a callback removed before its turn never fires, everything else
+    fires exactly once, in registration order."""
+    removals = [(a % n, b % n) for a, b in removals]
+    by_remover: dict[int, list[int]] = {}
+    for a, b in removals:
+        by_remover.setdefault(a, []).append(b)
+
+    sim = Simulator()
+    ev = sim.event("prop")
+    fired = []
+    cbs = []
+
+    def make(i):
+        def cb(e):
+            fired.append(i)
+            for target in by_remover.get(i, ()):
+                e.remove_callback(cbs[target])
+        return cb
+
+    cbs = [make(i) for i in range(n)]
+    for cb in cbs:
+        ev.add_callback(cb)
+    ev.succeed()
+    sim.run()
+
+    expected, removed = [], set()
+    for i in range(n):
+        if i in removed:
+            continue
+        expected.append(i)
+        # Removing an already-fired (or the running) callback is a
+        # no-op on the output; only not-yet-run siblings are affected.
+        removed.update(by_remover.get(i, ()))
+    assert fired == expected
