@@ -18,7 +18,11 @@ enabled, measuring kernel event throughput:
 * **check** — the same smoke experiment with the online invariant
   checker (``run --check``) off vs on: the cost of the periodic
   conservation/accounting checkpoint pass, held to the same <10%
-  enabled budget as tracing.
+  enabled budget as tracing;
+* **telemetry** — the same smoke experiment with the timeline sampler
+  (``run --telemetry``) off vs on: one unified
+  ``MetricsRegistry.collect()`` pass per 30 simulated seconds, held to
+  the same <10% budget.
 
 ``measure_all()`` is what ``benchmarks/run_all.py`` calls to produce
 ``BENCH_kernel.json``; the pytest wrappers below assert *lenient*
@@ -116,6 +120,35 @@ def run_spans_experiment(duration_s: int = 1800, n_clients: int = 24,
     return result.sim.events_executed / elapsed
 
 
+def run_telemetry_experiment(duration_s: int = 1800, n_clients: int = 24,
+                             tracing: bool = False) -> float:
+    """End-to-end smoke run, telemetry timeline off vs on; events/sec.
+
+    ``tracing=True`` means ``telemetry_enabled=True``: the
+    :class:`~repro.obs.timeline.TimelineSampler` takes one unified
+    ``MetricsRegistry.collect()`` pass (one-pass histogram summaries,
+    SignalBus gauges, grid + kernel levels) every 30 simulated seconds.
+    The honest budget test is a full experiment — the per-tick cost is
+    dominated by walking real site tables and client fleets, not the
+    registry loop.
+    """
+    from repro.experiments.configs import smoke_config
+    from repro.experiments.runner import run_experiment
+
+    config = smoke_config(duration_s=float(duration_s),
+                          n_clients=max(int(n_clients), 1),
+                          telemetry_enabled=tracing,
+                          telemetry_interval_s=30.0)
+    t0 = time.perf_counter()
+    result = run_experiment(config)
+    elapsed = time.perf_counter() - t0
+    assert result.sim.events_executed > 0
+    if tracing:
+        assert result.sampler is not None
+        assert result.sampler.samples_taken > 0
+    return result.sim.events_executed / elapsed
+
+
 def run_check_experiment(duration_s: int = 1800, n_clients: int = 24,
                          tracing: bool = False) -> float:
     """End-to-end smoke run, invariant checker off vs on; events/sec.
@@ -168,6 +201,8 @@ def measure_all(quick: bool = False, repeats: int | None = None) -> dict:
                   "sample_every": 4},
         "check": {"duration_s": 600 if quick else 1800,
                   "n_clients": 8 if quick else 24},
+        "telemetry": {"duration_s": 600 if quick else 1800,
+                      "n_clients": 8 if quick else 24},
     }
     workloads = {
         "callbacks": run_callbacks,
@@ -175,6 +210,7 @@ def measure_all(quick: bool = False, repeats: int | None = None) -> dict:
         "rpc": run_rpcs,
         "spans": run_spans_experiment,
         "check": run_check_experiment,
+        "telemetry": run_telemetry_experiment,
     }
     out = {}
     for name, fn in workloads.items():

@@ -18,6 +18,9 @@ Pair semantics:
   identical kernel configuration;
 * ``spans`` — span tracing off vs on (ctx rides outside the digest, so
   equality is exact);
+* ``telemetry`` — timeline sampler off vs on: periodic
+  ``MetricsRegistry.collect()`` sampling (with JSONL streaming) must
+  be strictly read-only, so both sides replay event-for-event;
 * ``workers`` — ``run_parallel`` with 1 vs 4 workers over the same
   config batch, comparing per-run summary digests;
 * ``delta-sync`` — flood vs per-peer delta dissemination.  Delta
@@ -242,6 +245,26 @@ def _pair_autoscale_frozen(duration_s: float, seed: int) -> DiffReport:
         "frozen-controller", _run_journaled(frozen))
 
 
+def _pair_telemetry(duration_s: float, seed: int) -> DiffReport:
+    """Telemetry timeline off vs on.
+
+    The telemetry plane's safety claim: a
+    :class:`~repro.obs.timeline.TimelineSampler` tick is strictly
+    read-only (no RNG draws, no semantic state mutation; the only
+    events it schedules are its own) — so a ``--telemetry`` run must be
+    event-identical to a bare one.  JSONL streaming rides along on
+    side B to cover the sink path too.
+    """
+    base = _diff_config(duration_s, seed).with_(seed=seed)
+    telemetry = base.with_(telemetry_enabled=True,
+                           telemetry_interval_s=30.0,
+                           telemetry_path="/tmp/diff-telemetry.jsonl")
+    return _report(
+        "telemetry",
+        "telemetry-off", _run_journaled(base),
+        "telemetry-on", _run_journaled(telemetry))
+
+
 def _pair_delta_sync(duration_s: float, seed: int) -> DiffReport:
     ja = _scripted_sync_run(duration_s, seed, delta=False)
     jb = _scripted_sync_run(duration_s, seed, delta=True)
@@ -314,6 +337,7 @@ PAIRS: dict[str, Callable[[float, int], DiffReport]] = {
     "vectorized-sites": _pair_vectorized_sites,
     "indexed-view": _pair_indexed_view,
     "spans": _pair_spans,
+    "telemetry": _pair_telemetry,
     "workers": _pair_workers,
     "delta-sync": _pair_delta_sync,
     "autoscale-frozen": _pair_autoscale_frozen,

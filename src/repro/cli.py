@@ -14,6 +14,9 @@ shell::
     digruber chaos --scenario partition2 --duration 900
     digruber diff --pair fast-paths
     digruber diff --pair sharded-4
+    digruber run --dps 3 --telemetry /tmp/tl.jsonl --flight
+    digruber top /tmp/tl.jsonl --once
+    digruber postmortem flight-20050101.json
     digruber lint src/repro
 """
 
@@ -49,6 +52,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the observability run summary "
                             "(counters, RPC latency percentiles, trace "
                             "tallies) after the experiment")
+        p.add_argument("--telemetry", nargs="?", const="", default=None,
+                       metavar="JSONL",
+                       help="enable the periodic telemetry timeline; "
+                            "with a path, stream rows to a JSONL file "
+                            "(view with `digruber top`)")
+        p.add_argument("--telemetry-interval", type=float, default=None,
+                       metavar="S",
+                       help="telemetry sampling interval in simulated "
+                            "seconds (default 30)")
+        p.add_argument("--serve-telemetry", default=None, metavar="JSONL",
+                       help="stream + flush timeline rows to a file that "
+                            "a concurrent `digruber top --follow` can "
+                            "tail (implies --telemetry)")
+        p.add_argument("--flight", nargs="?", const="", default=None,
+                       metavar="JSON",
+                       help="arm the flight recorder: dump a black box "
+                            "on crash, strict-check violation, or "
+                            "SIGTERM (default path flight-<seed>.json; "
+                            "analyze with `digruber postmortem`)")
 
     quick = sub.add_parser("quickstart", help="run the quickstart deployment")
     add_obs(quick)
@@ -174,8 +196,8 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--pair", default="fast-paths",
                       choices=("fast-paths", "batch-dispatch",
                                "vectorized-sites", "indexed-view", "spans",
-                               "workers", "delta-sync", "autoscale-frozen",
-                               "sharded-2", "sharded-4"),
+                               "telemetry", "workers", "delta-sync",
+                               "autoscale-frozen", "sharded-2", "sharded-4"),
                       help="equivalence claim to check (default: "
                            "fast-paths)")
     diff.add_argument("--duration", type=float, default=300.0,
@@ -210,6 +232,43 @@ def build_parser() -> argparse.ArgumentParser:
                               "(open in Perfetto / chrome://tracing)")
     te.add_argument("spans", metavar="SPANS_JSONL")
     te.add_argument("out", metavar="OUT_JSON")
+    for p in (ta, tc, ts):
+        p.add_argument("--tolerant", action="store_true",
+                       help="skip undecodable lines (truncated exports "
+                            "from killed runs) instead of erroring")
+
+    top = sub.add_parser(
+        "top", help="terminal dashboard over a telemetry timeline "
+                    "(replay a finished file, or --follow a live "
+                    "--serve-telemetry run)")
+    top.add_argument("timeline", metavar="TIMELINE_JSONL")
+    top.add_argument("--replay", action="store_true",
+                     help="replay mode (the default; flag kept for "
+                          "explicitness)")
+    top.add_argument("--follow", action="store_true",
+                     help="tail a live --serve-telemetry file instead "
+                          "of replaying")
+    top.add_argument("--once", action="store_true",
+                     help="render only the final frame and exit "
+                          "(replay mode)")
+    top.add_argument("--speed", type=float, default=0.0, metavar="X",
+                     help="replay pacing: X simulated seconds per wall "
+                          "second (default 0 = no pacing)")
+    top.add_argument("--ansi", action="store_true",
+                     help="redraw in place (ANSI clear) instead of "
+                          "appending frames")
+    top.add_argument("--max-frames", type=int, default=None, metavar="N",
+                     help="stop after N frames (replay mode)")
+    top.add_argument("--poll", type=float, default=0.5, metavar="S",
+                     help="follow mode: poll interval in wall seconds")
+    top.add_argument("--idle", type=int, default=20, metavar="N",
+                     help="follow mode: exit after N empty polls "
+                          "(0 = wait forever)")
+
+    pm = sub.add_parser(
+        "postmortem", help="analyze a flight-recorder dump "
+                           "(flight-<seed>.json)")
+    pm.add_argument("dump", metavar="FLIGHT_JSON")
     return parser
 
 
@@ -239,7 +298,32 @@ def _obs_overrides(args) -> dict:
                 f"error: --trace-sample must be >= 1, "
                 f"got {args.trace_sample}")
         overrides["spans_sample"] = args.trace_sample
+    if getattr(args, "telemetry", None) is not None:
+        overrides["telemetry_enabled"] = True
+        if args.telemetry:
+            _require_parent_dir("--telemetry", args.telemetry)
+            overrides["telemetry_path"] = args.telemetry
+    if getattr(args, "serve_telemetry", None):
+        _require_parent_dir("--serve-telemetry", args.serve_telemetry)
+        overrides["telemetry_enabled"] = True
+        overrides["telemetry_path"] = args.serve_telemetry
+        overrides["serve_telemetry"] = True
+    if getattr(args, "telemetry_interval", None) is not None:
+        if args.telemetry_interval <= 0:
+            raise SystemExit("error: --telemetry-interval must be > 0")
+        overrides["telemetry_interval_s"] = args.telemetry_interval
+    if getattr(args, "flight", None) is not None:
+        overrides["flight_enabled"] = True
+        if args.flight:
+            _require_parent_dir("--flight", args.flight)
+            overrides["flight_path"] = args.flight
     return overrides
+
+
+def _require_parent_dir(flag: str, path: str) -> None:
+    parent = os.path.dirname(path) or "."
+    if not os.path.isdir(parent):
+        raise SystemExit(f"error: {flag} directory does not exist: {parent}")
 
 
 def _print_obs(args, result) -> None:
@@ -251,6 +335,11 @@ def _print_obs(args, result) -> None:
     if getattr(args, "trace_spans", None):
         print(f"spans written to {args.trace_spans} "
               f"(inspect: digruber trace analyze {args.trace_spans})")
+    tl_path = (getattr(args, "serve_telemetry", None)
+               or getattr(args, "telemetry", None))
+    if tl_path:
+        print(f"timeline written to {tl_path} "
+              f"(view: digruber top {tl_path})")
 
 
 def _base_config(args):
@@ -387,7 +476,20 @@ def _cmd_run(args) -> int:
     if args.shards is not None:
         return _run_sharded_cmd(args, maker, overrides)
     overrides.update(_obs_overrides(args))
-    result = run_experiment(maker(args.dps, **overrides))
+    config = maker(args.dps, **overrides)
+    if config.flight_enabled or config.flight_path:
+        from repro.obs.flight import install_sigterm_handler
+        install_sigterm_handler()
+    try:
+        result = run_experiment(config)
+    except BaseException:
+        flight_path = config.flight_path or f"flight-{config.seed}.json"
+        if ((config.flight_enabled or config.flight_path)
+                and os.path.exists(flight_path)):
+            print(f"flight recorder dumped to {flight_path} "
+                  f"(analyze: digruber postmortem {flight_path})",
+                  file=sys.stderr)
+        raise
     print(result.summary())
     cs = result.control_stats()
     if cs is not None:
@@ -412,10 +514,22 @@ def _run_sharded_cmd(args, maker, overrides) -> int:
         raise SystemExit(
             "error: --shards forces per-sim observability off in every "
             "neighborhood; drop --trace/--trace-spans/--obs")
+    if args.serve_telemetry or args.flight is not None:
+        raise SystemExit(
+            "error: --serve-telemetry/--flight need one live simulator; "
+            "sharded telemetry is barrier-sampled instead (--telemetry "
+            "FILE writes the merged grid-wide timeline)")
+    # Sharded telemetry works differently (hood-local barrier sampling,
+    # merged at the end) but flows through the same config fields.
+    overrides.update(_obs_overrides(args))
     config = maker(args.dps, **overrides)
     mode = "workers" if args.shard_workers else "lockstep"
     result = run_sharded(config, n_shards=args.shards, mode=mode)
     print(result.describe())
+    if result.timeline is not None and config.telemetry_path:
+        print(f"merged timeline ({len(result.timeline)} rows) written to "
+              f"{config.telemetry_path} "
+              f"(view: digruber top {config.telemetry_path})")
     return 0
 
 
@@ -491,13 +605,37 @@ def _cmd_trace(args) -> int:
         n = export_chrome_file(args.spans, args.out)
         print(f"wrote {n} trace events to {args.out}")
         return 0
-    spans = load_spans(args.spans)
+    spans = load_spans(args.spans, tolerant=getattr(args, "tolerant", False))
     if args.trace_command == "analyze":
         print(analyze_report(spans))
     elif args.trace_command == "critical-path":
         print(critical_path_report(spans, args.job))
     elif args.trace_command == "slowest":
         print(slowest_report(spans, n=args.n))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.obs import top
+    if args.follow:
+        n = top.follow(args.timeline, poll_s=args.poll,
+                       idle_polls=args.idle if args.idle > 0 else None,
+                       ansi=args.ansi)
+    else:
+        n = top.replay(args.timeline, speed=args.speed, once=args.once,
+                       ansi=args.ansi, max_frames=args.max_frames)
+    return 0 if n > 0 else 1
+
+
+def _cmd_postmortem(args) -> int:
+    import json
+
+    from repro.obs.flight import load_flight, postmortem_report
+    try:
+        doc = load_flight(args.dump)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"digruber postmortem: {exc}")
+    print(postmortem_report(doc))
     return 0
 
 
@@ -513,6 +651,8 @@ _COMMANDS = {
     "diff": _cmd_diff,
     "lint": _cmd_lint,
     "trace": _cmd_trace,
+    "top": _cmd_top,
+    "postmortem": _cmd_postmortem,
 }
 
 

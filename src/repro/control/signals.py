@@ -153,13 +153,37 @@ class SignalBus:
             backlog=backlog,
             sync_lag_mean_s=lag_total / lag_count if lag_count else 0.0)
         self.samples.append(sample)
+        self.publish(sample)
+        return sample
 
-        # First-class gauges: queue depth + client assignment per DP,
-        # fleet levels for the run summary and trace analysis.
-        for key, d in dps.items():
+    def publish(self, sample: ControlSample) -> None:
+        """Publish one sample's levels as first-class gauges.
+
+        The single write path from control sampling into the metrics
+        registry: the telemetry plane
+        (:class:`~repro.obs.timeline.TimelineSampler`) never recomputes
+        these — it reads them back through
+        :meth:`~repro.obs.counters.MetricsRegistry.collect`, so every
+        gauge is computed exactly once per control tick and the planner
+        and the timeline are guaranteed to agree.
+        """
+        metrics = self.sim.metrics
+        now = sample.time
+        for key, d in sample.dps.items():
             metrics.gauge(f"dp.queue_depth.{key}").set(d.queue_len, at=now)
             metrics.gauge(f"dp.clients.{key}").set(d.clients, at=now)
+            metrics.gauge(f"dp.in_service.{key}").set(d.in_service, at=now)
+            metrics.gauge(f"dp.ops_rate.{key}").set(d.ops_rate, at=now)
+            metrics.gauge(f"dp.decide_mean_s.{key}").set(d.decide_mean_s,
+                                                         at=now)
+            metrics.gauge(f"dp.breakers_open.{key}").set(d.breakers_open,
+                                                         at=now)
+            metrics.gauge(f"dp.online.{key}").set(1.0 if d.live else 0.0,
+                                                  at=now)
         metrics.gauge("control.n_dps").set(sample.n_live, at=now)
-        metrics.gauge("control.active_clients").set(active, at=now)
-        metrics.gauge("control.client_backlog").set(backlog, at=now)
-        return sample
+        metrics.gauge("control.active_clients").set(sample.active_clients,
+                                                    at=now)
+        metrics.gauge("control.client_backlog").set(sample.backlog, at=now)
+        metrics.gauge("control.total_queue").set(sample.total_queue, at=now)
+        metrics.gauge("control.sync_lag_s").set(sample.sync_lag_mean_s,
+                                                at=now)

@@ -142,6 +142,22 @@ class ExperimentConfig:
     spans_enabled: bool = False
     spans_path: str = ""         # export spans to this JSONL file
     spans_sample: int = 1        # head sampling: record every Nth trace
+    # Telemetry timeline (repro.obs.timeline): a DES-clock sampler
+    # taking one MetricsRegistry.collect() pass per interval into a
+    # bounded series.  Strictly read-only — telemetry-on runs are
+    # event-identical to telemetry-off (``digruber diff --pair
+    # telemetry``).  Setting a path implies enabling; ``serve``
+    # flushes every row so ``digruber top`` can tail the live file.
+    telemetry_enabled: bool = False
+    telemetry_interval_s: float = 30.0
+    telemetry_path: str = ""       # stream timeline rows to this JSONL file
+    telemetry_capacity: int = 512  # bound on the in-memory series
+    serve_telemetry: bool = False  # flush per row for live `digruber top`
+    # Flight recorder (repro.obs.flight): bounded black box dumped on
+    # crash / strict-check violation / SIGTERM.  Zero-cost while the
+    # run is healthy (references only, nothing copied per event).
+    flight_enabled: bool = False
+    flight_path: str = ""          # "" = flight-<seed>.json
 
     # Reproducibility.
     seed: int = 20050101
@@ -180,6 +196,10 @@ class ExperimentConfig:
             arrival_profile(self.workload_profile)  # raises on unknown
         if self.spans_sample < 1:
             raise ValueError("spans_sample must be >= 1")
+        if self.telemetry_interval_s <= 0:
+            raise ValueError("telemetry_interval_s must be > 0")
+        if self.telemetry_capacity < 1:
+            raise ValueError("telemetry_capacity must be >= 1")
         if self.check_interval_s <= 0:
             raise ValueError("check_interval_s must be > 0")
         if self.jid_offset < 0:

@@ -29,8 +29,8 @@ from repro.sim.rng import RngRegistry
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.trace import TraceRecorder
 
-__all__ = ["BuiltExperiment", "ExperimentResult", "build_experiment",
-           "finalize_experiment", "run_experiment"]
+__all__ = ["BuiltExperiment", "ExperimentResult", "abort_experiment",
+           "build_experiment", "finalize_experiment", "run_experiment"]
 
 
 @dataclass
@@ -50,6 +50,7 @@ class ExperimentResult:
     failover: Optional[object] = field(default=None, repr=False)
     checker: Optional[object] = field(default=None, repr=False)
     planner: Optional[object] = field(default=None, repr=False)
+    sampler: Optional[object] = field(default=None, repr=False)
     _jobs: dict = field(default=None, repr=False)  # type: ignore[assignment]
 
     def __post_init__(self):
@@ -234,6 +235,8 @@ class BuiltExperiment:
     checker: Optional[object] = None
     planner: Optional[object] = None
     trace_sink: Optional[object] = None
+    sampler: Optional[object] = None
+    flight: Optional[object] = None
 
 
 def build_experiment(config: ExperimentConfig,
@@ -381,6 +384,28 @@ def build_experiment(config: ExperimentConfig,
             checker.watch_controller(planner)
         checker.install()
 
+    sampler = None
+    if (config.telemetry_enabled or config.telemetry_path
+            or config.serve_telemetry):
+        from repro.obs.timeline import TimelineSampler
+        # With a planner present, its SignalBus is *the* control-plane
+        # sampler; telemetry reads the gauges it publishes rather than
+        # owning a second bus (one gauge computation per control tick).
+        sampler = TimelineSampler(
+            sim, interval_s=config.telemetry_interval_s,
+            capacity=config.telemetry_capacity,
+            deployment=deployment if planner is None else None,
+            bus=planner.bus if planner is not None else None,
+            grid=grid, path=config.telemetry_path,
+            flush_rows=config.serve_telemetry,
+            meta={"name": config.name, "seed": config.seed,
+                  "duration_s": config.duration_s,
+                  "decision_points": config.decision_points,
+                  "n_clients": config.n_clients,
+                  "n_sites": config.n_sites,
+                  "total_cpus": config.total_cpus})
+        sampler.start()
+
     deployment.start()
     if failover is not None:
         failover.start()
@@ -389,12 +414,16 @@ def build_experiment(config: ExperimentConfig,
     for client in clients:
         client.start()
 
-    return BuiltExperiment(config=config, sim=sim, rng=rng, network=network,
-                           grid=grid, deployment=deployment, clients=clients,
-                           hosts=hosts, offsets=offsets, trace=trace,
-                           injector=injector, failover=failover,
-                           checker=checker, planner=planner,
-                           trace_sink=trace_sink)
+    built = BuiltExperiment(config=config, sim=sim, rng=rng, network=network,
+                            grid=grid, deployment=deployment, clients=clients,
+                            hosts=hosts, offsets=offsets, trace=trace,
+                            injector=injector, failover=failover,
+                            checker=checker, planner=planner,
+                            trace_sink=trace_sink, sampler=sampler)
+    if config.flight_enabled or config.flight_path:
+        from repro.obs.flight import FlightRecorder
+        built.flight = FlightRecorder(built, path=config.flight_path)
+    return built
 
 
 def finalize_experiment(built: BuiltExperiment) -> ExperimentResult:
@@ -406,6 +435,11 @@ def finalize_experiment(built: BuiltExperiment) -> ExperimentResult:
         # One final checkpoint at end-of-run state, after the last
         # scheduled check.
         built.checker.check()
+
+    if built.sampler is not None:
+        # Stops the periodic chain, records one last row at end-of-run
+        # state, and flushes/closes the JSONL sink.
+        built.sampler.close()
 
     if built.trace_sink is not None:
         # Detach before closing: generator finalizers can still spawn
@@ -434,7 +468,35 @@ def finalize_experiment(built: BuiltExperiment) -> ExperimentResult:
                             deployment=built.deployment, clients=clients,
                             sim=sim, network=built.network,
                             injector=built.injector, failover=built.failover,
-                            checker=built.checker, planner=built.planner)
+                            checker=built.checker, planner=built.planner,
+                            sampler=built.sampler)
+
+
+def abort_experiment(built: BuiltExperiment,
+                     exc: BaseException) -> Optional[str]:
+    """Best-effort teardown for a run that died mid-flight.
+
+    Dumps the flight recorder (when armed), then closes the telemetry
+    sampler and trace sink so their JSONL files end on whole lines —
+    an aborted run must still leave valid, tail-able artifacts.  Never
+    raises; returns the flight-dump path (or ``None``).
+    """
+    path = None
+    if built.flight is not None:
+        from repro.obs.flight import abort_reason
+        path = built.flight.dump(reason=abort_reason(exc), exc=exc)
+    if built.sampler is not None:
+        try:
+            built.sampler.close(final_sample=False)
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+    if built.trace_sink is not None:
+        try:
+            built.sim.trace.remove_sink(built.trace_sink)
+        except ValueError:  # pragma: no cover - already detached
+            pass
+        built.trace_sink.close()
+    return path
 
 
 def run_experiment(config: ExperimentConfig,
@@ -444,11 +506,20 @@ def run_experiment(config: ExperimentConfig,
     ``deployment_hook(sim, deployment, detector_args...)`` — optional
     callable invoked after deployment construction and before the run;
     the dynamic-reconfiguration benches attach observers through it.
+
+    Abnormal exits (crash, strict-check violation, SIGTERM-as-
+    :class:`~repro.obs.flight.Terminated`, Ctrl-C) go through
+    :func:`abort_experiment` — flight-recorder dump plus sink flushing
+    — and then re-raise.
     """
     built = build_experiment(config)
     if deployment_hook is not None:
         deployment_hook(sim=built.sim, deployment=built.deployment,
                         network=built.network, grid=built.grid,
                         rng=built.rng)
-    built.sim.run(until=config.duration_s)
+    try:
+        built.sim.run(until=config.duration_s)
+    except BaseException as exc:
+        abort_experiment(built, exc)
+        raise
     return finalize_experiment(built)

@@ -17,6 +17,18 @@ ad-hoc print statements:
   decide spans annotated with view staleness, sync-round spans, with
   JSONL and Chrome ``trace_event`` export.  Opt-in, deterministically
   sampled, byte-identical across same-seed runs.
+* :mod:`repro.obs.timeline` — the time-resolved telemetry plane: a
+  DES-clock :class:`~repro.obs.timeline.TimelineSampler` taking one
+  unified :meth:`~repro.obs.counters.MetricsRegistry.collect` pass per
+  tick into a bounded series with JSONL / OpenMetrics export (what
+  ``digruber top`` replays or live-tails).
+* :mod:`repro.obs.flight` — the flight recorder: a bounded black box
+  (trace tail, open spans, recent snapshots, kernel + checker state)
+  dumped to ``flight-<seed>.json`` on crash, strict-check violation,
+  or SIGTERM; analyzed by ``digruber postmortem``.
+* :mod:`repro.obs.profiler` — a sampling wall-clock profiler that
+  attributes CPU time to subsystem buckets (dispatch / site-drain /
+  sync / decide / control) for ``BENCH_kernel.json``.
 
 One :class:`~repro.obs.trace.Tracer` and one
 :class:`~repro.obs.counters.MetricsRegistry` hang off every
@@ -33,11 +45,14 @@ from repro.obs.counters import (
     LATENCY_BUCKETS_S,
     MetricsRegistry,
 )
+from repro.obs.flight import FlightRecorder, Terminated
 from repro.obs.spans import Span, SpanContext, SpanRecorder, chrome_trace
+from repro.obs.timeline import TimelineSampler, load_timeline, to_openmetrics
 from repro.obs.trace import JsonlSink, TraceEvent, Tracer
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonlSink",
@@ -46,7 +61,11 @@ __all__ = [
     "Span",
     "SpanContext",
     "SpanRecorder",
+    "Terminated",
+    "TimelineSampler",
     "TraceEvent",
     "Tracer",
     "chrome_trace",
+    "load_timeline",
+    "to_openmetrics",
 ]

@@ -135,18 +135,57 @@ class Histogram:
             cum += n
         return self.max if self.max is not None else 0.0  # pragma: no cover
 
+    #: Quantiles reported by :meth:`summary`, ascending.
+    SUMMARY_QUANTILES: tuple[float, ...] = (50.0, 90.0, 95.0, 99.0)
+
     def summary(self) -> dict:
-        # Empty histograms report None throughout (matching
-        # :meth:`percentile`) rather than fabricating zeros.
-        return {
+        """One-pass summary: count/sum/min/mean/p50/p90/p95/p99/max.
+
+        All quantiles come out of a *single* walk over the buckets
+        (ascending targets against the running cumulative count), so
+        per-tick telemetry sampling costs one scan per histogram
+        instead of one :meth:`percentile` scan per quantile.  Empty
+        histograms report ``None`` throughout (matching
+        :meth:`percentile`) rather than fabricating zeros.
+        """
+        quantiles = self.SUMMARY_QUANTILES
+        out = {
             "count": self.count,
+            "sum": self.total,
             "mean": self.mean if self.count else None,
             "min": self.min,
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "p99": self.percentile(99),
-            "max": self.max,
         }
+        if self.count == 0:
+            for q in quantiles:
+                out[f"p{q:g}"] = None
+            out["max"] = None
+            return out
+        ranks = [q / 100.0 * self.count for q in quantiles]
+        values: list[Optional[float]] = [None] * len(ranks)
+        qi = 0
+        cum = 0
+        n_bounds = len(self.bounds)
+        for i, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            while qi < len(ranks) and cum + n >= ranks[qi]:
+                lo = self.bounds[i - 1] if i > 0 else (
+                    self.min if self.min is not None else 0.0)
+                hi = self.bounds[i] if i < n_bounds else self.max
+                lo = max(lo, self.min) if self.min is not None else lo
+                hi = min(hi, self.max) if self.max is not None else hi
+                frac = (ranks[qi] - cum) / n
+                values[qi] = lo + (hi - lo) * frac
+                qi += 1
+            if qi == len(ranks):
+                break
+            cum += n
+        for j in range(qi, len(ranks)):  # pragma: no cover - fp slack
+            values[j] = self.max
+        for q, v in zip(quantiles, values):
+            out[f"p{q:g}"] = v
+        out["max"] = self.max
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Histogram {self.name} n={self.count} mean={self.mean:.4g}>"
@@ -192,6 +231,26 @@ class MetricsRegistry:
     def snapshot(self) -> dict:
         """Plain-dict view (JSON-ready) of everything recorded."""
         return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {n: h.summary()
+                           for n, h in sorted(self.histograms.items())},
+        }
+
+    def collect(self, now: Optional[float] = None) -> dict:
+        """One unified sampling pass over everything registered.
+
+        This is the telemetry plane's single read path (the
+        :class:`~repro.obs.timeline.TimelineSampler` and the control
+        plane's :class:`~repro.control.signals.SignalBus` both end
+        here): counters and gauges are copied as-is, histograms go
+        through the one-pass :meth:`Histogram.summary`.  Strictly
+        read-only — collecting never mutates a metric, schedules an
+        event, or draws randomness, so a sampled run is event-identical
+        to an unsampled one.
+        """
+        return {
+            "t": now,
             "counters": {n: c.value for n, c in sorted(self.counters.items())},
             "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
             "histograms": {n: h.summary()

@@ -20,8 +20,15 @@ __all__ = ["load_spans", "analyze_report", "critical_path_report",
            "slowest_report", "export_chrome_file"]
 
 
-def load_spans(path: str) -> list[dict]:
-    """Read a span JSONL export (order preserved)."""
+def load_spans(path: str, tolerant: bool = False) -> list[dict]:
+    """Read a span JSONL export (order preserved).
+
+    Strict by default: a malformed line raises ``ValueError`` with the
+    path and line number, because silently dropping spans corrupts the
+    critical-path analysis.  ``tolerant=True`` skips undecodable lines
+    instead — for exports truncated mid-line by a killed run, where the
+    valid prefix is still worth analyzing.
+    """
     spans = []
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, 1):
@@ -29,10 +36,19 @@ def load_spans(path: str) -> list[dict]:
             if not line:
                 continue
             try:
-                spans.append(json.loads(line))
+                doc = json.loads(line)
             except json.JSONDecodeError as exc:
+                if tolerant:
+                    continue
                 raise ValueError(
                     f"{path}:{lineno}: not a span JSONL line: {exc}") from exc
+            if not isinstance(doc, dict):
+                if tolerant:
+                    continue
+                raise ValueError(
+                    f"{path}:{lineno}: not a span JSONL line: "
+                    f"expected an object, got {type(doc).__name__}")
+            spans.append(doc)
     return spans
 
 

@@ -1,0 +1,380 @@
+"""Time-resolved telemetry: the DES-clock metric timeline.
+
+The paper's entire evaluation is post-hoc — every question about DP
+load, sync accuracy, or scheduling latency is answered *after* the run
+from final aggregates.  GridSim-lineage toolkits instead treat run-time
+statistics recording as a first-class feature; this module is that
+telemetry plane:
+
+* :class:`TimelineSampler` — a periodic sampler on the simulation
+  clock.  Each tick takes one unified
+  :meth:`~repro.obs.counters.MetricsRegistry.collect` pass (counters,
+  gauges, one-pass histogram summaries) plus a kernel section (heap
+  size, dead-entry ratio, event rate) and appends the row to a bounded
+  in-memory series, optionally streaming it to a JSONL file.  When a
+  deployment is attached the sampler drives (or reuses) the control
+  plane's :class:`~repro.control.signals.SignalBus`, so control and
+  telemetry read **one** code path — gauges are computed once per tick,
+  never re-derived.
+* JSONL timeline files — a ``{"meta": ...}`` header line followed by
+  one snapshot row per line.  ``digruber top`` replays or live-tails
+  them; :func:`load_timeline` reads them back (tolerant of a truncated
+  final line, the normal state of a file being tailed mid-write).
+* OpenMetrics text export (:func:`to_openmetrics`) — the wire format a
+  future live-service ``/metrics`` endpoint serves; dotted metric names
+  map to OpenMetrics families with a ``dp`` label split off per-DP
+  series.
+* :func:`merge_hood_timelines` — sharded runs sample each DP
+  neighborhood at its epoch barriers from *hood-local* state only, so
+  the merged grid-wide timeline is bit-identical regardless of how
+  hoods are grouped onto shards (the same partition-independence
+  contract as the event journals).
+
+Determinism is a hard invariant: a sampler tick is strictly read-only
+with respect to the simulation — no RNG draws, no semantic state
+mutation; the only events it schedules are its own ticks.  A run with
+telemetry on therefore executes the exact same semantic event sequence
+as one without (``digruber diff --pair telemetry`` enforces this).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import TYPE_CHECKING, Any, Optional, TextIO
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.control.signals import SignalBus
+    from repro.sim.kernel import Simulator
+
+__all__ = ["TimelineSampler", "load_timeline", "to_openmetrics",
+           "export_openmetrics", "merge_hood_timelines", "hood_snapshot"]
+
+
+class TimelineSampler:
+    """Periodic unified metric sampling on the DES clock.
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose registry/kernel state is sampled.
+    interval_s:
+        Sampling cadence in simulated seconds.
+    capacity:
+        Bound on the in-memory series; older rows are evicted (a JSONL
+        sink, when configured, still sees every row).
+    deployment:
+        Optional :class:`~repro.core.broker.DIGruberDeployment`; when
+        given (and no ``bus``), the sampler owns a
+        :class:`~repro.control.signals.SignalBus` so per-DP queue
+        depth / decide latency / sync-lag gauges are published each
+        tick.
+    bus:
+        An existing SignalBus to *read through* instead of owning one —
+        the autoscale planner's, typically.  The sampler then never
+        calls ``bus.sample()`` itself (the planner already does, on its
+        own cadence); it just collects the gauges the bus published.
+        That is the dedup contract: one gauge computation per control
+        tick, shared by control and telemetry.
+    grid:
+        Optional :class:`~repro.grid.builder.Grid`; adds grid-wide
+        utilization/queue gauges (``grid.*``) each tick.
+    path:
+        Stream every row (plus a leading meta line) to this JSONL file.
+    flush_rows:
+        Flush the file after every row — what ``--serve-telemetry``
+        uses so ``digruber top`` can tail a live run.
+    """
+
+    def __init__(self, sim: "Simulator", interval_s: float = 30.0,
+                 capacity: int = 512, deployment: Any = None,
+                 bus: Optional["SignalBus"] = None, grid: Any = None,
+                 path: str = "", flush_rows: bool = False,
+                 meta: Optional[dict] = None):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        self.sim = sim
+        self.interval_s = interval_s
+        self.grid = grid
+        self.bus = bus
+        self._owns_bus = False
+        if bus is None and deployment is not None:
+            from repro.control.signals import SignalBus
+            self.bus = SignalBus(sim, deployment, window_s=interval_s)
+            self._owns_bus = True
+        self.rows: deque = deque(maxlen=capacity)
+        self.samples_taken = 0
+        self.meta = dict(meta) if meta else {}
+        self._prev_events = sim.events_executed
+        self._prev_t = sim.now
+        self._handle = None
+        self.path = path
+        self._flush_rows = flush_rows
+        self._fh: Optional[TextIO] = None
+        if path:
+            self._fh = open(path, "w", encoding="utf-8")
+            header = {"meta": {"interval_s": interval_s, **self.meta}}
+            self._fh.write(json.dumps(header) + "\n")
+            self._fh.flush()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic sampling (first row at ``interval_s``)."""
+        if self._handle is not None:
+            raise RuntimeError("sampler already started")
+        self._handle = self.sim.every(self.interval_s, self.tick,
+                                      name="telemetry", on_error="record")
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def close(self, final_sample: bool = True) -> None:
+        """Stop sampling and flush/close the JSONL sink.
+
+        Safe on every exit path (the runner calls it from a ``finally``)
+        and idempotent; ``final_sample`` records one last row at the
+        current instant so the timeline always covers end-of-run state.
+        """
+        self.stop()
+        if final_sample and (not self.rows
+                             or self.rows[-1]["t"] != self.sim.now):
+            try:
+                self.tick()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+        if self._fh is not None and not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    # -- sampling -------------------------------------------------------
+    def tick(self) -> dict:
+        """Take one snapshot row; called on the DES clock."""
+        sim = self.sim
+        now = sim.now
+        if self.bus is not None and self._owns_bus:
+            # Telemetry-only runs: the sampler drives the bus.  With a
+            # planner present the planner's tick already sampled; the
+            # registry holds the published gauges and we only read.
+            self.bus.sample()
+        if self.grid is not None:
+            self._publish_grid_gauges(now)
+        self._publish_kernel_gauges(now)
+        row = sim.metrics.collect(now=now)
+        self.rows.append(row)
+        self.samples_taken += 1
+        if self._fh is not None and not self._fh.closed:
+            self._fh.write(json.dumps(row) + "\n")
+            if self._flush_rows:
+                self._fh.flush()
+        return row
+
+    def _publish_kernel_gauges(self, now: float) -> None:
+        sim = self.sim
+        metrics = sim.metrics
+        heap_len = len(sim._heap)
+        dead = sim._dead
+        events = sim.events_executed
+        dt = now - self._prev_t
+        rate = (events - self._prev_events) / dt if dt > 0 else 0.0
+        self._prev_events = events
+        self._prev_t = now
+        metrics.gauge("kernel.heap_len").set(heap_len, at=now)
+        metrics.gauge("kernel.heap_dead").set(dead, at=now)
+        metrics.gauge("kernel.heap_dead_ratio").set(
+            dead / heap_len if heap_len else 0.0, at=now)
+        metrics.gauge("kernel.events_executed").set(events, at=now)
+        metrics.gauge("kernel.event_rate").set(rate, at=now)
+        metrics.gauge("kernel.processes").set(len(sim._processes), at=now)
+
+    def _publish_grid_gauges(self, now: float) -> None:
+        busy = total = queued = running = completed = 0
+        for site in self.grid.sites.values():
+            busy += site.busy_cpus
+            total += site.total_cpus
+            queued += site.queue_length
+            running += site.running_jobs
+            completed += site.jobs_completed
+        metrics = self.sim.metrics
+        metrics.gauge("grid.busy_cpus").set(busy, at=now)
+        metrics.gauge("grid.total_cpus").set(total, at=now)
+        metrics.gauge("grid.util").set(busy / total if total else 0.0, at=now)
+        metrics.gauge("grid.queued_jobs").set(queued, at=now)
+        metrics.gauge("grid.running_jobs").set(running, at=now)
+        metrics.gauge("grid.jobs_completed").set(completed, at=now)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def tail(self, n: int) -> list[dict]:
+        """The newest ``n`` rows (for the flight recorder's black box)."""
+        if n <= 0:
+            return []
+        rows = list(self.rows)
+        return rows[-n:]
+
+    def export_openmetrics(self, path: str) -> None:
+        """Write the newest row as OpenMetrics text."""
+        if not self.rows:
+            raise ValueError("no snapshots recorded yet")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(to_openmetrics(self.rows[-1]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<TimelineSampler every {self.interval_s}s "
+                f"rows={len(self.rows)} taken={self.samples_taken}>")
+
+
+# -- timeline files ----------------------------------------------------------
+
+def load_timeline(path: str, tolerant: bool = True
+                  ) -> tuple[dict, list[dict]]:
+    """Read a timeline JSONL file back: ``(meta, rows)``.
+
+    ``tolerant`` (the default) skips undecodable lines — a file being
+    tailed mid-write, or truncated by a crash, routinely ends in half a
+    row; replay and postmortem tooling must read everything before it.
+    With ``tolerant=False`` a malformed line raises ``ValueError`` with
+    its line number.
+    """
+    meta: dict = {}
+    rows: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if tolerant:
+                    continue
+                raise ValueError(
+                    f"{path}:{lineno}: not a timeline JSONL line: "
+                    f"{exc}") from exc
+            if "meta" in doc and "t" not in doc:
+                meta = doc["meta"]
+            else:
+                rows.append(doc)
+    return meta, rows
+
+
+# -- OpenMetrics text --------------------------------------------------------
+
+def _om_name(name: str) -> tuple[str, str]:
+    """Split a dotted metric name into (family, dp label).
+
+    Per-DP series (``dp.queue_depth.dp0``) become one family with a
+    ``dp`` label; every other dotted name maps 1:1 to an underscored
+    family name.
+    """
+    parts = name.split(".")
+    dp = ""
+    if len(parts) >= 3 and parts[-1].startswith("dp"):
+        dp = parts[-1]
+        parts = parts[:-1]
+    return "_".join(p.replace("-", "_") for p in parts), dp
+
+
+def _om_line(family: str, dp: str, value: float,
+             extra_label: str = "") -> str:
+    labels = []
+    if dp:
+        labels.append(f'dp="{dp}"')
+    if extra_label:
+        labels.append(extra_label)
+    label_s = "{" + ",".join(labels) + "}" if labels else ""
+    return f"digruber_{family}{label_s} {value}\n"
+
+
+def to_openmetrics(row: dict) -> str:
+    """Render one snapshot row as OpenMetrics text (``# EOF``-terminated).
+
+    Counters map to ``counter`` families, gauges to ``gauge``,
+    histogram summaries to ``summary`` families (count/sum plus
+    ``quantile``-labelled series).
+    """
+    out: list[str] = []
+    seen: set[str] = set()
+
+    def _head(family: str, om_type: str) -> None:
+        if family not in seen:
+            seen.add(family)
+            out.append(f"# TYPE digruber_{family} {om_type}\n")
+
+    for name, value in row.get("counters", {}).items():
+        family, dp = _om_name(name)
+        _head(family, "counter")
+        out.append(_om_line(family, dp, value))
+    for name, value in row.get("gauges", {}).items():
+        family, dp = _om_name(name)
+        _head(family, "gauge")
+        out.append(_om_line(family, dp, value))
+    for name, s in row.get("histograms", {}).items():
+        family, dp = _om_name(name)
+        _head(family, "summary")
+        out.append(_om_line(family + "_count", dp, s.get("count", 0)))
+        out.append(_om_line(family + "_sum", dp, s.get("sum", 0.0)))
+        for key, value in s.items():
+            if key.startswith("p") and value is not None:
+                q = float(key[1:]) / 100.0
+                out.append(_om_line(family, dp, value,
+                                    extra_label=f'quantile="{q:g}"'))
+    out.append("# EOF\n")
+    return "".join(out)
+
+
+def export_openmetrics(row: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_openmetrics(row))
+
+
+# -- sharded (per-neighborhood) timelines ------------------------------------
+
+def hood_snapshot(built, hood: int, t: float) -> dict:
+    """One DP neighborhood's telemetry row from hood-local state only.
+
+    Sharded runs cannot sample the shared per-shard registry — two
+    hoods on one shard would interleave their metrics and the result
+    would depend on the grouping.  Everything here reads the hood's own
+    deployment/grid/client objects, which are bit-identical across
+    shard groupings, so the merged timeline is too.
+    """
+    dp = next(iter(built.deployment.decision_points.values()))
+    busy = total = queued = completed = 0
+    for site in built.grid.sites.values():
+        busy += site.busy_cpus
+        total += site.total_cpus
+        queued += site.queue_length
+        completed += site.jobs_completed
+    return {
+        "t": t,
+        "hood": hood,
+        "dp_online": bool(dp.online),
+        "dp_queue_depth": dp.container.queue_len,
+        "dp_in_service": dp.container.in_service,
+        "dp_completed_ops": dp.container.completed_ops,
+        "clients": len(built.clients),
+        "client_backlog": sum(c.backlog_len for c in built.clients),
+        "jobs_handled": sum(c.n_handled for c in built.clients),
+        "busy_cpus": busy,
+        "total_cpus": total,
+        "util": busy / total if total else 0.0,
+        "queued_jobs": queued,
+        "jobs_completed": completed,
+    }
+
+
+def merge_hood_timelines(per_hood: dict[int, list[dict]]) -> list[dict]:
+    """Canonical grid-wide merge of per-neighborhood timelines.
+
+    Rows sort by ``(t, hood)`` — per-hood order is already time-sorted
+    and the hood id breaks same-barrier ties identically under any
+    shard grouping, mirroring :func:`repro.sim.sharded._merge_journals`.
+    """
+    flat = [row for hood in sorted(per_hood) for row in per_hood[hood]]
+    flat.sort(key=lambda r: (r["t"], r["hood"]))
+    return flat

@@ -227,6 +227,13 @@ class JsonlSink:
     Unlike :meth:`Tracer.export_jsonl` (a post-run ring-buffer dump),
     a sink sees events that the ring later evicts — use it for long
     runs where the full event stream matters.
+
+    Lifecycle: a sink buffers through the underlying file object, so a
+    run that aborts without closing it used to truncate the last
+    events mid-line.  It is a context manager whose ``__exit__``
+    flushes and closes on *every* path (exceptions included), and the
+    experiment runner's abort path closes it explicitly — either way
+    the file on disk is whole-line-valid JSONL.
     """
 
     def __init__(self, path: str):
@@ -240,8 +247,19 @@ class JsonlSink:
         self._fh.write(json.dumps(ev.to_dict()) + "\n")
         self.written += 1
 
-    def close(self) -> None:
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
+
+    def flush(self) -> None:
+        """Push buffered lines to disk without closing (live tails)."""
         if not self._fh.closed:
+            self._fh.flush()
+
+    def close(self) -> None:
+        """Flush + close; idempotent and safe on exception paths."""
+        if not self._fh.closed:
+            self._fh.flush()
             self._fh.close()
 
     def __enter__(self) -> "JsonlSink":

@@ -92,10 +92,13 @@ def hood_config(config: ExperimentConfig, hood: int) -> ExperimentConfig:
 
     The hood gets one decision point, a balanced share of the sites /
     CPUs / submission hosts, its own seed and a disjoint job-id block.
-    Per-sim observability (trace, spans) is forced off — hoods may
-    share a shard's simulator — and the chaos scenario, when present,
-    strikes the first neighborhood only (scenarios target ``dp_ids[0]``
-    of a deployment; hood 0 is its sharded counterpart).
+    Per-sim observability (trace, spans, telemetry, flight recorder) is
+    forced off — hoods may share a shard's simulator, where per-sim
+    samplers from different hoods would interleave — and the chaos
+    scenario, when present, strikes the first neighborhood only
+    (scenarios target ``dp_ids[0]`` of a deployment; hood 0 is its
+    sharded counterpart).  Sharded telemetry instead samples hood-local
+    state at every epoch barrier (see :meth:`_Hood.sample_timeline`).
     """
     n_hoods = config.decision_points
     if not 0 <= hood < n_hoods:
@@ -118,17 +121,22 @@ def hood_config(config: ExperimentConfig, hood: int) -> ExperimentConfig:
         name=f"{config.name}-h{hood}",
         chaos_scenario=config.chaos_scenario if hood == 0 else "",
         trace_enabled=False, trace_path="",
-        spans_enabled=False, spans_path="")
+        spans_enabled=False, spans_path="",
+        telemetry_enabled=False, telemetry_path="", serve_telemetry=False,
+        flight_enabled=False, flight_path="")
 
 
 class _Hood:
     """One built neighborhood plus its epoch-coupling state."""
 
     def __init__(self, sim: Simulator, config: ExperimentConfig,
-                 hood: int, journal: bool):
+                 hood: int, journal: bool, telemetry: bool = False):
         self.hood = hood
         self.built: BuiltExperiment = build_experiment(
             hood_config(config, hood), sim=sim)
+        #: Barrier-sampled telemetry rows (hood-local state only), or
+        #: ``None`` when telemetry is off.
+        self.timeline: Optional[list[dict]] = [] if telemetry else None
         self.dp = next(iter(self.built.deployment.decision_points.values()))
         self._mark = 0  # learn-sequence watermark for barrier exports
         #: Static knowledge this hood contributes to every peer's view.
@@ -185,6 +193,19 @@ class _Hood:
                 engine.merge_remote_records(list(records), now=barrier_t)
         self.built.sim.schedule_at(barrier_t, _adopt)
 
+    def sample_timeline(self, t: float) -> None:
+        """Record one telemetry row at an epoch barrier.
+
+        Reads *hood-local* deployment/grid/client state only — never
+        the shard's shared metrics registry, where co-located hoods'
+        series would interleave and the result would depend on the
+        grouping.  Pure read, so sampling cannot perturb the run.
+        """
+        if self.timeline is None:
+            return
+        from repro.obs.timeline import hood_snapshot
+        self.timeline.append(hood_snapshot(self.built, self.hood, t))
+
     def finalize(self) -> RunSummary:
         return summarize(finalize_experiment(self.built))
 
@@ -201,7 +222,9 @@ class _ShardRuntime:
         # exactly at ``t`` either way).
         self.sim = Simulator(fast=config.fast_paths,
                              batch_dispatch=config.batch_dispatch)
-        self.hoods = [_Hood(self.sim, config, h, journal) for h in hood_ids]
+        telemetry = bool(config.telemetry_enabled or config.telemetry_path)
+        self.hoods = [_Hood(self.sim, config, h, journal, telemetry)
+                      for h in hood_ids]
 
     def capacities(self) -> dict[str, int]:
         out: dict[str, int] = {}
@@ -216,6 +239,10 @@ class _ShardRuntime:
     def run_window(self, until: float) -> None:
         self.sim.run(until=until)
 
+    def sample_timeline(self, t: float) -> None:
+        for h in self.hoods:
+            h.sample_timeline(t)
+
     def collect(self) -> dict[int, list]:
         return {h.hood: h.collect() for h in self.hoods}
 
@@ -223,13 +250,14 @@ class _ShardRuntime:
         for h in self.hoods:
             h.deliver(inbound.get(h.hood, []), barrier_t)
 
-    def finalize(self) -> dict[int, tuple[RunSummary, Optional[list]]]:
+    def finalize(self) -> dict[int, tuple[RunSummary, Optional[list],
+                                          Optional[list]]]:
         out = {}
         for h in self.hoods:
             entries = None
             if h.journal is not None:
                 entries = [(e.time, e.kind, e.detail) for e in h.journal.entries]
-            out[h.hood] = (h.finalize(), entries)
+            out[h.hood] = (h.finalize(), entries, h.timeline)
         return out
 
 
@@ -268,6 +296,10 @@ class ShardedRunResult:
     heap_peak: int
     wall_s: float
     journal: Optional[EventJournal] = field(default=None, repr=False)
+    #: Grid-wide merged telemetry rows (sorted by ``(t, hood)``), or
+    #: ``None`` when the config has telemetry off.  Identical across
+    #: shard counts and modes, like every other field here.
+    timeline: Optional[list] = field(default=None, repr=False)
 
     @property
     def n_hoods(self) -> int:
@@ -353,6 +385,7 @@ def _run_lockstep(config: ExperimentConfig, plan: list[list[int]],
         outbound: dict[int, list] = {}
         for rt in runtimes:
             rt.run_window(t)
+            rt.sample_timeline(t)
             outbound.update(rt.collect())
         inbound = _route(outbound)
         for rt in runtimes:
@@ -360,6 +393,7 @@ def _run_lockstep(config: ExperimentConfig, plan: list[list[int]],
     outcomes: dict[int, tuple] = {}
     for rt in runtimes:
         rt.run_window(config.duration_s)
+        rt.sample_timeline(config.duration_s)
         outcomes.update(rt.finalize())
     events = sum(rt.sim.events_executed for rt in runtimes)
     heap_peak = max(rt.sim.heap_peak for rt in runtimes)
@@ -375,9 +409,11 @@ def _shard_worker(conn, config: ExperimentConfig, hood_ids: list[int],
         rt.extend_static_knowledge(conn.recv())
         for t in _barriers(config):
             rt.run_window(t)
+            rt.sample_timeline(t)
             conn.send(rt.collect())
             rt.deliver(conn.recv(), t)
         rt.run_window(config.duration_s)
+        rt.sample_timeline(config.duration_s)
         conn.send(("ok", rt.finalize(), rt.sim.events_executed,
                    rt.sim.heap_peak))
     except BaseException as err:  # surface, don't hang the parent
@@ -434,6 +470,27 @@ def _run_workers(config: ExperimentConfig, plan: list[list[int]],
                 proc.join()
 
 
+def _write_sharded_timeline(config: ExperimentConfig,
+                            rows: list[dict]) -> None:
+    """Write the merged grid-wide timeline as a JSONL file.
+
+    Deliberately omits the shard count and mode from the meta line —
+    the file must be byte-identical under any grouping (the
+    grouping-independence contract extends to telemetry artifacts).
+    """
+    import json
+    with open(config.telemetry_path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"meta": {
+            "interval_s": config.sync_interval_s, "sharded": True,
+            "name": config.name, "seed": config.seed,
+            "duration_s": config.duration_s,
+            "decision_points": config.decision_points,
+            "n_clients": config.n_clients, "n_sites": config.n_sites,
+            "total_cpus": config.total_cpus}}) + "\n")
+        for row in rows:
+            fh.write(json.dumps(row) + "\n")
+
+
 def run_sharded(config: ExperimentConfig, n_shards: int = 1,
                 mode: str = "lockstep",
                 journal: bool = False) -> ShardedRunResult:
@@ -459,7 +516,14 @@ def run_sharded(config: ExperimentConfig, n_shards: int = 1,
     merged = None
     if journal:
         merged = _merge_journals({h: outcomes[h][1] for h in outcomes})
+    timeline = None
+    if config.telemetry_enabled or config.telemetry_path:
+        from repro.obs.timeline import merge_hood_timelines
+        timeline = merge_hood_timelines(
+            {h: outcomes[h][2] for h in outcomes})
+        if config.telemetry_path:
+            _write_sharded_timeline(config, timeline)
     return ShardedRunResult(config=config, n_shards=n_shards, mode=mode,
                             summaries=summaries, total_events=events,
                             heap_peak=heap_peak, wall_s=wall,
-                            journal=merged)
+                            journal=merged, timeline=timeline)

@@ -90,7 +90,7 @@ class TestApi:
         assert sorted(PAIRS) == ["autoscale-frozen", "batch-dispatch",
                                  "delta-sync", "fast-paths", "indexed-view",
                                  "sharded-2", "sharded-4", "spans",
-                                 "vectorized-sites", "workers"]
+                                 "telemetry", "vectorized-sites", "workers"]
         # The CLI's --pair choices must stay in lockstep with the
         # registry (an unlisted pair is unreachable from the shell).
         from repro.cli import build_parser

@@ -114,3 +114,59 @@ class TestTraceCommand:
         assert rc == 0 and "spans written" in out
         spans = [json.loads(ln) for ln in path.read_text().splitlines()]
         assert spans and {"submit", "brokering"} <= {s["name"] for s in spans}
+
+
+TIMELINE_FIXTURE = "tests/fixtures/timeline_10x_diurnal.jsonl"
+FLIGHT_FIXTURE = "tests/fixtures/flight_smoke.json"
+
+
+class TestTopCommand:
+    def test_replay_renders_committed_diurnal_timeline(self, capsys):
+        rc = main(["top", TIMELINE_FIXTURE, "--replay", "--once"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "digruber top — timeline-10x-diurnal" in out
+        assert "DP" in out and "dp4" in out  # fleet grew to 5 DPs
+        assert "scale-up" in out            # autoscale events surfaced
+
+    def test_replay_max_frames(self, capsys):
+        rc = main(["top", TIMELINE_FIXTURE, "--max-frames", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0 and out.count("digruber top") == 2
+
+    def test_empty_timeline_exits_nonzero(self, tmp_path, capsys):
+        p = tmp_path / "empty.jsonl"
+        p.write_text("")
+        assert main(["top", str(p), "--once"]) == 1
+
+    def test_run_telemetry_then_top(self, tmp_path, capsys):
+        path = tmp_path / "timeline.jsonl"
+        rc = main(["run", "--dps", "1", "--clients", "2", "--sites", "4",
+                   "--cpus", "200", "--duration", "120",
+                   "--telemetry", str(path)])
+        assert rc == 0
+        assert "timeline" in capsys.readouterr().out
+        rc = main(["top", str(path), "--once"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "grid   util" in out
+
+
+class TestPostmortemCommand:
+    def test_postmortem_parses_committed_flight_dump(self, capsys):
+        rc = main(["postmortem", FLIGHT_FIXTURE])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "postmortem: flight-smoke" in out
+        assert "reason: strict-check" in out
+        assert "site.busy_sum" in out
+
+    def test_postmortem_rejects_non_flight_json(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text('{"nope": 1}')
+        with pytest.raises(SystemExit):
+            main(["postmortem", str(p)])
+
+    def test_run_flight_dump_on_sharded_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", "--duration", "60", "--shards", "2", "--dps", "2",
+                  "--flight", str(tmp_path / "f.json")])

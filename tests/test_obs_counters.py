@@ -27,9 +27,9 @@ class TestHistogram:
         h = Histogram("h", bounds=[1.0, 2.0])
         assert h.percentile(50) is None
         assert h.percentile(99) is None
-        assert h.summary() == {"count": 0, "mean": None, "min": None,
-                               "p50": None, "p90": None, "p99": None,
-                               "max": None}
+        assert h.summary() == {"count": 0, "sum": 0.0, "mean": None,
+                               "min": None, "p50": None, "p90": None,
+                               "p95": None, "p99": None, "max": None}
 
     def test_observe_updates_stats(self):
         h = Histogram("h", bounds=[1.0, 10.0, 100.0])

@@ -1,0 +1,177 @@
+"""Flight recorder + postmortem tests (repro.obs.flight).
+
+The black-box contract: an armed recorder costs a healthy run nothing,
+and any abnormal exit — crash, strict-check violation, SIGTERM — leaves
+one bounded JSON dump that ``digruber postmortem`` can analyze.  The
+abort path must also leave every streaming artifact (telemetry
+timeline, trace JSONL) whole-line-valid, which is the mid-write-kill
+satellite.
+"""
+
+import json
+
+import pytest
+
+from repro.check.invariants import InvariantViolation
+from repro.experiments.configs import smoke_config
+from repro.experiments.runner import run_experiment
+from repro.obs.flight import (
+    FlightRecorder,
+    Terminated,
+    abort_reason,
+    load_flight,
+    postmortem_report,
+)
+
+
+class TestAbortReason:
+    def test_classification(self):
+        assert abort_reason(InvariantViolation("x")) == "strict-check"
+        assert abort_reason(Terminated("signal 15")) == "sigterm"
+        assert abort_reason(KeyboardInterrupt()) == "interrupt"
+        assert abort_reason(RuntimeError("boom")) == "crash"
+
+
+def _corrupting_hook(at_t: float):
+    """Deployment hook that silently corrupts a site's accounting at
+    ``at_t``, so the next strict checkpoint raises InvariantViolation."""
+    def hook(sim=None, grid=None, **_):
+        def corrupt():
+            site = next(iter(grid.sites.values()))
+            site.busy_cpus += 7
+        sim.schedule(at_t, corrupt)
+    return hook
+
+
+def _crashing_hook(at_t: float):
+    def hook(sim=None, **_):
+        def crash():
+            raise RuntimeError("injected mid-run crash")
+        sim.schedule(at_t, crash)
+    return hook
+
+
+class TestDumpOnAbort:
+    def _strict_config(self, tmp_path, **overrides):
+        return smoke_config(
+            duration_s=600.0, n_clients=4,
+            check_enabled=True, check_strict=True,
+            check_interval_s=60.0,
+            flight_enabled=True,
+            flight_path=str(tmp_path / "flight.json"),
+            **overrides)
+
+    def test_strict_violation_dumps_and_postmortem_parses(self, tmp_path):
+        config = self._strict_config(tmp_path)
+        with pytest.raises(InvariantViolation):
+            run_experiment(config, deployment_hook=_corrupting_hook(100.0))
+        doc = load_flight(config.flight_path)
+        assert doc["flight"] == 1
+        assert doc["reason"] == "strict-check"
+        assert doc["exception"]["type"] == "InvariantViolation"
+        assert doc["meta"]["seed"] == config.seed
+        assert 0.0 < doc["meta"]["t_abort"] < config.duration_s
+        assert doc["checker"]["n_violations"] >= 1
+        v = doc["checker"]["violations"][-1]
+        assert v["rule"] and v["subject"] and v["detail"]
+        report = postmortem_report(doc)
+        assert "strict-check" in report
+        assert "InvariantViolation" in report
+        assert "violation(s)" in report
+
+    def test_crash_dump_includes_traceback_and_kernel_state(self, tmp_path):
+        config = self._strict_config(tmp_path)
+        with pytest.raises(RuntimeError, match="injected"):
+            run_experiment(config, deployment_hook=_crashing_hook(150.0))
+        doc = load_flight(config.flight_path)
+        assert doc["reason"] == "crash"
+        assert "injected mid-run crash" in doc["exception"]["traceback"]
+        assert doc["kernel"]["events_executed"] > 0
+        assert doc["deployment"]  # per-DP state captured
+        assert doc["clients"]["n"] == config.n_clients
+
+    def test_abort_snapshots_present_when_telemetry_on(self, tmp_path):
+        config = self._strict_config(tmp_path, telemetry_enabled=True,
+                                     telemetry_interval_s=30.0)
+        with pytest.raises(RuntimeError):
+            run_experiment(config, deployment_hook=_crashing_hook(200.0))
+        doc = load_flight(config.flight_path)
+        assert doc["snapshots"], "flight dump should embed telemetry tail"
+        assert doc["snapshots"][-1]["t"] <= 200.0
+        assert "telemetry:" in postmortem_report(doc)
+
+    def test_healthy_run_leaves_no_dump(self, tmp_path):
+        config = smoke_config(duration_s=120.0, n_clients=2,
+                              flight_enabled=True,
+                              flight_path=str(tmp_path / "flight.json"))
+        run_experiment(config)
+        assert not (tmp_path / "flight.json").exists()
+
+
+class TestMidWriteKill:
+    """Satellite: a run killed mid-write must leave whole-line-valid
+    JSONL artifacts — the abort path flushes and closes every sink."""
+
+    def test_trace_jsonl_valid_after_crash(self, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        config = smoke_config(duration_s=600.0, n_clients=4,
+                              trace_enabled=True,
+                              trace_path=str(trace_path))
+        with pytest.raises(RuntimeError):
+            run_experiment(config, deployment_hook=_crashing_hook(300.0))
+        lines = trace_path.read_text().splitlines()
+        assert lines, "sink saw no events before the crash"
+        for line in lines:  # every line parses: no mid-line truncation
+            doc = json.loads(line)
+            assert "t" in doc and "kind" in doc
+
+    def test_timeline_jsonl_valid_after_crash(self, tmp_path):
+        from repro.obs.timeline import load_timeline
+        path = tmp_path / "timeline.jsonl"
+        config = smoke_config(duration_s=600.0, n_clients=4,
+                              telemetry_enabled=True,
+                              telemetry_interval_s=30.0,
+                              telemetry_path=str(path))
+        with pytest.raises(RuntimeError):
+            run_experiment(config, deployment_hook=_crashing_hook(200.0))
+        meta, rows = load_timeline(str(path), tolerant=False)  # strict!
+        assert meta["interval_s"] == 30.0
+        assert rows and rows[-1]["t"] <= 200.0
+
+    def test_sink_context_manager_closes_on_exception(self, tmp_path):
+        from repro.obs import JsonlSink, TraceEvent
+        path = tmp_path / "s.jsonl"
+        with pytest.raises(RuntimeError):
+            with JsonlSink(str(path)) as sink:
+                sink(TraceEvent(1.0, "n", "k", {}))
+                raise RuntimeError("boom")
+        assert sink.closed
+        (line,) = path.read_text().splitlines()
+        assert json.loads(line)["kind"] == "k"
+        sink.close()  # idempotent
+        sink(TraceEvent(2.0, "n", "k", {}))  # write-after-close: no-op
+        assert sink.written == 1
+
+
+class TestRecorderEdges:
+    def test_dump_never_raises_on_bad_path(self, tmp_path):
+        config = smoke_config(duration_s=60.0, n_clients=2)
+        from repro.experiments.runner import build_experiment
+        built = build_experiment(config)
+        built.sim.run(until=60.0)
+        rec = FlightRecorder(built, path=str(tmp_path / "no" / "dir.json"))
+        rec.dump("crash", RuntimeError("x"))  # must not raise
+        assert rec.dumped_to is None
+
+    def test_default_path_embeds_seed(self):
+        config = smoke_config(duration_s=60.0, n_clients=2)
+        from repro.experiments.runner import build_experiment
+        built = build_experiment(config)
+        rec = FlightRecorder(built)
+        assert rec.path == f"flight-{config.seed}.json"
+
+    def test_load_flight_rejects_non_flight_json(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text('{"hello": 1}')
+        with pytest.raises(ValueError, match="flight"):
+            load_flight(str(p))

@@ -202,3 +202,49 @@ class TestSpanProperties:
                 assert cur["span_id"] not in seen
                 seen.add(cur["span_id"])
                 cur = by_id[cur["parent_id"]]
+
+
+class TestLoadSpansRobustness:
+    """Satellite: load_spans on empty, truncated, and malformed files.
+
+    Strict mode is for byte-exact exports from finished runs; tolerant
+    mode is for the truncated artifact a killed run leaves behind.
+    """
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "empty.jsonl"
+        p.write_text("")
+        assert load_spans(str(p)) == []
+
+    def test_blank_lines_ignored(self, tmp_path):
+        p = tmp_path / "s.jsonl"
+        p.write_text('\n{"span_id": "a", "start": 1.0}\n\n')
+        assert len(load_spans(str(p))) == 1
+
+    def test_malformed_line_raises_with_lineno(self, tmp_path):
+        p = tmp_path / "s.jsonl"
+        p.write_text('{"span_id": "a"}\n{broken\n')
+        with pytest.raises(ValueError, match=r"s\.jsonl:2"):
+            load_spans(str(p))
+
+    def test_truncated_final_line_raises_strict(self, tmp_path):
+        p = tmp_path / "s.jsonl"
+        p.write_text('{"span_id": "a"}\n{"span_id": "b", "sta')
+        with pytest.raises(ValueError, match=":2"):
+            load_spans(str(p))
+
+    def test_tolerant_skips_truncation_keeps_valid_prefix(self, tmp_path):
+        p = tmp_path / "s.jsonl"
+        p.write_text('{"span_id": "a"}\nnonsense\n'
+                     '{"span_id": "b"}\n{"span_id": "c", "sta')
+        spans = load_spans(str(p), tolerant=True)
+        assert [s["span_id"] for s in spans] == ["a", "b"]
+
+    def test_non_object_line_rejected_strict_skipped_tolerant(
+            self, tmp_path):
+        p = tmp_path / "s.jsonl"
+        p.write_text('[1, 2]\n{"span_id": "a"}\n')
+        with pytest.raises(ValueError, match="expected an object"):
+            load_spans(str(p))
+        assert [s["span_id"] for s in load_spans(str(p), tolerant=True)] \
+            == ["a"]
