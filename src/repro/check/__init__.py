@@ -22,6 +22,7 @@ from repro.check.invariants import (
     InvariantChecker,
     InvariantViolation,
     Violation,
+    check_snapshot_invariants,
 )
 from repro.check.lint import Finding, lint_paths, lint_source
 
@@ -32,6 +33,7 @@ __all__ = [
     "InvariantChecker",
     "InvariantViolation",
     "Violation",
+    "check_snapshot_invariants",
     "DiffReport",
     "PAIRS",
     "run_pair",

@@ -35,6 +35,11 @@ Pair semantics:
   journals.  Any shard grouping must replay to the same chained digest.
 * ``batch-dispatch`` — the kernel's event-batch dispatch loop vs the
   scalar one-event-at-a-time loop, everything else pinned;
+* ``resume`` / ``resume-sharded`` — checkpoint/restore equivalence: an
+  uninterrupted run vs one killed mid-flight and restored from its
+  newest checkpoint (monolithic: verified replay with chaos and the
+  strict checker riding; sharded: epoch-barrier checkpoints verified
+  during a lockstep rerun);
 * ``vectorized-sites`` — numpy FIFO drain + bucketed completion timers
   vs the scalar site scheduler, on a congested grid so deep queues
   actually engage the vectorized path.
@@ -331,6 +336,97 @@ def _scripted_sync_run(duration_s: float, seed: int,
     return journal
 
 
+def _pair_resume(duration_s: float, seed: int) -> DiffReport:
+    """Uninterrupted run vs killed-and-restored run (the tentpole claim).
+
+    Both sides checkpoint on the same cadence — checkpoint ticks are
+    simulation events, so event-identity requires identical scheduling.
+    Side A runs to completion.  Side B runs just past the half-way
+    point, is aborted as a mid-run kill would abort it, and is then
+    restored from its newest on-disk checkpoint (verified deterministic
+    replay — see :mod:`repro.sim.snapshot`).  Chaos
+    (``dp_crash_restart``) and the strict invariant checker ride along,
+    so the equality claim covers fault injection and periodic checking
+    too.  The restored side's journal regenerates from t=0 during
+    replay, so the two journals must chain to the same digest
+    entry-for-entry.
+    """
+    import tempfile
+
+    from repro.check.digest import install_probes
+    from repro.experiments.runner import abort_experiment, build_experiment
+    from repro.sim.snapshot import newest_checkpoint, resume_experiment
+
+    with tempfile.TemporaryDirectory() as dir_a, \
+            tempfile.TemporaryDirectory() as dir_b:
+        base = _diff_config(duration_s, seed).with_(
+            seed=seed, chaos_scenario="dp_crash_restart",
+            check_enabled=True, check_strict=True, name="diff-resume")
+        every = duration_s / 5
+        ja = _run_journaled(base.with_(checkpoint_every_s=every,
+                                       checkpoint_dir=dir_a))
+
+        config_b = base.with_(checkpoint_every_s=every,
+                              checkpoint_dir=dir_b)
+        partial = EventJournal()
+        built = build_experiment(config_b)
+        install_probes(partial, deployment=built.deployment,
+                       sites=built.grid.sites.values(), sim=built.sim)
+        built.sim.run(until=duration_s * 0.55)
+        abort_experiment(built, RuntimeError("simulated mid-run kill"))
+        checkpoint = newest_checkpoint(dir_b)
+        if checkpoint is None:
+            raise RuntimeError(
+                "resume pair found no checkpoint after the partial leg; "
+                f"expected one in {dir_b}")
+
+        jb = EventJournal()
+
+        def hook(sim=None, deployment=None, network=None, grid=None,
+                 rng=None):
+            install_probes(jb, deployment=deployment,
+                           sites=grid.sites.values(), sim=sim)
+
+        resume_experiment(checkpoint, deployment_hook=hook)
+    return _report("resume", "uninterrupted", ja, "restored", jb)
+
+
+def _pair_resume_sharded(duration_s: float, seed: int) -> DiffReport:
+    """Sharded (4 shards) uninterrupted vs barrier-checkpoint-restored.
+
+    Sharded checkpoints land on epoch barriers (runner-level, never a
+    simulation event), so a checkpointing run journals identically to a
+    bare one; the restore is a lockstep rerun that must re-derive every
+    neighborhood's barrier digest before continuing (see
+    :func:`repro.sim.sharded.run_sharded`).
+    """
+    import tempfile
+
+    from repro.experiments.configs import smoke_config
+    from repro.sim.sharded import run_sharded
+    from repro.sim.snapshot import newest_checkpoint
+
+    config = smoke_config(
+        decision_points=4, n_clients=16, n_sites=16, total_cpus=800,
+        duration_s=duration_s, sync_interval_s=30.0,
+        monitor_interval_s=60.0, seed=seed, name="diff-resume-sharded")
+    reference = run_sharded(config, n_shards=4, journal=True)
+    with tempfile.TemporaryDirectory() as ckdir:
+        ckpt_config = config.with_(checkpoint_every_s=duration_s / 5,
+                                   checkpoint_dir=ckdir)
+        run_sharded(ckpt_config, n_shards=4, journal=True)
+        checkpoint = newest_checkpoint(ckdir)
+        if checkpoint is None:
+            raise RuntimeError(
+                "sharded resume pair wrote no barrier checkpoint; "
+                f"expected one in {ckdir}")
+        restored = run_sharded(ckpt_config, n_shards=4, journal=True,
+                               restore=checkpoint)
+    return _report("resume-sharded",
+                   "uninterrupted", reference.journal,
+                   "restored", restored.journal)
+
+
 PAIRS: dict[str, Callable[[float, int], DiffReport]] = {
     "fast-paths": _pair_fast_paths,
     "batch-dispatch": _pair_batch_dispatch,
@@ -343,6 +439,8 @@ PAIRS: dict[str, Callable[[float, int], DiffReport]] = {
     "autoscale-frozen": _pair_autoscale_frozen,
     "sharded-2": lambda d, s: _pair_sharded(2, d, s),
     "sharded-4": lambda d, s: _pair_sharded(4, d, s),
+    "resume": _pair_resume,
+    "resume-sharded": _pair_resume_sharded,
 }
 
 

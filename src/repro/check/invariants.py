@@ -47,7 +47,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.grid.site import Site
     from repro.sim.kernel import Simulator
 
-__all__ = ["InvariantChecker", "InvariantViolation", "Violation"]
+__all__ = ["InvariantChecker", "InvariantViolation", "Violation",
+           "check_snapshot_invariants"]
 
 #: Relative tolerance for float integrals (CPU-second decompositions).
 _REL_TOL = 1e-9
@@ -379,3 +380,50 @@ class InvariantChecker:
         if len(self.violations) > 20:
             lines.append(f"  ... and {len(self.violations) - 20} more")
         return "\n".join(lines)
+
+
+def check_snapshot_invariants(built) -> None:
+    """Snapshot-plane invariants over a built (possibly mid-run) run.
+
+    * **read-only capture** — two back-to-back captures are
+      byte-identical as canonical JSON, so capturing mutates nothing
+      and draws no randomness (the precondition for checkpoint ticks
+      not perturbing the simulation they snapshot);
+    * **digest recomputability** — every per-section digest recomputes
+      from the captured state (no hidden iteration-order dependence);
+    * **JSON round-trip** — every state section's digest recomputes
+      identically from the ``dumps``/``loads`` round-tripped body, so
+      the on-disk file carries exactly what was digested;
+    * **clock agreement** — the snapshot's time/event stamps match the
+      kernel's.
+
+    Raises :class:`InvariantViolation` on any failure.
+    """
+    import json
+
+    from repro.sim.snapshot import (capture_state, snapshot_experiment,
+                                    state_digest)
+
+    def canonical(state):
+        return json.dumps(state, sort_keys=True, separators=(",", ":"))
+
+    if canonical(capture_state(built)) != canonical(capture_state(built)):
+        raise InvariantViolation(
+            "state capture is not read-only/stable: two back-to-back "
+            "captures of the same run differ")
+    snap = snapshot_experiment(built)
+    for section, value in snap["state"].items():
+        if state_digest(value) != snap["digests"][section]:
+            raise InvariantViolation(
+                f"snapshot digest for section {section!r} does not "
+                f"recompute from the captured state")
+    reread = json.loads(json.dumps(snap))
+    for section, value in reread["state"].items():
+        if state_digest(value) != snap["digests"][section]:
+            raise InvariantViolation(
+                f"snapshot section {section!r} does not survive a JSON "
+                f"round-trip digest-stably")
+    if (snap["event_count"] != built.sim.events_executed
+            or snap["time"] != built.sim.now):
+        raise InvariantViolation(
+            "snapshot time/event stamps disagree with the kernel clock")

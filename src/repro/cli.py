@@ -14,6 +14,10 @@ shell::
     digruber chaos --scenario partition2 --duration 900
     digruber diff --pair fast-paths
     digruber diff --pair sharded-4
+    digruber diff --pair resume
+    digruber run --dps 3 --checkpoint-every 60 --checkpoint-dir ckpts/
+    digruber run --restore ckpts/ckpt-0000000240-000000123456.json
+    digruber campaign --out sweeps/smoke --preset smoke
     digruber run --dps 3 --telemetry /tmp/tl.jsonl --flight
     digruber top /tmp/tl.jsonl --once
     digruber postmortem flight-20050101.json
@@ -175,7 +179,39 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shard-workers", action="store_true",
                      help="with --shards, run each shard in its own OS "
                      "process instead of lockstep in-process")
+    run.add_argument("--checkpoint-every", type=float, default=None,
+                     metavar="S", help="write a restorable checkpoint "
+                     "every S simulated seconds (needs --checkpoint-dir)")
+    run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="directory for periodic checkpoints")
+    run.add_argument("--restore", default=None, metavar="FILE",
+                     help="restore a checkpointed run and finish it "
+                     "(the run's config comes from the snapshot; other "
+                     "experiment flags are ignored)")
     add_obs(run)
+
+    camp = sub.add_parser(
+        "campaign", help="resumable parameter-sweep campaign: checkpoint "
+                         "every cell, survive SIGTERM, resume to an "
+                         "identical aggregate")
+    camp.add_argument("--out", required=True, metavar="DIR",
+                      help="campaign directory (cells/, manifest.json, "
+                           "aggregate.json)")
+    camp.add_argument("--preset", default="smoke",
+                      choices=("smoke", "accuracy"),
+                      help="named cell set (default: smoke)")
+    camp.add_argument("--duration", type=float, default=300.0,
+                      help="simulated seconds per cell (default 300)")
+    camp.add_argument("--checkpoint-every", type=float, default=60.0,
+                      metavar="S",
+                      help="per-cell checkpoint cadence in simulated "
+                           "seconds (default 60)")
+    camp.add_argument("--workers", type=int, default=None, metavar="N",
+                      help="worker processes (default: min(cells, cpus))")
+    camp.add_argument("--resume", action="store_true",
+                      help="marker for relaunches; a campaign over the "
+                           "same --out always reuses completed cells and "
+                           "resumes interrupted ones")
 
     chaos = sub.add_parser(
         "chaos", help="fault-injection run: scenario x policy comparison")
@@ -197,7 +233,8 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=("fast-paths", "batch-dispatch",
                                "vectorized-sites", "indexed-view", "spans",
                                "telemetry", "workers", "delta-sync",
-                               "autoscale-frozen", "sharded-2", "sharded-4"),
+                               "autoscale-frozen", "sharded-2", "sharded-4",
+                               "resume", "resume-sharded"),
                       help="equivalence claim to check (default: "
                            "fast-paths)")
     diff.add_argument("--duration", type=float, default=300.0,
@@ -418,7 +455,23 @@ def _cmd_grubsim(args) -> int:
 
 def _cmd_run(args) -> int:
     from repro.experiments import run_experiment
+    if args.restore is not None:
+        if args.shards is not None:
+            return _run_sharded_cmd(args, None, None)
+        from repro.sim.snapshot import resume_experiment
+        result = resume_experiment(args.restore)
+        print(result.summary())
+        _print_obs(args, result)
+        return 0
     maker, overrides = _base_config(args)
+    if args.checkpoint_every is not None:
+        if args.checkpoint_dir is None:
+            raise SystemExit(
+                "error: --checkpoint-every needs --checkpoint-dir")
+        overrides["checkpoint_every_s"] = args.checkpoint_every
+        overrides["checkpoint_dir"] = args.checkpoint_dir
+    elif args.checkpoint_dir is not None:
+        raise SystemExit("error: --checkpoint-dir needs --checkpoint-every")
     if args.scale_multiplier is not None:
         from repro.experiments.configs import scale_config
 
@@ -509,6 +562,17 @@ def _cmd_run(args) -> int:
 def _run_sharded_cmd(args, maker, overrides) -> int:
     """``digruber run --shards=N``: the space-parallel kernel path."""
     from repro.sim.sharded import run_sharded
+    if args.restore is not None:
+        if args.shard_workers:
+            raise SystemExit(
+                "error: barrier restore is lockstep-only; drop "
+                "--shard-workers")
+        from repro.sim.snapshot import decode_config, read_snapshot
+        config = decode_config(read_snapshot(args.restore)["config"])
+        result = run_sharded(config, n_shards=args.shards,
+                             mode="lockstep", restore=args.restore)
+        print(result.describe())
+        return 0
     if (args.trace is not None or args.trace_spans is not None
             or args.obs):
         raise SystemExit(
@@ -567,6 +631,31 @@ def _cmd_chaos(args) -> int:
     if last is not None:
         _print_obs(args, last)
     return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.experiments.campaign import (campaign_configs,
+                                            campaign_manifest, run_campaign)
+    configs = campaign_configs(args.preset, duration_s=args.duration)
+    manifest = campaign_manifest(args.out, configs)
+    label = "resuming" if args.resume else "starting"
+    print(f"{label} campaign {args.preset!r}: {len(configs)} cell(s) -> "
+          f"{args.out} (completed={len(manifest['completed'])} "
+          f"resumable={len(manifest['resumable'])} "
+          f"pending={len(manifest['pending'])})")
+    report = run_campaign(configs, args.out,
+                          checkpoint_every_s=args.checkpoint_every,
+                          max_workers=args.workers)
+    for record in report["cells"]:
+        resumed = (f" (resumed from {record['resumed_from']})"
+                   if record.get("resumed_from") else "")
+        print(f"  {record['name']}: digest={record['summary_digest']} "
+              f"jobs={record['n_jobs']}{resumed}")
+    for name in report["failed"]:
+        print(f"  {name}: FAILED")
+    print(f"aggregate digest={report['digest']} -> "
+          f"{os.path.join(args.out, 'aggregate.json')}")
+    return 0 if report["pass_campaign"] else 1
 
 
 def _cmd_report(args) -> int:
@@ -647,6 +736,7 @@ _COMMANDS = {
     "grubsim": _cmd_grubsim,
     "report": _cmd_report,
     "run": _cmd_run,
+    "campaign": _cmd_campaign,
     "chaos": _cmd_chaos,
     "diff": _cmd_diff,
     "lint": _cmd_lint,

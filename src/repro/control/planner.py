@@ -112,6 +112,20 @@ class AutoscalePlanner:
             desired, at=self.sim.now)
         return action
 
+    def snapshot_state(self) -> dict:
+        """Canonical control-plane state for snapshot digests (JSON-able)."""
+        return {
+            "ticks": self.ticks,
+            "up_streak": self._up_streak,
+            "down_streak": self._down_streak,
+            "last_action_at": (None if self._last_action_at == -float("inf")
+                               else self._last_action_at),
+            "timeline_len": len(self.timeline),
+            "live_dps": len(self.deployment.live_dp_ids),
+            "actions": len(self.actuator.actions),
+            "clients_moved": self.actuator.clients_moved,
+        }
+
     # -- reporting ---------------------------------------------------------
     @property
     def last_sample(self) -> Optional[ControlSample]:

@@ -102,6 +102,30 @@ class GruberClient(Endpoint):
             raise RuntimeError(f"client {self.node_id!r} already started")
         self._proc = self.sim.process(self._run(), name=f"client:{self.node_id}")
 
+    def snapshot_state(self) -> dict:
+        """Canonical client/workload-cursor state for snapshot digests.
+
+        The workload cursor is implicit: ``n_jobs`` jobs drawn so far
+        plus the backlog of arrived-but-unbrokered workload indices
+        pins exactly where in the arrival stream this host is.
+        """
+        return {
+            "host": str(self.node_id),
+            "decision_point": str(self.decision_point),
+            "busy": self.busy,
+            "backlog": list(self._backlog),
+            "n_jobs": len(self.jobs),
+            "n_handled": self.n_handled,
+            "n_fallback_timeout": self.n_fallback_timeout,
+            "n_abandoned": self.n_abandoned,
+            "n_retries": self.n_retries,
+            "n_breaker_fastfail": self.n_breaker_fastfail,
+            "n_failovers": self.n_failovers,
+            "rebinds": self.rebinds,
+            "backlog_peak": self.backlog_peak,
+            "active_from": self.active_from,
+        }
+
     def rebind(self, decision_point: Hashable) -> None:
         """Point this host at a different decision point.
 

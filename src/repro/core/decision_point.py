@@ -362,6 +362,30 @@ class DecisionPoint(Endpoint):
         """Wire size of a ``get_state`` response (scales with grid size)."""
         return len(self.grid) * self.site_state_kb
 
+    def snapshot_state(self) -> dict:
+        """Canonical decision-point state for snapshot digests (JSON-able).
+
+        Aggregates the engine view, USLA store, and sync horizons with
+        the lifecycle counters; container timers live in the kernel
+        heap, so only the container's queue depth is captured here.
+        """
+        return {
+            "node": str(self.node_id),
+            "online": self.online,
+            "started": self.started,
+            "crashes": self.crashes,
+            "retirements": self.retirements,
+            "restarts": self.restarts,
+            "resync_records": self.resync_records,
+            "resync_failures": self.resync_failures,
+            "neighbors": sorted(str(n) for n in self.neighbors),
+            "container_queue_len": self.container.queue_len,
+            "container_in_service": self.container.in_service,
+            "view": self.engine.view.snapshot_state(),
+            "usla": self.engine.usla_store.snapshot_state(),
+            "sync": self.sync.snapshot_state(),
+        }
+
     def load_snapshot(self) -> dict:
         """What the saturation detector samples."""
         return {

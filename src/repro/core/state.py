@@ -485,6 +485,36 @@ class GridStateView:
                 f"{len(live_keys)} live records")
         return problems
 
+    def snapshot_state(self) -> dict:
+        """Canonical view state for snapshot digests (JSON-able).
+
+        Records are keyed by their wire identity ``(origin, seq)`` plus
+        dispatch facts; per-site heaps are flattened in sorted key order
+        so internal heap layout cannot leak into the digest.  ``-inf``
+        sentinels serialize as ``None``.
+        """
+        def _f(x: float):
+            return None if x == _NEG_INF else x
+
+        records = []
+        for site in sorted(self._records):
+            for time, _tb, rec in sorted(
+                    self._records[site], key=lambda e: (e[0], e[1])):
+                records.append([rec.origin, rec.seq, rec.site, rec.vo,
+                                rec.cpus, rec.time, rec.group])
+        return {
+            "base_busy": sorted(self._base_busy.items()),
+            "base_time": [[s, _f(t)] for s, t in sorted(self._base_time.items())],
+            "records": records,
+            "extra_busy": sorted(self._extra_busy.items()),
+            "vo_busy": [[s, c, b] for (s, c), b in sorted(self._vo_busy.items())],
+            "learn_count": self._learn_count,
+            "latest_time": _f(self.latest_time),
+            "last_learn_time": _f(self._last_learn_time),
+            "last_refresh_time": _f(self._last_refresh_time),
+            "n_seen": len(self._seen),
+        }
+
     @property
     def n_sites(self) -> int:
         return len(self.capacities)

@@ -100,6 +100,19 @@ class SyncProtocol:
             self._handle.cancel()
             self._handle = None
 
+    def snapshot_state(self) -> dict:
+        """Canonical sync-horizon state for snapshot digests (JSON-able)."""
+        return {
+            "rounds_sent": self.rounds_sent,
+            "records_sent": self.records_sent,
+            "records_received": self.records_received,
+            "records_adopted": self.records_adopted,
+            "kb_sent": self.kb_sent,
+            "last_ticks": [None if t == -float("inf") else t
+                           for t in self._last_ticks],
+            "peer_marks": sorted(self._peer_marks.items()),
+        }
+
     # -- send side ------------------------------------------------------------
     def tick(self) -> None:
         """One exchange round: push recent records to every neighbor.

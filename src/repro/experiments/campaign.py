@@ -1,0 +1,234 @@
+"""Resumable parameter-sweep campaigns.
+
+A campaign is a parameter sweep treated as durable work: every cell
+(one :class:`~repro.experiments.configs.ExperimentConfig`) owns a
+directory holding its periodic checkpoints and, once finished, an
+atomically-written ``result.json``.  The campaign runner fans cells out
+over processes via :func:`~repro.experiments.parallel.run_parallel`
+with a checkpoint-aware worker:
+
+* a cell with a valid ``result.json`` is **skipped** (its record is
+  reused verbatim);
+* an interrupted cell with a valid checkpoint **resumes** from its
+  newest one (verified replay — see :mod:`repro.sim.snapshot`);
+* anything else runs from scratch.
+
+Because the *same* worker serves ``run_parallel``'s one-shot retry
+generation, a cell whose worker process died also resumes from its own
+checkpoint instead of re-paying the lost wall-clock.  Kill the whole
+campaign (SIGTERM, machine loss) and relaunch it: completed cells are
+reused, interrupted cells resume, and the final aggregate is identical
+to an uninterrupted run's — runs are deterministic and every record
+derives from :func:`~repro.experiments.parallel.summary_digest`.
+
+Layout under the campaign directory::
+
+    cells/<name>/checkpoints/ckpt-*.json
+    cells/<name>/result.json
+    manifest.json      (completed/pending/failed, refreshed per launch)
+    aggregate.json     (BENCH-style report, written when all cells ran)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Optional, Sequence
+
+from repro.experiments.configs import ExperimentConfig, smoke_config
+from repro.experiments.parallel import (FailedCell, run_parallel, summarize,
+                                        summary_digest)
+from repro.experiments.runner import run_experiment
+from repro.sim.snapshot import newest_checkpoint, resume_experiment
+
+__all__ = ["campaign_configs", "campaign_manifest", "run_campaign",
+           "CAMPAIGN_PRESETS"]
+
+_RESULT_VERSION = 1
+
+
+# -- cell bookkeeping ----------------------------------------------------
+def _cell_dir(out: str, name: str) -> str:
+    return os.path.join(out, "cells", name)
+
+
+def _attach_cell_dirs(configs: Sequence[ExperimentConfig], out: str,
+                      checkpoint_every_s: float) -> list[ExperimentConfig]:
+    """Point every cell's checkpointing at its own campaign directory."""
+    names = [c.name for c in configs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"cell names must be unique, got {names}")
+    prepared = []
+    for config in configs:
+        checkpoints = os.path.join(_cell_dir(out, config.name), "checkpoints")
+        os.makedirs(checkpoints, exist_ok=True)
+        prepared.append(config.with_(
+            checkpoint_every_s=checkpoint_every_s,
+            checkpoint_dir=checkpoints))
+    return prepared
+
+
+def _result_path(config: ExperimentConfig) -> str:
+    return os.path.join(os.path.dirname(config.checkpoint_dir),
+                        "result.json")
+
+
+def _read_result(path: str) -> Optional[dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if (not isinstance(record, dict)
+            or record.get("version") != _RESULT_VERSION
+            or "summary_digest" not in record):
+        return None
+    return record
+
+
+def _write_result(path: str, record: dict) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.rename(tmp, path)
+
+
+def _cell_worker(config: ExperimentConfig) -> dict:
+    """Run (or reuse, or resume) one campaign cell; returns its record.
+
+    Module-level so it pickles into worker processes, including
+    ``run_parallel``'s retry pools.
+    """
+    result_path = _result_path(config)
+    cached = _read_result(result_path)
+    if cached is not None:
+        return cached
+    checkpoint = newest_checkpoint(config.checkpoint_dir)
+    if checkpoint is not None:
+        summary = summarize(resume_experiment(checkpoint))
+        resumed_from = os.path.basename(checkpoint)
+    else:
+        summary = summarize(run_experiment(config))
+        resumed_from = None
+    record = {
+        "version": _RESULT_VERSION,
+        "name": config.name,
+        "summary_digest": summary_digest(summary),
+        "n_jobs": summary.n_jobs,
+        "fallbacks": dict(summary.fallbacks),
+        "peak_throughput": summary.peak_throughput,
+        "avg_response": summary.avg_response,
+        "resumed_from": resumed_from,
+    }
+    _write_result(result_path, record)
+    return record
+
+
+# -- manifest / aggregate ------------------------------------------------
+def campaign_manifest(out: str,
+                      configs: Sequence[ExperimentConfig]) -> dict:
+    """Derive the cell manifest from what is on disk right now."""
+    completed, resumable, pending = [], [], []
+    for config in configs:
+        cell = _cell_dir(out, config.name)
+        if _read_result(os.path.join(cell, "result.json")) is not None:
+            completed.append(config.name)
+        elif newest_checkpoint(os.path.join(cell, "checkpoints")) is not None:
+            resumable.append(config.name)
+        else:
+            pending.append(config.name)
+    return {"completed": completed, "resumable": resumable,
+            "pending": pending}
+
+
+def _aggregate(records: list[dict], failed: list[str],
+               duration_s: float) -> dict:
+    """BENCH-style campaign report; deterministic (no wall-clock).
+
+    ``resumed_from`` is provenance, not result — it stays in the cell's
+    ``result.json`` but is stripped here, so an interrupted-and-resumed
+    campaign aggregates byte-identically to an uninterrupted one.
+    """
+    records = sorted(({k: v for k, v in r.items() if k != "resumed_from"}
+                      for r in records), key=lambda r: r["name"])
+    crc = 0
+    for record in records:
+        blob = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        crc = zlib.crc32(blob.encode("utf-8"), crc)
+    return {
+        "bench": "campaign",
+        "duration_s": duration_s,
+        "cells": records,
+        "failed": sorted(failed),
+        "digest": f"{crc:08x}",
+        "pass_campaign": not failed,
+    }
+
+
+# -- the runner ----------------------------------------------------------
+def run_campaign(configs: Sequence[ExperimentConfig], out: str,
+                 checkpoint_every_s: float = 60.0,
+                 max_workers: Optional[int] = None) -> dict:
+    """Run a sweep as a resumable campaign; returns the aggregate report.
+
+    Idempotent by construction: relaunching over the same ``out``
+    reuses completed cells, resumes interrupted ones from their newest
+    valid checkpoint, and reproduces the identical aggregate an
+    uninterrupted launch would have written.
+    """
+    if not configs:
+        raise ValueError("campaign needs at least one cell")
+    prepared = _attach_cell_dirs(configs, out, checkpoint_every_s)
+    manifest = campaign_manifest(out, configs)
+    _write_result(os.path.join(out, "manifest.json"), manifest)
+
+    results = run_parallel(prepared, max_workers=max_workers,
+                           worker=_cell_worker)
+
+    records, failed = [], []
+    for config, result in zip(prepared, results):
+        if isinstance(result, FailedCell) or result is None:
+            failed.append(config.name)
+        else:
+            records.append(result)
+    report = _aggregate(records, failed,
+                        duration_s=max(c.duration_s for c in configs))
+    _write_result(os.path.join(out, "manifest.json"),
+                  campaign_manifest(out, configs))
+    _write_result(os.path.join(out, "aggregate.json"), report)
+    return report
+
+
+# -- presets -------------------------------------------------------------
+def _smoke_cells(duration_s: float) -> list[ExperimentConfig]:
+    return [smoke_config(decision_points=k, duration_s=duration_s,
+                         name=f"smoke-{k}dp")
+            for k in (1, 2, 3)]
+
+
+def _accuracy_cells(duration_s: float) -> list[ExperimentConfig]:
+    return [smoke_config(decision_points=3, n_clients=10,
+                         sync_interval_s=sync_s, duration_s=duration_s,
+                         name=f"sync-{int(sync_s)}s")
+            for sync_s in (30.0, 60.0, 120.0, 240.0)]
+
+
+CAMPAIGN_PRESETS = {
+    "smoke": _smoke_cells,
+    "accuracy": _accuracy_cells,
+}
+
+
+def campaign_configs(preset: str, duration_s: float = 300.0
+                     ) -> list[ExperimentConfig]:
+    """Cells for a named campaign preset (CLI + CI entry point)."""
+    try:
+        factory = CAMPAIGN_PRESETS[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown campaign preset {preset!r}; expected one of "
+            f"{sorted(CAMPAIGN_PRESETS)}") from None
+    return factory(duration_s)

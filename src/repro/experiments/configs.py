@@ -159,6 +159,17 @@ class ExperimentConfig:
     flight_enabled: bool = False
     flight_path: str = ""          # "" = flight-<seed>.json
 
+    # Checkpointing (repro.sim.snapshot): write a CRC-stamped snapshot
+    # every ``checkpoint_every_s`` simulated seconds into
+    # ``checkpoint_dir``.  Checkpoint callbacks are read-only and drawn
+    # from no RNG stream, and both the reference and the resumed run
+    # carry identical checkpoint scheduling, so checkpointing-on runs
+    # are event-identical to checkpointing-off modulo the checkpoint
+    # events themselves (``digruber diff --pair resume`` proves the
+    # resume contract end to end).
+    checkpoint_every_s: float = 0.0   # 0 = checkpointing off
+    checkpoint_dir: str = ""
+
     # Reproducibility.
     seed: int = 20050101
     name: str = "experiment"
@@ -204,6 +215,11 @@ class ExperimentConfig:
             raise ValueError("check_interval_s must be > 0")
         if self.jid_offset < 0:
             raise ValueError("jid_offset must be >= 0")
+        if self.checkpoint_every_s < 0:
+            raise ValueError("checkpoint_every_s must be >= 0")
+        if self.checkpoint_every_s > 0 and not self.checkpoint_dir:
+            raise ValueError(
+                "checkpoint_every_s > 0 requires a checkpoint_dir")
 
     def with_(self, **overrides) -> "ExperimentConfig":
         """A modified copy (sweeps use this)."""

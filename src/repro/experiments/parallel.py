@@ -196,7 +196,8 @@ class FailedCell:
 
 
 def _run_pool(configs_by_slot: dict[int, ExperimentConfig], workers: int,
-              results: dict[int, RunSummary]) -> dict[int, ExperimentConfig]:
+              results: dict[int, RunSummary],
+              worker=_worker) -> dict[int, ExperimentConfig]:
     """One pool generation; returns the slots the pool lost.
 
     A worker that dies (OOM kill, segfault, interpreter exit) breaks
@@ -207,7 +208,7 @@ def _run_pool(configs_by_slot: dict[int, ExperimentConfig], workers: int,
     """
     lost: dict[int, ExperimentConfig] = {}
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {slot: pool.submit(_worker, cfg)
+        futures = {slot: pool.submit(worker, cfg)
                    for slot, cfg in configs_by_slot.items()}
         for slot, future in futures.items():
             try:
@@ -218,7 +219,8 @@ def _run_pool(configs_by_slot: dict[int, ExperimentConfig], workers: int,
 
 
 def run_parallel(configs: Sequence[ExperimentConfig],
-                 max_workers: Optional[int] = None) -> list:
+                 max_workers: Optional[int] = None,
+                 worker=None) -> list:
     """Run every configuration, fanning out across processes.
 
     Results come back in input order.  ``max_workers`` defaults to
@@ -232,16 +234,25 @@ def run_parallel(configs: Sequence[ExperimentConfig],
     resubmitted once to a fresh pool, and anything that fails again is
     reported in place as a :class:`FailedCell` instead of raising away
     every finished result.
+
+    ``worker`` must be a picklable (module-level) callable taking one
+    config.  The campaign runner passes a checkpoint-aware worker here;
+    because the *same* worker serves the retry generation, a retried
+    cell resumes from its own newest valid checkpoint — atomic
+    checkpoint writes guarantee a half-written file is skipped, never
+    restored (see :func:`repro.sim.snapshot.newest_checkpoint`).
     """
     if not configs:
         return []
+    if worker is None:
+        worker = _worker  # resolved at call time, so tests can patch it
     workers = max_workers if max_workers is not None else \
         min(len(configs), os.cpu_count() or 1)
     if workers <= 1 or len(configs) == 1:
-        return [_worker(cfg) for cfg in configs]
+        return [worker(cfg) for cfg in configs]
     results: dict[int, RunSummary] = {}
     pending = dict(enumerate(configs))
-    lost = _run_pool(pending, workers, results)
+    lost = _run_pool(pending, workers, results, worker=worker)
     if lost:
         # One retry, each lost cell in its *own* single-worker pool:
         # transient deaths (a stray OOM kill) recover, and a cell that
@@ -249,7 +260,7 @@ def run_parallel(configs: Sequence[ExperimentConfig],
         # and strand innocent neighbors a second time.  A cell that
         # dies twice is reported as permanently failed.
         for slot, cfg in sorted(lost.items()):
-            _run_pool({slot: cfg}, 1, results)
+            _run_pool({slot: cfg}, 1, results, worker=worker)
     out: list = []
     for slot, cfg in enumerate(configs):
         if slot in results:

@@ -237,6 +237,7 @@ class BuiltExperiment:
     trace_sink: Optional[object] = None
     sampler: Optional[object] = None
     flight: Optional[object] = None
+    checkpointer: Optional[object] = None
 
 
 def build_experiment(config: ExperimentConfig,
@@ -423,6 +424,11 @@ def build_experiment(config: ExperimentConfig,
     if config.flight_enabled or config.flight_path:
         from repro.obs.flight import FlightRecorder
         built.flight = FlightRecorder(built, path=config.flight_path)
+    if config.checkpoint_every_s > 0:
+        # Last, so the first checkpoint tick's heap slot is pinned by
+        # construction order — identical on fresh and restored runs.
+        from repro.sim.snapshot import Checkpointer
+        built.checkpointer = Checkpointer(built)
     return built
 
 

@@ -158,6 +158,28 @@ class Site:
             "running_jobs": self.running_jobs,
         }
 
+    def snapshot_state(self) -> dict:
+        """Canonical site state for snapshot digests (JSON-able).
+
+        Captures the FIFO queue (in order), the busy ledger, the
+        in-flight job set (completion timers live in the kernel heap,
+        which the kernel's own capture covers), and the conservation
+        counters.
+        """
+        return {
+            "name": self.name,
+            "busy_cpus": self.busy_cpus,
+            "queue": [[j.jid, j.cpus] for j in self._queue],
+            "running": sorted(self._running),
+            "busy_integral": self._busy_integral,
+            "last_change": self._last_change,
+            "vo_cpu_seconds": sorted(self.vo_cpu_seconds.items()),
+            "jobs_dispatched": self.jobs_dispatched,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "jobs_rejected": self.jobs_rejected,
+        }
+
     # -- internals ------------------------------------------------------------
     def _advance_integral(self) -> None:
         now = self.sim.now

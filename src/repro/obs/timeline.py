@@ -132,6 +132,21 @@ class TimelineSampler:
             self._handle.cancel()
             self._handle = None
 
+    def byte_offset(self) -> int:
+        """Bytes written so far (flushes first; size once closed).
+
+        ``repro.sim.snapshot`` verifies the restored timeline stream
+        regenerated the same byte prefix.  Returns 0 for in-memory
+        samplers with no sink file.
+        """
+        if self._fh is None:
+            return 0
+        if self._fh.closed:
+            import os
+            return os.path.getsize(self.path)
+        self._fh.flush()
+        return self._fh.tell()
+
     def close(self, final_sample: bool = True) -> None:
         """Stop sampling and flush/close the JSONL sink.
 

@@ -256,6 +256,18 @@ class JsonlSink:
         if not self._fh.closed:
             self._fh.flush()
 
+    def byte_offset(self) -> int:
+        """Bytes written so far (flushes first; file size once closed).
+
+        ``repro.sim.snapshot`` records this at checkpoint time and
+        verifies the replayed stream regenerated the same byte prefix.
+        """
+        if self._fh.closed:
+            import os
+            return os.path.getsize(self.path)
+        self._fh.flush()
+        return self._fh.tell()
+
     def close(self) -> None:
         """Flush + close; idempotent and safe on exception paths."""
         if not self._fh.closed:

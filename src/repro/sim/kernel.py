@@ -747,3 +747,47 @@ class Simulator:
     @property
     def events_executed(self) -> int:
         return self._event_count
+
+    # -- snapshot support -------------------------------------------------
+    def run_to_event(self, target: int) -> None:
+        """Scalar-step until exactly ``target`` events have executed.
+
+        Replay primitive for ``repro.sim.snapshot``: a checkpoint records
+        the event count *including* the checkpoint callback itself, so a
+        restore replays to that exact boundary and then resumes the
+        bounded run.  Scalar stepping pops in the same ``(time, seq)``
+        order as both run loops, so replay is dispatch-mode agnostic.
+        """
+        if target < self._event_count:
+            raise ValueError(
+                f"cannot replay backwards: target={target} < "
+                f"executed={self._event_count}")
+        while self._event_count < target:
+            if not self.step():
+                raise RuntimeError(
+                    f"event heap exhausted at {self._event_count} events "
+                    f"while replaying to {target}")
+
+    def snapshot_state(self) -> dict:
+        """Canonical kernel state for snapshot digests (JSON-able).
+
+        Heap entries are keyed by ``(time, seq, cancelled, qualname)`` —
+        callback identity via ``__qualname__``, never ``repr`` (memory
+        addresses would poison the digest).  Sorted so the capture is
+        independent of the heap's internal layout.
+        """
+        entries = []
+        for time, seq, call in self._heap:
+            fn = call.fn
+            entries.append([time, seq, bool(call.cancelled),
+                            getattr(fn, "__qualname__", type(fn).__name__)])
+        entries.sort(key=lambda e: (e[0], e[1]))
+        return {
+            "now": self.now,
+            "event_count": self._event_count,
+            "seq": self._seq,
+            "dead": self._dead,
+            "heap_len": len(self._heap),
+            "heap": entries,
+            "processes": len(self._processes),
+        }

@@ -44,6 +44,25 @@ class RngRegistry:
             self._streams[name] = gen
         return gen
 
+    def snapshot_state(self) -> dict:
+        """Canonical RNG state for snapshot digests (JSON-able).
+
+        PCG64 exposes its state as a dict of plain Python ints, so each
+        stream's full bit-generator state serializes directly; stream
+        order is name-sorted for layout independence.
+        """
+        streams = {}
+        for name in sorted(self._streams):
+            state = self._streams[name].bit_generator.state
+            streams[name] = {
+                "bit_generator": state["bit_generator"],
+                "state": int(state["state"]["state"]),
+                "inc": int(state["state"]["inc"]),
+                "has_uint32": int(state["has_uint32"]),
+                "uinteger": int(state["uinteger"]),
+            }
+        return {"seed": self.seed, "streams": streams}
+
     def spawn(self, name: str) -> "RngRegistry":
         """A child registry whose streams are independent of the parent's."""
         digest = hashlib.sha256(name.encode("utf-8")).digest()

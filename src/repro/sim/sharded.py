@@ -120,6 +120,10 @@ def hood_config(config: ExperimentConfig, hood: int) -> ExperimentConfig:
         jid_offset=(hood + 1) * _JID_BLOCK,
         name=f"{config.name}-h{hood}",
         chaos_scenario=config.chaos_scenario if hood == 0 else "",
+        # Checkpointing is a runner-level concern here: barrier
+        # snapshots (below) replace per-sim Checkpointer ticks, which
+        # would collide across hoods sharing one directory and heap.
+        checkpoint_every_s=0.0, checkpoint_dir="",
         trace_enabled=False, trace_path="",
         spans_enabled=False, spans_path="",
         telemetry_enabled=False, telemetry_path="", serve_telemetry=False,
@@ -370,8 +374,33 @@ def _merge_journals(per_hood: dict[int, Optional[list]]) -> EventJournal:
     return merged
 
 
+def _hood_barrier_state(h: _Hood) -> dict:
+    """Grouping-independent state of one neighborhood at a barrier.
+
+    Deliberately excludes the kernel section — the event heap is shared
+    per shard, so its contents depend on how hoods are grouped;
+    everything captured here belongs to this hood alone, so the digest
+    is identical under any shard count.
+    """
+    built = h.built
+    return {
+        "rng": built.rng.snapshot_state(),
+        "grid": [built.grid.sites[name].snapshot_state()
+                 for name in sorted(built.grid.sites)],
+        "dp": h.dp.snapshot_state(),
+        "clients": [c.snapshot_state() for c in built.clients],
+        "mark": h._mark,
+    }
+
+
 def _run_lockstep(config: ExperimentConfig, plan: list[list[int]],
-                  journal: bool):
+                  journal: bool, restore_snapshot: Optional[dict] = None):
+    import os
+
+    from repro.sim.snapshot import (SnapshotError, checkpoint_filename,
+                                    encode_config, state_digest,
+                                    write_snapshot)
+
     runtimes = [_ShardRuntime(config, hood_ids, journal)
                 for hood_ids in plan]
     # Pre-run exchange of static knowledge: every view learns every
@@ -381,15 +410,53 @@ def _run_lockstep(config: ExperimentConfig, plan: list[list[int]],
         global_caps.update(rt.capacities())
     for rt in runtimes:
         rt.extend_static_knowledge(global_caps)
-    for t in _barriers(config):
+    hoods = [h for rt in runtimes for h in rt.hoods]
+    ckpt_dir = (config.checkpoint_dir
+                if config.checkpoint_every_s > 0 else "")
+    next_due = config.checkpoint_every_s
+    restore_t = (restore_snapshot["barrier_t"]
+                 if restore_snapshot is not None else None)
+    verified = restore_snapshot is None
+    for index, t in enumerate(_barriers(config)):
         outbound: dict[int, list] = {}
         for rt in runtimes:
             rt.run_window(t)
             rt.sample_timeline(t)
             outbound.update(rt.collect())
+        # Barrier checkpoints/verification happen after collect (the
+        # watermark is part of the digest) and before deliver (the
+        # adoption events run in the *next* window on both sides).
+        due = bool(ckpt_dir) and t >= next_due
+        if due or t == restore_t:
+            digests = {str(h.hood): state_digest(_hood_barrier_state(h))
+                       for h in hoods}
+            if t == restore_t:
+                want = restore_snapshot["hood_digests"]
+                if digests != want:
+                    diverged = sorted(k for k in digests
+                                      if digests[k] != want.get(k))
+                    raise SnapshotError(
+                        f"lockstep rerun diverged from the barrier "
+                        f"checkpoint at t={t:g} in neighborhood(s): "
+                        f"{', '.join(diverged)}")
+                verified = True
+            if due:
+                os.makedirs(ckpt_dir, exist_ok=True)
+                write_snapshot(
+                    {"sharded": True, "barrier_t": t,
+                     "barrier_index": index,
+                     "config": encode_config(config),
+                     "hood_digests": digests},
+                    os.path.join(ckpt_dir, checkpoint_filename(t, index)))
+                while next_due <= t:
+                    next_due += config.checkpoint_every_s
         inbound = _route(outbound)
         for rt in runtimes:
             rt.deliver(inbound, t)
+    if not verified:
+        raise SnapshotError(
+            f"restore checkpoint's barrier t={restore_t:g} was never "
+            f"reached (run has {len(_barriers(config))} barriers)")
     outcomes: dict[int, tuple] = {}
     for rt in runtimes:
         rt.run_window(config.duration_s)
@@ -492,8 +559,8 @@ def _write_sharded_timeline(config: ExperimentConfig,
 
 
 def run_sharded(config: ExperimentConfig, n_shards: int = 1,
-                mode: str = "lockstep",
-                journal: bool = False) -> ShardedRunResult:
+                mode: str = "lockstep", journal: bool = False,
+                restore: Optional[str] = None) -> ShardedRunResult:
     """Run ``config`` space-partitioned into DP neighborhoods.
 
     ``n_shards`` groups the ``config.decision_points`` neighborhoods
@@ -502,15 +569,38 @@ def run_sharded(config: ExperimentConfig, n_shards: int = 1,
     ``n_shards`` and ``mode`` — see the module docstring.  With
     ``journal=True`` every neighborhood runs fully probed and the
     result carries the canonical merged :class:`EventJournal`.
+
+    With ``config.checkpoint_every_s > 0`` the lockstep executor writes
+    a barrier checkpoint — per-neighborhood state digests at an epoch
+    barrier — whenever a barrier crosses the cadence.  ``restore``
+    names such a checkpoint: the run is a verified lockstep rerun that
+    must re-derive every neighborhood's digest at that barrier
+    (:class:`~repro.sim.snapshot.SnapshotError` names diverging hoods)
+    before completing.  Both are lockstep-only.
     """
     if mode not in ("lockstep", "workers"):
         raise ValueError(f"unknown mode {mode!r}")
+    restore_snapshot = None
+    if restore is not None:
+        from repro.sim.snapshot import SnapshotError, read_snapshot
+        restore_snapshot = read_snapshot(restore)
+        if not restore_snapshot.get("sharded"):
+            raise SnapshotError(
+                f"{restore!r} is not a sharded barrier checkpoint; "
+                "monolithic snapshots restore via resume_experiment")
+    checkpointing = config.checkpoint_every_s > 0
+    if mode == "workers" and n_shards > 1 and (checkpointing
+                                               or restore is not None):
+        raise ValueError(
+            "barrier checkpoint/restore is lockstep-only; rerun with "
+            "mode='lockstep'")
     plan = plan_shards(config.decision_points, n_shards)
     start = _walltime.perf_counter()
     if mode == "workers" and n_shards > 1:
         outcomes, events, heap_peak = _run_workers(config, plan, journal)
     else:
-        outcomes, events, heap_peak = _run_lockstep(config, plan, journal)
+        outcomes, events, heap_peak = _run_lockstep(
+            config, plan, journal, restore_snapshot=restore_snapshot)
     wall = _walltime.perf_counter() - start
     summaries = tuple(outcomes[h][0] for h in sorted(outcomes))
     merged = None

@@ -1,0 +1,363 @@
+"""Deterministic checkpoint/restore for whole experiment runs.
+
+The snapshot captures a *logical* image of the run at an exact event
+boundary: the kernel clock and heap (entries keyed by ``(time, seq,
+cancelled, qualname)``), every named RNG stream's bit-generator state,
+grid/site queues and busy ledgers, each decision point's view records,
+watermarks, USLA store and sync horizons, the control plane's streaks
+and cooldowns, and each client's workload cursor — all reduced to
+canonical JSON and CRC-digested per subsystem.
+
+Live generator frames (the simulated processes) are deliberately *not*
+serialized — CPython generators cannot be pickled portably.  Restore is
+**verified deterministic replay**: rebuild the run from its embedded
+config, scalar-step to exactly the checkpoint's event count, re-capture
+the state, and require every subsystem digest to match the snapshot
+before continuing.  A restored run is therefore bit-identical to the
+uninterrupted run by construction, and ``digruber diff --pair resume``
+proves it end to end (journals, spans, telemetry, summary digests).
+
+On-disk format (``write_snapshot``)::
+
+    {"meta": {"format": "digruber-snapshot", "version": 1, "crc": ...},
+     "snapshot": {...}}
+
+``crc`` covers the canonical (sorted-keys) JSON of the snapshot body;
+writes are atomic (tmp + ``os.rename``) so a SIGKILL mid-write never
+leaves a truncated restore candidate — ``newest_checkpoint`` validates
+every candidate and skips corrupt or partial files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import zlib
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.configs import ExperimentConfig
+    from repro.experiments.runner import BuiltExperiment, ExperimentResult
+
+__all__ = [
+    "SnapshotError",
+    "Checkpointer",
+    "capture_state",
+    "decode_config",
+    "encode_config",
+    "newest_checkpoint",
+    "read_snapshot",
+    "resume_experiment",
+    "snapshot_experiment",
+    "state_digest",
+    "write_snapshot",
+]
+
+SNAPSHOT_FORMAT = "digruber-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot failed to serialize, validate, or verify on restore."""
+
+
+# -- config codec --------------------------------------------------------
+def encode_config(config: "ExperimentConfig") -> dict:
+    """Reduce an :class:`ExperimentConfig` to a JSON-able dict."""
+    d = dataclasses.asdict(config)
+    d["strategy"] = config.strategy.value
+    return d
+
+
+def decode_config(d: dict) -> "ExperimentConfig":
+    """Rebuild an :class:`ExperimentConfig` from :func:`encode_config`.
+
+    JSON round-trips lose tuple-ness and enum identity; this restores
+    both (``JobModel`` CPU mixes, the dissemination strategy).
+    """
+    from repro.control.policy import AutoscaleConfig
+    from repro.core.sync import DisseminationStrategy
+    from repro.experiments.configs import ExperimentConfig
+    from repro.net.container import ContainerProfile
+    from repro.resilience.policy import ResilienceConfig
+    from repro.workloads.models import JobModel
+
+    d = dict(d)
+    d["profile"] = ContainerProfile(**d["profile"])
+    d["strategy"] = DisseminationStrategy(d["strategy"])
+    jm = dict(d["job_model"])
+    jm["cpu_choices"] = tuple(jm["cpu_choices"])
+    jm["cpu_weights"] = tuple(jm["cpu_weights"])
+    d["job_model"] = JobModel(**jm)
+    d["resilience"] = (ResilienceConfig(**d["resilience"])
+                       if d.get("resilience") else None)
+    d["autoscale"] = (AutoscaleConfig(**d["autoscale"])
+                      if d.get("autoscale") else None)
+    return ExperimentConfig(**d)
+
+
+# -- state capture -------------------------------------------------------
+def capture_state(built: "BuiltExperiment") -> dict:
+    """Canonical per-subsystem state of a built run (JSON-able).
+
+    Every section comes from that subsystem's own ``snapshot_state()``;
+    iteration orders are pinned (hosts in fleet order, sites and
+    decision points name-sorted) so two captures of identical runs are
+    byte-identical.
+    """
+    deployment = built.deployment
+    state = {
+        "kernel": built.sim.snapshot_state(),
+        "rng": built.rng.snapshot_state(),
+        "grid": [built.grid.sites[name].snapshot_state()
+                 for name in sorted(built.grid.sites)],
+        "dps": [deployment.decision_points[k].snapshot_state()
+                for k in sorted(deployment.decision_points, key=str)],
+        "clients": [c.snapshot_state() for c in built.clients],
+        "control": (built.planner.snapshot_state()
+                    if built.planner is not None else None),
+    }
+    return state
+
+
+def state_digest(state: dict) -> str:
+    """8-hex CRC32 over the canonical JSON of a state section."""
+    blob = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return format(zlib.crc32(blob.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+def _sink_offsets(built: "BuiltExperiment") -> dict:
+    """Byte offsets of every streaming sink at the capture instant.
+
+    Replay regenerates each stream from t=0; restore verifies the
+    regenerated prefix has exactly these lengths (sink reattach).
+    """
+    offsets = {}
+    if built.trace_sink is not None:
+        offsets["trace"] = built.trace_sink.byte_offset()
+    if built.sampler is not None:
+        offsets["telemetry"] = built.sampler.byte_offset()
+    return offsets
+
+
+def snapshot_experiment(built: "BuiltExperiment") -> dict:
+    """Capture one full snapshot of a built run at the current instant."""
+    state = capture_state(built)
+    digests = {section: state_digest(value)
+               for section, value in state.items()}
+    return {
+        "time": built.sim.now,
+        "event_count": built.sim.events_executed,
+        "config": encode_config(built.config),
+        "state": state,
+        "digests": digests,
+        "digest": state_digest(state),
+        "sinks": _sink_offsets(built),
+    }
+
+
+# -- on-disk format ------------------------------------------------------
+def _canonical(snapshot: dict) -> str:
+    return json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+
+
+def write_snapshot(snapshot: dict, path: str) -> str:
+    """Atomically write a CRC-stamped snapshot file; returns ``path``.
+
+    tmp + ``os.rename`` on the same filesystem: a SIGKILL mid-write
+    leaves at worst an orphaned ``*.tmp`` that every reader ignores,
+    never a truncated file under the final name.
+    """
+    body = _canonical(snapshot)
+    crc = format(zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, "08x")
+    doc = {"meta": {"format": SNAPSHOT_FORMAT,
+                    "version": SNAPSHOT_VERSION, "crc": crc},
+           "snapshot": snapshot}
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(doc))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.rename(tmp, path)
+    return path
+
+
+def read_snapshot(path: str) -> dict:
+    """Read and validate one snapshot file; returns the snapshot body.
+
+    Raises :class:`SnapshotError` on unreadable JSON, a foreign or
+    future format, or a CRC mismatch (truncated/corrupt file).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as err:
+        raise SnapshotError(f"unreadable snapshot {path!r}: {err}") from err
+    meta = doc.get("meta") if isinstance(doc, dict) else None
+    if not isinstance(meta, dict) or meta.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(f"{path!r} is not a {SNAPSHOT_FORMAT} file")
+    if meta.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"{path!r} has snapshot version {meta.get('version')!r}; "
+            f"this build reads version {SNAPSHOT_VERSION}")
+    snapshot = doc.get("snapshot")
+    if not isinstance(snapshot, dict):
+        raise SnapshotError(f"{path!r} carries no snapshot body")
+    crc = format(zlib.crc32(_canonical(snapshot).encode("utf-8"))
+                 & 0xFFFFFFFF, "08x")
+    if crc != meta.get("crc"):
+        raise SnapshotError(
+            f"{path!r} failed its CRC check "
+            f"(stamped {meta.get('crc')!r}, recomputed {crc!r})")
+    return snapshot
+
+
+def checkpoint_filename(time: float, event_count: int) -> str:
+    return f"ckpt-{int(time):010d}-{event_count:012d}.json"
+
+
+def newest_checkpoint(directory: str) -> Optional[str]:
+    """Path of the newest *valid* checkpoint in ``directory``, or None.
+
+    Newest by event count (encoded in the filename, confirmed from the
+    body).  Corrupt, truncated, or in-flight (``*.tmp``) files are
+    skipped, so a crash mid-write can only cost the interval since the
+    previous checkpoint, never the ability to restore at all.
+    """
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return None
+    candidates = sorted(
+        (n for n in names if n.startswith("ckpt-") and n.endswith(".json")),
+        reverse=True)
+    for name in candidates:
+        path = os.path.join(directory, name)
+        try:
+            read_snapshot(path)
+        except SnapshotError:
+            continue
+        return path
+    return None
+
+
+# -- periodic capture ----------------------------------------------------
+class Checkpointer:
+    """Periodic snapshot writer riding a run's own event heap.
+
+    The tick *self-schedules before capturing*, so the next periodic
+    entry is already in the heap when the state is captured — the
+    replayed run's heap at the same event boundary is then identical.
+    Capture draws no randomness and mutates nothing, and checkpoint
+    scheduling is part of the config (both the reference and the
+    resumed run carry the same ticks), so checkpointing never perturbs
+    the simulation it snapshots.
+
+    During replay the restore path suspends the checkpointer: ticks
+    keep their heap slots (determinism) but skip capture and disk I/O.
+    """
+
+    def __init__(self, built: "BuiltExperiment"):
+        config = built.config
+        if config.checkpoint_every_s <= 0:
+            raise ValueError("checkpoint_every_s must be > 0")
+        self.built = built
+        self.interval_s = config.checkpoint_every_s
+        self.directory = config.checkpoint_dir
+        self.suspended = False
+        self.written: list[str] = []
+        self.last: Optional[dict] = None
+        self._next = built.sim.schedule(self.interval_s, self.tick)
+
+    def tick(self) -> None:
+        self._next = self.built.sim.schedule(self.interval_s, self.tick)
+        if self.suspended:
+            return
+        snap = snapshot_experiment(self.built)
+        self.last = snap
+        os.makedirs(self.directory, exist_ok=True)
+        path = os.path.join(
+            self.directory,
+            checkpoint_filename(snap["time"], snap["event_count"]))
+        write_snapshot(snap, path)
+        self.written.append(path)
+
+    def suspend(self) -> None:
+        self.suspended = True
+
+    def resume(self) -> None:
+        self.suspended = False
+
+    def cancel(self) -> None:
+        if self._next is not None:
+            self._next.cancel()
+            self._next = None
+
+
+# -- restore -------------------------------------------------------------
+def _verify_state(built: "BuiltExperiment", snapshot: dict,
+                  source: str) -> None:
+    """Require the replayed run to match the snapshot exactly."""
+    sim = built.sim
+    if sim.events_executed != snapshot["event_count"]:
+        raise SnapshotError(
+            f"replay of {source} stopped at event {sim.events_executed}, "
+            f"snapshot was taken at {snapshot['event_count']}")
+    if sim.now != snapshot["time"]:
+        raise SnapshotError(
+            f"replay of {source} reached t={sim.now}, snapshot was taken "
+            f"at t={snapshot['time']}")
+    state = capture_state(built)
+    digests = {section: state_digest(value)
+               for section, value in state.items()}
+    if digests != snapshot["digests"]:
+        diverged = sorted(section for section in digests
+                          if digests[section]
+                          != snapshot["digests"].get(section))
+        raise SnapshotError(
+            f"replay of {source} diverged from the snapshot in "
+            f"subsystem(s): {', '.join(diverged)}")
+    offsets = _sink_offsets(built)
+    if offsets != snapshot.get("sinks", {}):
+        raise SnapshotError(
+            f"replay of {source} regenerated sink prefixes {offsets}, "
+            f"snapshot recorded {snapshot.get('sinks', {})}")
+
+
+def resume_experiment(snapshot: Union[str, dict],
+                      deployment_hook=None) -> "ExperimentResult":
+    """Restore a run from a snapshot and run it to completion.
+
+    ``snapshot`` is a path (validated via :func:`read_snapshot`) or an
+    in-memory snapshot body.  The run is rebuilt from the embedded
+    config, replayed to the exact checkpoint event boundary with the
+    checkpointer suspended, verified digest-for-digest against the
+    snapshot (:class:`SnapshotError` names the diverging subsystem on
+    mismatch), and only then resumed to ``duration_s``.  Abnormal exits
+    take the same :func:`abort_experiment` path as a fresh run.
+    """
+    from repro.experiments.runner import (abort_experiment, build_experiment,
+                                          finalize_experiment)
+
+    source = snapshot if isinstance(snapshot, str) else "<snapshot>"
+    if isinstance(snapshot, str):
+        snapshot = read_snapshot(snapshot)
+    config = decode_config(snapshot["config"])
+    built = build_experiment(config)
+    if deployment_hook is not None:
+        deployment_hook(sim=built.sim, deployment=built.deployment,
+                        network=built.network, grid=built.grid,
+                        rng=built.rng)
+    if built.checkpointer is not None:
+        built.checkpointer.suspend()
+    try:
+        built.sim.run_to_event(snapshot["event_count"])
+        _verify_state(built, snapshot, source)
+        if built.checkpointer is not None:
+            built.checkpointer.resume()
+        built.sim.run(until=config.duration_s)
+    except BaseException as exc:
+        abort_experiment(built, exc)
+        raise
+    return finalize_experiment(built)

@@ -63,6 +63,15 @@ class UslaStore:
     def __iter__(self):
         return iter(self._agreements.values())
 
+    def snapshot_state(self) -> dict:
+        """Canonical store state for snapshot digests (JSON-able)."""
+        return {
+            "owner": self.owner,
+            "mutations": self.mutations,
+            "agreements": sorted(
+                [name, ag.version] for name, ag in self._agreements.items()),
+        }
+
     # -- discovery ------------------------------------------------------------
     def discover(self, provider: Optional[str] = None,
                  consumer: Optional[str] = None,

@@ -1,0 +1,166 @@
+"""Resumable campaign runner tests (repro.experiments.campaign)."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.campaign import (
+    CAMPAIGN_PRESETS,
+    campaign_configs,
+    campaign_manifest,
+    run_campaign,
+    _attach_cell_dirs,
+    _cell_worker,
+)
+from repro.experiments.configs import smoke_config
+from repro.experiments.parallel import run_parallel, summarize, summary_digest
+from repro.experiments.runner import (abort_experiment, build_experiment,
+                                      run_experiment)
+
+
+def _cells(duration_s=120.0):
+    return [smoke_config(decision_points=k, n_clients=4,
+                         duration_s=duration_s, name=f"cell-{k}dp")
+            for k in (1, 2)]
+
+
+class TestPresets:
+    def test_known_presets(self):
+        for preset in CAMPAIGN_PRESETS:
+            configs = campaign_configs(preset, duration_s=60.0)
+            assert configs
+            assert len({c.name for c in configs}) == len(configs)
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown campaign preset"):
+            campaign_configs("nope")
+
+
+class TestRunCampaign:
+    def test_aggregate_shape_and_files(self, tmp_path):
+        out = str(tmp_path)
+        report = run_campaign(_cells(), out, checkpoint_every_s=40.0,
+                              max_workers=1)
+        assert report["bench"] == "campaign"
+        assert report["pass_campaign"]
+        assert [r["name"] for r in report["cells"]] == \
+            ["cell-1dp", "cell-2dp"]
+        on_disk = json.load(open(os.path.join(out, "aggregate.json")))
+        assert on_disk == report
+        manifest = json.load(open(os.path.join(out, "manifest.json")))
+        assert manifest["completed"] == ["cell-1dp", "cell-2dp"]
+        for name in ("cell-1dp", "cell-2dp"):
+            cell = os.path.join(out, "cells", name)
+            assert os.path.exists(os.path.join(cell, "result.json"))
+            assert os.listdir(os.path.join(cell, "checkpoints"))
+
+    def test_records_match_plain_runs(self, tmp_path):
+        cells = _cells()
+        report = run_campaign(cells, str(tmp_path),
+                              checkpoint_every_s=40.0, max_workers=1)
+        for config, record in zip(cells, report["cells"]):
+            # Checkpointing rides the run but must not change results…
+            # except it adds checkpoint tick events, so compare against
+            # a checkpointed plain run of the same cell.
+            plain = summarize(run_experiment(config.with_(
+                checkpoint_every_s=40.0,
+                checkpoint_dir=str(tmp_path / "plain" / config.name))))
+            assert record["summary_digest"] == summary_digest(plain)
+            assert record["n_jobs"] == plain.n_jobs
+
+    def test_relaunch_reuses_cells_and_aggregate_is_identical(
+            self, tmp_path):
+        out = str(tmp_path)
+        first = run_campaign(_cells(), out, checkpoint_every_s=40.0,
+                             max_workers=1)
+        marker = os.path.join(out, "cells", "cell-1dp", "result.json")
+        stamp = os.path.getmtime(marker)
+        again = run_campaign(_cells(), out, checkpoint_every_s=40.0,
+                             max_workers=1)
+        assert again == first
+        assert os.path.getmtime(marker) == stamp  # cached, not re-run
+
+    def test_interrupted_cell_resumes_from_checkpoint(self, tmp_path):
+        out = str(tmp_path)
+        reference = run_campaign(_cells(), out, checkpoint_every_s=40.0,
+                                 max_workers=1)
+        agg_ref = open(os.path.join(out, "aggregate.json")).read()
+        # Simulate a SIGTERM'd cell: completed marker gone, checkpoints
+        # survive.
+        cell = os.path.join(out, "cells", "cell-2dp")
+        os.remove(os.path.join(cell, "result.json"))
+        manifest = campaign_manifest(out, _cells())
+        assert manifest["resumable"] == ["cell-2dp"]
+        relaunch = run_campaign(_cells(), out, checkpoint_every_s=40.0,
+                                max_workers=1)
+        assert relaunch == reference
+        assert open(os.path.join(out, "aggregate.json")).read() == agg_ref
+        record = json.load(open(os.path.join(cell, "result.json")))
+        assert record["resumed_from"]  # provenance survives in the cell
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        cells = [smoke_config(name="dup"), smoke_config(name="dup")]
+        with pytest.raises(ValueError, match="unique"):
+            run_campaign(cells, str(tmp_path))
+
+    def test_empty_campaign_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one"):
+            run_campaign([], str(tmp_path))
+
+
+# -- retry/checkpoint interaction (satellite 2) --------------------------
+# The worker must be module-level so run_parallel's pools can pickle it;
+# fork (asserted in the test) carries module globals into workers.
+
+def _die_once_worker(config):
+    """Kills its first worker process mid-cell — after checkpoints are
+    on disk — then defers to the real campaign worker on retry."""
+    marker = os.path.join(os.path.dirname(config.checkpoint_dir),
+                          "died-once")
+    if config.name == "cell-2dp" and not os.path.exists(marker):
+        built = build_experiment(config)
+        built.sim.run(until=config.duration_s * 0.6)
+        abort_experiment(built, RuntimeError("simulated worker death"))
+        open(marker, "w").write("x")
+        os._exit(1)
+    return _cell_worker(config)
+
+
+class TestRetryResumesFromOwnCheckpoint:
+    def test_retried_cell_resumes_not_reruns(self, tmp_path):
+        import multiprocessing
+        assert "fork" in multiprocessing.get_all_start_methods()
+        out = str(tmp_path)
+        cells = _cells()
+        prepared = _attach_cell_dirs(cells, out, checkpoint_every_s=40.0)
+        results = run_parallel(prepared, max_workers=2,
+                               worker=_die_once_worker)
+        assert all(isinstance(r, dict) for r in results), results
+        record = {r["name"]: r for r in results}["cell-2dp"]
+        # The retry generation found the dead worker's checkpoints and
+        # resumed instead of re-running from scratch…
+        assert record["resumed_from"]
+        # …and resumed to the exact digest of an uninterrupted run.
+        clean = summarize(run_experiment(prepared[1]))
+        assert record["summary_digest"] == summary_digest(clean)
+
+
+class TestFailedCellInAggregate:
+    def test_permanent_failure_reported_not_raised(self, tmp_path,
+                                                   monkeypatch):
+        import repro.experiments.campaign as camp
+
+        def fake_run_parallel(configs, max_workers=None, worker=None):
+            from repro.experiments.parallel import FailedCell
+            out = [worker(c) for c in configs[:-1]]
+            out.append(FailedCell(config=configs[-1],
+                                  error="worker process died (twice)"))
+            return out
+
+        monkeypatch.setattr(camp, "run_parallel", fake_run_parallel)
+        report = run_campaign(_cells(), str(tmp_path),
+                              checkpoint_every_s=40.0, max_workers=2)
+        assert not report["pass_campaign"]
+        assert report["failed"] == ["cell-2dp"]
+        assert [r["name"] for r in report["cells"]] == ["cell-1dp"]

@@ -89,6 +89,7 @@ class TestApi:
     def test_pair_registry_matches_cli(self):
         assert sorted(PAIRS) == ["autoscale-frozen", "batch-dispatch",
                                  "delta-sync", "fast-paths", "indexed-view",
+                                 "resume", "resume-sharded",
                                  "sharded-2", "sharded-4", "spans",
                                  "telemetry", "vectorized-sites", "workers"]
         # The CLI's --pair choices must stay in lockstep with the

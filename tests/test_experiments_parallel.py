@@ -70,6 +70,27 @@ class TestRunParallel:
             ["par-3dp", "par-2dp", "par-1dp"]
 
 
+def _naming_worker(cfg):
+    """Module-level so the pooled path can pickle it by qualified name."""
+    return {"ran": cfg.name}
+
+
+class TestCustomWorker:
+    """run_parallel(worker=...) drives alternate cell bodies — the hook
+    the campaign runner uses for its checkpoint-aware worker."""
+
+    def test_in_process_path(self, configs):
+        out = run_parallel(configs[:1], max_workers=1,
+                           worker=_naming_worker)
+        assert out == [{"ran": "par-1dp"}]
+
+    def test_pooled_path_keeps_order(self, configs):
+        out = run_parallel(list(reversed(configs)), max_workers=2,
+                           worker=_naming_worker)
+        assert out == [{"ran": "par-3dp"}, {"ran": "par-2dp"},
+                       {"ran": "par-1dp"}]
+
+
 class TestSummaryDigest:
     def test_digest_is_deterministic(self, configs):
         from repro.experiments.parallel import summary_digest

@@ -18,7 +18,8 @@ class TestReportGenerator:
         assert "GRUB-SIM" in text
         # Raw results exposed for programmatic use.
         assert set(results) == {"fig1", "gt3", "fig8", "gt4", "fig12",
-                                "table3"}
+                                "table3", "failed_cells"}
+        assert results["failed_cells"] == []
 
     def test_cli_writes_file(self, tmp_path):
         from repro.experiments.report import main
@@ -26,6 +27,60 @@ class TestReportGenerator:
         rc = main(["--duration", "120", "--out", str(out)])
         assert rc == 0
         assert "DI-GRUBER reproduction report" in out.read_text()
+
+    def test_failed_cell_renders_note_not_crash(self, monkeypatch):
+        """A FailedCell from the parallel sweep must degrade the report
+        section-by-section, never raise (the report.py bugfix batch)."""
+        import repro.experiments.parallel as par
+        from repro.experiments.parallel import FailedCell
+        real = par.run_parallel
+
+        def breaking(configs, max_workers=None, worker=None):
+            out = real(configs, max_workers=max_workers)
+            # Slot 2 is the gt3 k=10 sweep cell -> feeds Fig 7,
+            # Table 1's 10-DP column, and the headline speedup line.
+            out[2] = FailedCell(config=configs[2],
+                                error="worker process died (twice)")
+            return out
+
+        monkeypatch.setattr(par, "run_parallel", breaking)
+        buf = io.StringIO()
+        results = generate_report(duration_s=120.0, out=buf,
+                                  intervals_min=(1.0, 3.0),
+                                  parallel=True, max_workers=2)
+        text = buf.getvalue()
+        assert isinstance(results["gt3"][10], FailedCell)
+        assert results["failed_cells"]
+        assert "Failed cells" in text
+        assert "FAILED" in text
+        # Figure numbering is preserved: the dead slot still renders its
+        # Fig 7 header, annotated instead of plotted.
+        assert "Fig 7" in text
+        assert "n/a (cell failed)" in text
+        # Live cells still render their tables.
+        assert "Table 1" in text and "Table 2" in text
+
+    def test_failed_1dp_cell_skips_table3(self, monkeypatch):
+        """Table 3 needs the 1-DP traces from both sweeps; with that
+        cell dead it is skipped with a note instead of dividing by a
+        missing key."""
+        import repro.experiments.parallel as par
+        from repro.experiments.parallel import FailedCell
+        real = par.run_parallel
+
+        def breaking(configs, max_workers=None, worker=None):
+            out = real(configs, max_workers=max_workers)
+            out[0] = FailedCell(config=configs[0],
+                                error="worker process died (twice)")
+            return out
+
+        monkeypatch.setattr(par, "run_parallel", breaking)
+        buf = io.StringIO()
+        results = generate_report(duration_s=120.0, out=buf,
+                                  intervals_min=(1.0, 3.0),
+                                  parallel=True, max_workers=2)
+        assert results["table3"] is None
+        assert "skipped (1-DP trace unavailable)" in buf.getvalue()
 
     def test_parallel_report_identical_to_serial(self, tmp_path):
         """Determinism: the parallel path emits the same artifact text."""

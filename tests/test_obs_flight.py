@@ -153,6 +153,90 @@ class TestMidWriteKill:
         assert sink.written == 1
 
 
+class TestRestoredRunAbort:
+    """Satellite: a *restored* run that aborts must behave exactly like
+    a fresh aborting run — flight dump, whole-line-valid artifacts, and
+    every reattached sink effectively closed exactly once."""
+
+    def test_restored_abort_closes_sinks_once_and_artifacts_valid(
+            self, tmp_path, monkeypatch):
+        from repro.experiments.runner import (abort_experiment,
+                                              build_experiment)
+        from repro.obs.flight import Terminated
+        from repro.obs.timeline import TimelineSampler, load_timeline
+        from repro.obs.trace import JsonlSink
+        from repro.sim.snapshot import newest_checkpoint, resume_experiment
+
+        config = smoke_config(
+            duration_s=600.0, n_clients=4,
+            checkpoint_every_s=100.0,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            trace_enabled=True, trace_path=str(tmp_path / "trace.jsonl"),
+            telemetry_enabled=True, telemetry_interval_s=30.0,
+            telemetry_path=str(tmp_path / "timeline.jsonl"),
+            flight_enabled=True,
+            flight_path=str(tmp_path / "flight.json"))
+
+        # The crash event must ride BOTH legs: a hook that schedules
+        # into the heap only on the restored side would leave the
+        # replayed heap diverging from the snapshotted one, and replay
+        # verification would (correctly) refuse the restore.
+        hook = _crashing_hook(450.0)
+
+        # Effective-close spy: counts open->closed transitions, so an
+        # idempotent re-close never inflates the count.
+        effective = []
+        real_sink_close = JsonlSink.close
+        real_sampler_close = TimelineSampler.close
+
+        def sink_close(self):
+            if not self.closed:
+                effective.append(("trace", id(self)))
+            real_sink_close(self)
+
+        def sampler_close(self, final_sample=True):
+            if self._fh is not None and not self._fh.closed:
+                effective.append(("timeline", id(self)))
+            real_sampler_close(self, final_sample=final_sample)
+
+        monkeypatch.setattr(JsonlSink, "close", sink_close)
+        monkeypatch.setattr(TimelineSampler, "close", sampler_close)
+
+        # Leg 1: run to t=300 (checkpoints at 100/200/300), SIGTERM.
+        built = build_experiment(config)
+        hook(sim=built.sim, deployment=built.deployment,
+             network=built.network, grid=built.grid, rng=built.rng)
+        built.sim.run(until=300.0)
+        abort_experiment(built, Terminated("signal 15"))
+        checkpoint = newest_checkpoint(config.checkpoint_dir)
+        assert checkpoint is not None
+        closes_before_resume = len(effective)
+
+        # Leg 2: restore, continue, crash at t=450 inside the restored
+        # run — its abort path must close the reattached sinks.
+        with pytest.raises(RuntimeError, match="injected"):
+            resume_experiment(checkpoint, deployment_hook=hook)
+
+        restored_closes = effective[closes_before_resume:]
+        assert sorted(kind for kind, _ in restored_closes) == \
+            ["timeline", "trace"]
+        assert len({sid for _, sid in restored_closes}) == 2
+
+        # Flight dump reflects the restored run's crash, not leg 1.
+        doc = load_flight(config.flight_path)
+        assert doc["reason"] == "crash"
+        assert "injected mid-run crash" in doc["exception"]["traceback"]
+
+        # Artifacts are whole-line-valid and extend past the restore
+        # point (the restored run regenerated the prefix and kept going).
+        for line in (tmp_path / "trace.jsonl").read_text().splitlines():
+            json.loads(line)
+        meta, rows = load_timeline(str(tmp_path / "timeline.jsonl"),
+                                   tolerant=False)
+        assert meta["interval_s"] == 30.0
+        assert rows and 300.0 < rows[-1]["t"] <= 450.0
+
+
 class TestRecorderEdges:
     def test_dump_never_raises_on_bad_path(self, tmp_path):
         config = smoke_config(duration_s=60.0, n_clients=2)

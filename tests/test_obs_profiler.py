@@ -92,8 +92,12 @@ class TestProfilerThread:
     def test_profiles_a_real_experiment(self):
         from repro.experiments.configs import smoke_config
         from repro.experiments.runner import run_experiment
+        # Long enough that the profiled wall time dwarfs the sampling
+        # interval even in a warm process (a 300 s smoke finishes in
+        # ~50 ms once imports and numpy are hot, yielding single-digit
+        # sample counts and a flaky assertion below).
         with SubsystemProfiler(interval_s=0.001) as prof:
-            run_experiment(smoke_config(duration_s=300.0, n_clients=4))
+            run_experiment(smoke_config(duration_s=3600.0, n_clients=8))
         report = prof.report()
         assert report["samples"] > 10
         # The run spends its time inside repro subsystems, not "other".
